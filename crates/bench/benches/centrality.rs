@@ -1,0 +1,68 @@
+//! Criterion: centrality measures on a community-sized line graph — the
+//! cost side of the task-aware/task-agnostic trade-off (§3.4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::explain::centrality::{
+    approx_current_flow_betweenness, betweenness, closeness, communicability_betweenness,
+    current_flow_betweenness, edge_betweenness, eigenvector, subgraph, SimpleGraph,
+};
+
+/// A community-shaped graph: ~80 edges like the paper's average community.
+fn community_like() -> SimpleGraph {
+    let mut g = SimpleGraph::new(60);
+    // 4 hubs (entities) with spokes (txns) + some cross links.
+    for hub in 0..4 {
+        for spoke in 0..13 {
+            g.add_edge(hub, 4 + hub * 13 + spoke);
+        }
+    }
+    for i in 0..7 {
+        g.add_edge(4 + i, 4 + 13 + i); // cross-community ties
+    }
+    g
+}
+
+fn bench_centrality(c: &mut Criterion) {
+    let g = community_like();
+    let mut group = c.benchmark_group("centrality_60_nodes");
+    group.bench_function("degree_baseline", |b| {
+        b.iter(|| std::hint::black_box(xfraud::explain::centrality::degree(&g)))
+    });
+    group.bench_function("betweenness", |b| b.iter(|| std::hint::black_box(betweenness(&g))));
+    group.bench_function("edge_betweenness", |b| {
+        b.iter(|| std::hint::black_box(edge_betweenness(&g)))
+    });
+    group.bench_function("closeness", |b| b.iter(|| std::hint::black_box(closeness(&g))));
+    group.bench_function("eigenvector", |b| b.iter(|| std::hint::black_box(eigenvector(&g))));
+    group.bench_function("subgraph_expm", |b| b.iter(|| std::hint::black_box(subgraph(&g))));
+    group.sample_size(10);
+    group.bench_function("current_flow_betweenness", |b| {
+        b.iter(|| std::hint::black_box(current_flow_betweenness(&g)))
+    });
+    group.bench_function("approx_cfb_100_pairs", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(approx_current_flow_betweenness(&g, 100, &mut rng)))
+    });
+    group.bench_function("communicability_betweenness", |b| {
+        b.iter(|| std::hint::black_box(communicability_betweenness(&g)))
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_centrality
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion: forward and forward+backward cost of one heterogeneous
+//! convolution layer vs the type-blind GAT layer shape (the "xFraud takes
+//! slightly longer than GAT due to its attention on heterogeneous types"
+//! observation of Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::gnn::{FullGraphSampler, Masks, Model, Sampler, SubgraphBatch};
+use xfraud::gnn::{DetectorConfig, GatModel, GemModel, XFraudDetector};
+use xfraud::nn::Session;
+
+fn fixture() -> SubgraphBatch {
+    let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 3);
+    let g = ds.graph;
+    let seeds: Vec<usize> =
+        g.labeled_txns().iter().take(64).map(|&(v, _)| v).collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    // A mid-sized neighbourhood batch.
+    xfraud::gnn::SageSampler::new(2, 8).sample(&g, &seeds, &mut rng);
+    FullGraphSampler.sample(&g, &seeds, &mut rng)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let batch = fixture();
+    let fd = batch.features.cols();
+    let det = XFraudDetector::new(DetectorConfig::small(fd, 1));
+    let gat = GatModel::new(DetectorConfig::small(fd, 1));
+    let gem = GemModel::new(DetectorConfig::small(fd, 1));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("forward_full_graph");
+    group.sample_size(10);
+    group.bench_function("xfraud_detector", |b| {
+        b.iter(|| {
+            let mut sess = Session::new();
+            let v = det.forward(&mut sess, &batch, false, &mut rng, &Masks::none());
+            std::hint::black_box(sess.tape.value(v).sum());
+        })
+    });
+    group.bench_function("gat", |b| {
+        b.iter(|| {
+            let mut sess = Session::new();
+            let v = gat.forward(&mut sess, &batch, false, &mut rng, &Masks::none());
+            std::hint::black_box(sess.tape.value(v).sum());
+        })
+    });
+    group.bench_function("gem", |b| {
+        b.iter(|| {
+            let mut sess = Session::new();
+            let v = gem.forward(&mut sess, &batch, false, &mut rng, &Masks::none());
+            std::hint::black_box(sess.tape.value(v).sum());
+        })
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: cost of one GNNExplainer run on a community (Appendix D's
+//! 100-epoch mask optimisation) and of the hybrid combination step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xfraud::explain::centrality::Measure;
+use xfraud::explain::{ExplainerConfig, GnnExplainer, HybridExplainer, HybridFit};
+use xfraud::gnn::TrainConfig;
+use xfraud::{Pipeline, PipelineConfig};
+
+fn bench_explainer(c: &mut Criterion) {
+    let pipeline = Pipeline::run(PipelineConfig {
+        train: TrainConfig { epochs: 3, ..TrainConfig::default() },
+        ..PipelineConfig::default()
+    });
+    let communities = pipeline.sample_communities(3, 10, 200, 1);
+    let community = &communities[0];
+
+    let mut group = c.benchmark_group("explainer");
+    group.sample_size(10);
+    group.bench_function("gnnexplainer_30_epochs", |b| {
+        let explainer = GnnExplainer::new(
+            &pipeline.detector,
+            ExplainerConfig { epochs: 30, ..Default::default() },
+        );
+        b.iter(|| std::hint::black_box(explainer.explain_community(community).1.len()))
+    });
+    group.bench_function("edge_betweenness_community", |b| {
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        b.iter(|| {
+            std::hint::black_box(xfraud::explain::centrality::community_edge_weights(
+                &community.graph,
+                Measure::EdgeBetweenness,
+                &mut rng,
+            ))
+        })
+    });
+    group.bench_function("hybrid_combine", |b| {
+        let hybrid = HybridExplainer { a: 0.6, b: 0.4, fit: HybridFit::Grid };
+        let w: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        b.iter(|| std::hint::black_box(hybrid.combine(&w, &w)))
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_explainer
+}
+criterion_main!(benches);

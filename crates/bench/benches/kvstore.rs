@@ -1,0 +1,51 @@
+//! Criterion: KV-store get/put under the three store implementations —
+//! the per-op cost behind the Fig. 12/13 loader-throughput gap.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xfraud::kvstore::{FeatureStore, KvStore, LogStore, ShardedStore, SingleLockStore};
+
+fn bench_stores(c: &mut Criterion) {
+    let dim = 48;
+    let n = 5_000usize;
+    let stores: Vec<(&str, Arc<dyn KvStore>)> = vec![
+        ("single_lock", Arc::new(SingleLockStore::new())),
+        ("sharded", Arc::new(ShardedStore::new(64))),
+        ("append_log", {
+            let mut p = std::env::temp_dir();
+            p.push(format!("xfraud-bench-kv-{}.log", std::process::id()));
+            Arc::new(LogStore::create(&p, 64).expect("log store"))
+        }),
+    ];
+    for (name, store) in stores {
+        let fs = FeatureStore::new(store, dim);
+        let row: Vec<f32> = (0..dim).map(|i| i as f32).collect();
+        for i in 0..n {
+            fs.put_features(i, &row);
+        }
+        let ids: Vec<usize> = (0..n).collect();
+        c.bench_function(&format!("{name}_get_5k_rows_1_thread"), |b| {
+            b.iter(|| std::hint::black_box(fs.load_batch(&ids).sum()))
+        });
+        c.bench_function(&format!("{name}_get_5k_rows_4_threads"), |b| {
+            b.iter(|| std::hint::black_box(fs.load_parallel(&ids, 4).2))
+        });
+    }
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_stores
+}
+criterion_main!(benches);

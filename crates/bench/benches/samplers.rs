@@ -1,0 +1,44 @@
+//! Criterion: HGSampling vs GraphSAGE sampling cost on sparse transaction
+//! graphs — the microscopic version of the Fig. 10 ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::gnn::{HgSampler, SageSampler, Sampler};
+
+fn bench_samplers(c: &mut Criterion) {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    let seeds: Vec<usize> =
+        g.labeled_txns().iter().take(64).map(|&(v, _)| v).collect();
+    let sage = SageSampler::new(2, 8);
+    let hg = HgSampler::new(2, 8);
+
+    let mut group = c.benchmark_group("samplers_64_seeds");
+    group.sample_size(20);
+    group.bench_function("graphsage", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(sage.sample(&g, &seeds, &mut rng).n_nodes()))
+    });
+    group.bench_function("hgsampling", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(hg.sample(&g, &seeds, &mut rng).n_nodes()))
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_samplers
+}
+criterion_main!(benches);

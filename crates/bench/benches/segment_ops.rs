@@ -1,0 +1,73 @@
+//! Criterion: the GNN segment primitives (gather / segment softmax /
+//! segment sum) at message-passing scale — the inner loops of eq. 1 and 9.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xfraud::tensor::{Tape, Tensor};
+
+fn bench_segment_ops(c: &mut Criterion) {
+    let n_nodes = 4_000usize;
+    let n_edges = 12_000usize;
+    let heads = 4usize;
+    let dim = 64usize;
+    let mut rng = StdRng::seed_from_u64(1);
+    let seg: Rc<Vec<usize>> =
+        Rc::new((0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect());
+    let scores = Tensor::rand_uniform(n_edges, heads, -1.0, 1.0, &mut rng);
+    let msgs = Tensor::rand_uniform(n_edges, dim, -1.0, 1.0, &mut rng);
+    let nodes = Tensor::rand_uniform(n_nodes, dim, -1.0, 1.0, &mut rng);
+
+    c.bench_function("gather_rows_12k_edges", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let h = t.leaf(nodes.clone(), false);
+            let g = t.gather_rows(h, Rc::clone(&seg));
+            std::hint::black_box(t.value(g).sum())
+        })
+    });
+    c.bench_function("segment_softmax_12k_edges", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let s = t.leaf(scores.clone(), false);
+            let a = t.segment_softmax(s, Rc::clone(&seg), n_nodes);
+            std::hint::black_box(t.value(a).sum())
+        })
+    });
+    c.bench_function("segment_sum_12k_edges", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let m = t.leaf(msgs.clone(), false);
+            let s = t.segment_sum(m, Rc::clone(&seg), n_nodes);
+            std::hint::black_box(t.value(s).sum())
+        })
+    });
+    c.bench_function("segment_softmax_backward", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let s = t.leaf(scores.clone(), true);
+            let a = t.segment_softmax(s, Rc::clone(&seg), n_nodes);
+            let l = t.sum_all(a);
+            t.backward(l);
+            std::hint::black_box(t.grad(s).unwrap().sum())
+        })
+    });
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_segment_ops
+}
+criterion_main!(benches);

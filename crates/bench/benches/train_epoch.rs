@@ -1,0 +1,67 @@
+//! Criterion: one full optimisation step (sample → forward → backward →
+//! AdamW) per model — the building block of the Table 3 "training time"
+//! column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::gnn::{
+    train_step, DetectorConfig, GatModel, GemModel, SageSampler, Sampler, XFraudDetector,
+};
+use xfraud::nn::AdamW;
+
+fn bench_train_step(c: &mut Criterion) {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    let seeds: Vec<usize> =
+        g.labeled_txns().iter().take(128).map(|&(v, _)| v).collect();
+    let sampler = SageSampler::new(2, 8);
+    let fd = g.feature_dim();
+
+    let mut group = c.benchmark_group("train_step_128_targets");
+    group.sample_size(10);
+    group.bench_function("xfraud_detector", |b| {
+        let mut model = XFraudDetector::new(DetectorConfig::small(fd, 1));
+        let mut opt = AdamW::new(2e-3);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let batch = sampler.sample(&g, &seeds, &mut rng);
+            std::hint::black_box(train_step(&mut model, &batch, &mut opt, &mut rng))
+        })
+    });
+    group.bench_function("gat", |b| {
+        let mut model = GatModel::new(DetectorConfig::small(fd, 1));
+        let mut opt = AdamW::new(2e-3);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let batch = sampler.sample(&g, &seeds, &mut rng);
+            std::hint::black_box(train_step(&mut model, &batch, &mut opt, &mut rng))
+        })
+    });
+    group.bench_function("gem", |b| {
+        let mut model = GemModel::new(DetectorConfig::small(fd, 1));
+        let mut opt = AdamW::new(2e-3);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let batch = sampler.sample(&g, &seeds, &mut rng);
+            std::hint::black_box(train_step(&mut model, &batch, &mut opt, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+/// Short measurement windows: the suite runs on a single core and the
+/// per-iteration costs here are far above timer resolution.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_train_step
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table 2 + Table 6 + Figure 1: dataset statistics and the heterogeneous
+//! graph landscape.
+//!
+//! Prints the simulated datasets' size, sparsity, node-type mix and fraud
+//! rate next to the paper's published values, plus the Appendix-A survey
+//! data behind Fig. 1 (log-log node/edge landscape).
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::hetgraph::ALL_NODE_TYPES;
+use xfraud_bench::section;
+
+/// (name, nodes, edges) of the Appendix-A survey — the scatter of Fig. 1.
+const LANDSCAPE: &[(&str, f64, f64)] = &[
+    ("BlogCatalog (HNE'15)", 5_196.0, 171_743.0),
+    ("PPI (MVE'17)", 16_545.0, 1_098_711.0),
+    ("DBLP (HNE'15)", 69_110.0, 1_884_236.0),
+    ("Youtube (MVE'17)", 14_901.0, 13_552_130.0),
+    ("Twitter (MVE'17)", 304_692.0, 131_151_083.0),
+    ("GEM-graph (GEM'18)", 8e6, 10e6),
+    ("AMiner CS (metapath2vec'18)", 12_522_027.0, 14_215_558.0),
+    ("Alibaba (GATNE'19)", 41_991_048.0, 571_892_183.0),
+    ("ogbn-mag (HGT'20)", 179e6, 2e9),
+    ("eBay-small (xFraud)", 288_853.0, 612_904.0),
+    ("eBay-large (xFraud)", 8_857_866.0, 13_158_984.0),
+    ("eBay-xlarge (xFraud)", 1.1e9, 3.7e9),
+];
+
+/// Published Table 2 rows for side-by-side comparison.
+const PAPER_TABLE2: &[(&str, usize, &str, &str, f64)] = &[
+    ("eBay-xlarge", 480, "1.1B", "3.7B", 4.33),
+    ("eBay-small", 114, "289K", "613K", 4.30),
+    ("eBay-large", 480, "8.9M", "13.2M", 3.57),
+];
+
+fn main() {
+    section("Figure 1 — heterogeneous graph landscape (log10 nodes, log10 edges)");
+    println!("{:<34} {:>12} {:>12} {:>8} {:>8}", "dataset", "#nodes", "#edges", "log10 N", "log10 E");
+    for &(name, n, e) in LANDSCAPE {
+        println!("{name:<34} {n:>12.0} {e:>12.0} {:>8.2} {:>8.2}", n.log10(), e.log10());
+    }
+
+    section("Table 2 (paper) — dataset summary");
+    println!("{:<14} {:>9} {:>8} {:>8} {:>8}", "dataset", "features", "#nodes", "#edges", "fraud%");
+    for &(name, feat, n, e, fr) in PAPER_TABLE2 {
+        println!("{name:<14} {feat:>9} {n:>8} {e:>8} {fr:>7.2}%");
+    }
+
+    section("Table 2 / Table 6 (measured) — simulated datasets");
+    for preset in
+        [DatasetPreset::EbaySmallSim, DatasetPreset::EbayLargeSim, DatasetPreset::EbayXlargeSim]
+    {
+        let ds = Dataset::generate(preset, 7);
+        let s = ds.stats();
+        println!("\n{}:", ds.name);
+        println!(
+            "  features={} nodes={} links={} links/node={:.2} fraud%={:.2}",
+            s.feature_dim,
+            s.n_nodes,
+            s.n_links,
+            s.links_per_node(),
+            100.0 * s.fraud_rate()
+        );
+        for t in ALL_NODE_TYPES {
+            println!(
+                "  {:<6} {:>8} ({:>5.1}%)",
+                t.label(),
+                s.type_counts[t.index()],
+                100.0 * s.type_share(t)
+            );
+        }
+    }
+    println!("\npaper Table 6 shares for reference: txn 42-77%, pmt 7-13%, email 6-15%, addr 2-15%, buyer 5-15%");
+}

@@ -1,0 +1,70 @@
+//! Tables 8–11 (Appendix E): GNNExplainer vs random edge weights, under the
+//! three node→edge aggregations (avg / min / sum), overall and split by
+//! community seed label (c1 = fraud-seeded, c0 = legit-seeded).
+//!
+//! Published shape: GNNExplainer ≈ 0.45 @ top5 → 0.92 @ top25; random ≈
+//! 0.13 → 0.79; the Δ shrinks as k grows; no aggregation dominates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xfraud::explain::annotate::EdgeAgg;
+use xfraud::explain::topk_hit_rate_expected;
+use xfraud_bench::{fmt_row, scale_from_args, section, trained_study, TOPKS};
+
+fn main() {
+    let scale = scale_from_args();
+    section(&format!(
+        "Tables 8–11 — GNNExplainer vs random, by aggregation and seed label ({}-sim)",
+        scale.name()
+    ));
+    let (_pipeline, study) = trained_study(scale);
+    let mut rng = StdRng::seed_from_u64(808);
+
+    for (agg_i, agg) in EdgeAgg::ALL.iter().enumerate() {
+        section(&format!("aggregation = {}", agg.name()));
+        for filter in ["all", "c0", "c1"] {
+            let selected: Vec<usize> = study
+                .communities
+                .iter()
+                .enumerate()
+                .filter(|(_, sc)| match filter {
+                    "c0" => sc.community.seed_label == Some(false),
+                    "c1" => sc.community.seed_label == Some(true),
+                    _ => true,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if selected.is_empty() {
+                continue;
+            }
+            let mut expl_row = Vec::new();
+            let mut rand_row = Vec::new();
+            for &k in &TOPKS {
+                let mut e_total = 0.0;
+                let mut r_total = 0.0;
+                for &i in &selected {
+                    let sc = &study.communities[i];
+                    let human = &sc.human_by_agg[agg_i];
+                    e_total += topk_hit_rate_expected(human, &sc.explainer, k, 100, &mut rng);
+                    // 10 random draws, as the appendix averages.
+                    for _ in 0..10 {
+                        let w: Vec<f64> =
+                            (0..human.len()).map(|_| rng.gen::<f64>()).collect();
+                        r_total += topk_hit_rate_expected(human, &w, k, 100, &mut rng) / 10.0;
+                    }
+                }
+                expl_row.push(e_total / selected.len() as f64);
+                rand_row.push(r_total / selected.len() as f64);
+            }
+            let delta: Vec<f64> =
+                expl_row.iter().zip(&rand_row).map(|(e, r)| e - r).collect();
+            println!("\n[{filter}] ({} communities)", selected.len());
+            println!("{}", fmt_row("Random", &rand_row));
+            println!("{}", fmt_row("GNNExplainer", &expl_row));
+            println!("{}", fmt_row("Δ(GNNExplainer-Random)", &delta));
+        }
+    }
+    println!("\npaper Table 8 (avg, all): random 0.13/0.45/0.60/0.70/0.79;");
+    println!("GNNExplainer 0.45/0.69/0.82/0.90/0.92; Δ shrinks with k.");
+}

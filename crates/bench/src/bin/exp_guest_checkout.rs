@@ -1,0 +1,93 @@
+//! Appendix G.3's stated system limitation, quantified: guest checkouts.
+//!
+//! "Guest checkout allows users to make purchases without logging in ...
+//! Image a case where ... none of the trivial entities can be linked by
+//! this purchase, so that our xFraud detector can hardly retrieve any
+//! useful information." Our generator plants both kinds: guest frauds that
+//! *reuse* an existing payment token/email (linkable) and fully *fresh*
+//! ones (the hard case). The detector's scores should separate the two.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::datagen::FraudMechanism;
+use xfraud::gnn::{predict_scores, SageSampler, Sampler};
+use xfraud::hetgraph::NodeType;
+use xfraud::metrics::roc_auc;
+use xfraud_bench::{scale_from_args, section, trained_pipeline};
+
+fn main() {
+    let scale = scale_from_args();
+    section(&format!("Appendix G.3 — guest-checkout hard case ({}-sim)", scale.name()));
+    let pipeline = trained_pipeline(scale, 1);
+    let ds = &pipeline.dataset;
+    let g = &ds.graph;
+
+    // Guest frauds in the held-out set, split by entity linkage: "linked"
+    // = its payment token or email serves other transactions too.
+    let mut linked = Vec::new();
+    let mut fresh = Vec::new();
+    for &v in &pipeline.test_nodes {
+        if ds.node_mechanism[v] != Some(FraudMechanism::GuestCheckout) {
+            continue;
+        }
+        let shares_entity = g.neighbors(v).any(|u| {
+            matches!(g.node_type(u), NodeType::Pmt | NodeType::Email) && g.degree(u) > 1
+        });
+        if shares_entity {
+            linked.push(v);
+        } else {
+            fresh.push(v);
+        }
+    }
+    println!(
+        "held-out guest frauds: {} linked to reused entities, {} fully fresh",
+        linked.len(),
+        fresh.len()
+    );
+    if fresh.is_empty() {
+        println!("(zero fresh guests is itself the finding: a fully fresh guest checkout");
+        println!(" forms an isolated 4-node component, and the Appendix-B construction");
+        println!(" filter drops such neighbourhoods before the GNN ever sees them —");
+        println!(" matching GEM's practice of pre-filtering isolated transactions.)");
+    }
+    println!();
+
+    let sampler = SageSampler::new(2, 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let score_of = |nodes: &[usize], rng: &mut StdRng| -> Vec<f32> {
+        nodes
+            .chunks(256)
+            .flat_map(|chunk| {
+                let batch = sampler.sample(g, chunk, rng);
+                predict_scores(&pipeline.detector, &batch, rng)
+            })
+            .collect()
+    };
+    let linked_scores = score_of(&linked, &mut rng);
+    let fresh_scores = score_of(&fresh, &mut rng);
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    println!("mean fraud score — linked guests: {:.3}", mean(&linked_scores));
+    println!("mean fraud score — fresh guests : {:.3}", mean(&fresh_scores));
+
+    // Detection quality of each class against the benign held-out stream.
+    let benign: Vec<usize> = pipeline
+        .test_nodes
+        .iter()
+        .copied()
+        .filter(|&v| g.label(v) == Some(false))
+        .collect();
+    let benign_scores = score_of(&benign, &mut rng);
+    for (name, scores) in [("linked", &linked_scores), ("fresh", &fresh_scores)] {
+        if scores.is_empty() {
+            continue;
+        }
+        let mut all = scores.clone();
+        all.extend_from_slice(&benign_scores);
+        let mut labels = vec![true; scores.len()];
+        labels.extend(std::iter::repeat(false).take(benign_scores.len()));
+        println!("AUC({name} guest frauds vs benign) = {:.4}", roc_auc(&all, &labels));
+    }
+    println!("\npaper: fully fresh guest checkouts 'remain a difficult use case' — the");
+    println!("linked class should be clearly more detectable than the fresh class.");
+}

@@ -1,0 +1,74 @@
+//! Appendix B step 2: the rule-based pre-filter that runs *before* the GNN
+//! ("we then use some simple rules to filter out certain low-risk
+//! transactions ... consistent with how this model will be used in
+//! practice"; footnote 6: skope-rules).
+//!
+//! Mines threshold rules on the transaction features, filters the stream,
+//! and reports the fraud-rate concentration (the paper's 0.016 % → 0.043 %
+//! step) plus the recall the filter gives up.
+
+use xfraud::datagen::Dataset;
+use xfraud::gnn::train_test_split;
+use xfraud::rules::{MinerConfig, RuleMiner};
+use xfraud_bench::{scale_from_args, section};
+
+fn main() {
+    let scale = scale_from_args();
+    section(&format!("Appendix B step 2 — rule-based pre-filtering ({}-sim)", scale.name()));
+    let ds = Dataset::generate(scale.preset(), 7);
+    let g = &ds.graph;
+    let (train, test) = train_test_split(g, 0.3, 42);
+
+    let row_of = |v: usize| g.features().row(g.feature_row_of(v).expect("txn"));
+    let train_rows: Vec<&[f32]> = train.iter().map(|&v| row_of(v)).collect();
+    let train_labels: Vec<bool> = train.iter().map(|&v| g.label(v) == Some(true)).collect();
+
+    // The platform filter aims at *concentration*, not final precision: a
+    // kept rule must beat the base rate by 1.5x (the paper's own filter
+    // lifts 0.016% → 0.043%, ≈2.7x, with rules unioned for recall).
+    let base_rate =
+        train_labels.iter().filter(|&&y| y).count() as f64 / train_labels.len() as f64;
+    let miner = RuleMiner::new(MinerConfig {
+        min_precision: 1.5 * base_rate,
+        min_support: 20,
+        max_rules: 20,
+        beam: 16,
+        ..MinerConfig::default()
+    });
+    let ruleset = miner.mine(&train_rows, &train_labels);
+    println!("mined {} rules:", ruleset.rules.len());
+    for r in &ruleset.rules {
+        println!("  {r}");
+    }
+
+    // Apply to the held-out stream.
+    let test_rows: Vec<&[f32]> = test.iter().map(|&v| row_of(v)).collect();
+    let test_labels: Vec<bool> = test.iter().map(|&v| g.label(v) == Some(true)).collect();
+    let (risky, low) = ruleset.filter(&test_rows);
+    let fraud_rate = |ids: &[usize]| {
+        if ids.is_empty() {
+            0.0
+        } else {
+            ids.iter().filter(|&&i| test_labels[i]).count() as f64 / ids.len() as f64
+        }
+    };
+    let (precision, recall) = ruleset.evaluate(&test_rows, &test_labels);
+    println!("\nheld-out stream: {} transactions, fraud rate {:.2}%", test.len(),
+        100.0 * test_labels.iter().filter(|&&y| y).count() as f64 / test.len() as f64);
+    println!(
+        "after filter  : {} kept ({:.1}% of stream), fraud rate {:.2}%  ({:.1}x concentration)",
+        risky.len(),
+        100.0 * risky.len() as f64 / test.len() as f64,
+        100.0 * fraud_rate(&risky),
+        fraud_rate(&risky) / fraud_rate(&(0..test.len()).collect::<Vec<_>>()).max(1e-12)
+    );
+    println!(
+        "dropped       : {} low-risk ({:.2}% residual fraud = recall loss {:.1}%)",
+        low.len(),
+        100.0 * fraud_rate(&low),
+        100.0 * (1.0 - recall)
+    );
+    println!("filter flag quality: precision {precision:.3}, recall {recall:.3}");
+    println!("\npaper: the platform rules concentrate the stream from 0.016% to 0.043% fraud");
+    println!("(≈2.7x) before the GNN ever runs; GEM pre-filters isolated transactions too.");
+}

@@ -1,0 +1,60 @@
+//! Appendix H.4: production-scenario analysis — precision measured on the
+//! down-sampled label set, back-mapped to the pre-sampling fraud rates.
+//!
+//! The paper's chain: raw stream 0.016% fraud → rule filter → 0.043% →
+//! sample all frauds + ~1% benign → 4.33%. A precision of 0.98 on the
+//! sampled set maps to ≈0.32 at 0.043% (1-in-3 investigations is real
+//! fraud, at recall 0.1); 0.95 maps to ≈0.16 (1-in-6, recall 0.2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::gnn::{SageSampler, TrainConfig, Trainer};
+use xfraud::metrics::{confusion_at, precision_at_base_rate};
+use xfraud_bench::{scale_from_args, section, trained_pipeline};
+
+fn main() {
+    let scale = scale_from_args();
+    section(&format!("Appendix H.4 — production precision back-mapping ({}-sim)", scale.name()));
+
+    // Paper's published mapping, reproduced analytically first.
+    println!("analytic mapping at the paper's rates (4.33% sampled → 0.043% filtered):");
+    for &(p, r) in &[(0.9822, 0.1091), (0.9539, 0.2063), (0.9217, 0.2930)] {
+        let mapped = precision_at_base_rate(p, 0.0433, 0.00043);
+        println!(
+            "  sampled precision {p:.4} (recall {r:.3}) → filtered-stream precision {mapped:.3} (1 real fraud per {:.1} investigations)",
+            1.0 / mapped
+        );
+    }
+
+    // Now the measured equivalent on the simulated data.
+    let pipeline = trained_pipeline(scale, 1);
+    let trainer = Trainer::new(TrainConfig::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let sampler = SageSampler::new(2, 8);
+    let (scores, labels) =
+        trainer.evaluate(&pipeline.detector, &pipeline.dataset.graph, &sampler, &pipeline.test_nodes, &mut rng);
+    let sampled_rate = labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64;
+    println!("\nmeasured on {}-sim (sampled fraud rate {:.2}%):", scale.name(), 100.0 * sampled_rate);
+    println!(
+        "{:>9} {:>10} {:>8} {:>22} {:>16}",
+        "threshold", "precision", "recall", "precision@0.043%", "investigations/TP"
+    );
+    for t in [0.9f32, 0.95, 0.97, 0.98, 0.983] {
+        let c = confusion_at(&scores, &labels, t);
+        if c.tp + c.fp == 0 {
+            println!("{t:>9} {:>10} {:>8} {:>22} {:>16}", "-", "-", "-", "-");
+            continue;
+        }
+        let p = c.precision();
+        let mapped = precision_at_base_rate(p, sampled_rate, 0.00043);
+        println!(
+            "{t:>9} {:>10.4} {:>8.4} {:>22.4} {:>16.1}",
+            p,
+            c.recall(),
+            mapped,
+            if mapped > 0.0 { 1.0 / mapped } else { f64::INFINITY }
+        );
+    }
+    println!("\npaper: '0.98 precision on (3) corresponds to 0.32 precision on (2), with 0.1 recall'.");
+}

@@ -1,0 +1,74 @@
+//! Tables 14–19 (Appendix H): TPR / FNR / TNR / FPR and precision / recall
+//! for GAT, GEM and detector+ across the paper's three threshold grids
+//! (0.1–0.9, 0.95–0.977, 0.978–0.987), seeds A and B.
+//!
+//! `-` marks thresholds no score reaches, exactly as the paper prints.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::datagen::Dataset;
+use xfraud::gnn::{
+    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig,
+    Trainer, XFraudDetector,
+};
+use xfraud::hetgraph::HetGraph;
+use xfraud::metrics::{Confusion, ThresholdReport};
+use xfraud_bench::{scale_from_args, section, Scale, SEEDS};
+
+fn sweep_model<M: Model>(
+    name: &str,
+    seed_name: char,
+    mut model: M,
+    g: &HetGraph,
+    train: &[usize],
+    test: &[usize],
+    epochs: usize,
+    seed: u64,
+) {
+    let sampler = SageSampler::new(2, 8);
+    let trainer = Trainer::new(TrainConfig { epochs, seed, ..TrainConfig::default() });
+    trainer.fit(&mut model, g, &sampler, train, test);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfe);
+    let (scores, labels) = trainer.evaluate(&model, g, &sampler, test, &mut rng);
+
+    println!("\n## {name}, seed {seed_name}");
+    for (gi, grid) in ThresholdReport::paper_grids().iter().enumerate() {
+        let rep = ThresholdReport::sweep(&scores, &labels, grid);
+        let ths: Vec<String> = grid.iter().map(|t| format!("{t}")).collect();
+        println!("grid {gi}: thresholds {}", ths.join(" "));
+        println!("  TPR       {}", rep.row(Confusion::tpr));
+        println!("  FNR       {}", rep.row(Confusion::fnr));
+        println!("  TNR       {}", rep.row(Confusion::tnr));
+        println!("  FPR       {}", rep.row(Confusion::fpr));
+        println!("  precision {}", rep.row(Confusion::precision));
+        println!("  recall    {}", rep.row(Confusion::recall));
+    }
+}
+
+fn main() {
+    let scale: Scale = scale_from_args();
+    section(&format!("Tables 14–19 — threshold sweeps ({}-sim)", scale.name()));
+    let ds = Dataset::generate(scale.preset(), 7);
+    let g = &ds.graph;
+    let (train, test) = train_test_split(g, 0.3, 42);
+    let fd = g.feature_dim();
+    let epochs = scale.epochs();
+
+    for (s, seed) in SEEDS {
+        sweep_model("GAT", s, GatModel::new(DetectorConfig::small(fd, seed)), g, &train, &test, epochs, seed);
+        sweep_model("GEM", s, GemModel::new(DetectorConfig::small(fd, seed)), g, &train, &test, epochs, seed);
+        sweep_model(
+            "xFraud detector+",
+            s,
+            XFraudDetector::new(DetectorConfig::small(fd, seed)),
+            g,
+            &train,
+            &test,
+            epochs,
+            seed,
+        );
+    }
+    println!("\npaper shape: detector+ keeps usable recall deep into the 0.95+ grid where");
+    println!("GAT/GEM scores cease to exist ('-'); FPR at high thresholds ≈ 0.");
+}

@@ -1,0 +1,103 @@
+//! Shared scaffolding for the experiment binaries (`src/bin/exp_*.rs`).
+//!
+//! Every binary regenerates one of the paper's tables or figures on the
+//! simulated datasets and prints the same rows/series the paper reports.
+//! `DESIGN.md` carries the experiment index; `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+//!
+//! All binaries accept a scale argument (`small` | `large` | `xlarge`,
+//! default `small`) either as `argv[1]` or via `XFRAUD_SCALE`, so the whole
+//! suite runs in minutes by default and can be re-run at larger scales.
+
+use xfraud::datagen::DatasetPreset;
+use xfraud::gnn::TrainConfig;
+use xfraud::{Pipeline, PipelineConfig};
+
+/// Experiment scale, mapped onto the dataset presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Large,
+    Xlarge,
+}
+
+impl Scale {
+    pub fn preset(self) -> DatasetPreset {
+        match self {
+            Scale::Small => DatasetPreset::EbaySmallSim,
+            Scale::Large => DatasetPreset::EbayLargeSim,
+            Scale::Xlarge => DatasetPreset::EbayXlargeSim,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Large => "large",
+            Scale::Xlarge => "xlarge",
+        }
+    }
+
+    /// Epoch budget per scale (keeps default runs snappy).
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Small => 8,
+            Scale::Large => 6,
+            Scale::Xlarge => 4,
+        }
+    }
+}
+
+/// Parses the scale from `argv[1]` or `XFRAUD_SCALE` (default: small).
+pub fn scale_from_args() -> Scale {
+    let arg = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("XFRAUD_SCALE").ok())
+        .unwrap_or_default();
+    match arg.to_lowercase().as_str() {
+        "large" => Scale::Large,
+        "xlarge" => Scale::Xlarge,
+        _ => Scale::Small,
+    }
+}
+
+/// The paper runs every configuration on two seeds, "A" and "B".
+pub const SEEDS: [(char, u64); 2] = [('A', 1), ('B', 2)];
+
+/// A trained pipeline at the given scale/seed — the common setup step.
+pub fn trained_pipeline(scale: Scale, model_seed: u64) -> Pipeline {
+    Pipeline::run(PipelineConfig {
+        preset: scale.preset(),
+        data_seed: 7,
+        model_seed,
+        train: TrainConfig { epochs: scale.epochs(), seed: model_seed, ..TrainConfig::default() },
+        ..PipelineConfig::default()
+    })
+}
+
+/// Builds the §5.1 community study on a freshly trained pipeline — the
+/// shared setup of every explainer experiment (Tables 1, 4, 8–12, Fig. 7).
+pub fn trained_study(scale: Scale) -> (Pipeline, xfraud::study::CommunityStudy) {
+    let pipeline = trained_pipeline(scale, 1);
+    let study = xfraud::study::CommunityStudy::build(
+        &pipeline,
+        xfraud::study::StudyConfig::default(),
+    );
+    (pipeline, study)
+}
+
+/// The paper's hit-rate ranks.
+pub const TOPKS: [usize; 5] = [5, 10, 15, 20, 25];
+
+/// Prints a horizontal rule + section title (uniform experiment output).
+pub fn section(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Formats a hit-rate row.
+pub fn fmt_row(label: &str, values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("{label:<42} {}", cells.join("  "))
+}

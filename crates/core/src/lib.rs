@@ -1,0 +1,48 @@
+//! # xFraud — explainable fraud transaction detection (Rust reproduction)
+//!
+//! A from-scratch reproduction of *"xFraud: Explainable Fraud Transaction
+//! Detection"* (Rao et al., PVLDB 15(3), VLDB 2021): a heterogeneous-GNN
+//! **detector** scoring transactions for fraud, and a hybrid **explainer**
+//! combining GNNExplainer masks with graph centrality measures.
+//!
+//! This crate is the front door: it re-exports every subsystem and offers
+//! the end-to-end [`Pipeline`] of the paper's Fig. 2 plus the
+//! community-annotation [`study`] used by the explainer evaluation (§5).
+//!
+//! ```no_run
+//! use xfraud::{Pipeline, PipelineConfig};
+//!
+//! let pipeline = Pipeline::run(PipelineConfig::default());
+//! let (auc, ap, acc) = pipeline.test_metrics();
+//! println!("test AUC = {auc:.4}, AP = {ap:.4}, accuracy = {acc:.4}");
+//! ```
+//!
+//! Subsystem map (one crate per substrate the paper depends on):
+//!
+//! | module | crate | paper section |
+//! |---|---|---|
+//! | [`tensor`] | `xfraud-tensor` | autodiff substrate |
+//! | [`hetgraph`] | `xfraud-hetgraph` | §3.1 graph construction |
+//! | [`datagen`] | `xfraud-datagen` | Table 2 datasets (simulated) |
+//! | [`nn`] | `xfraud-nn` | layers/AdamW (Appendix C) |
+//! | [`gnn`] | `xfraud-gnn` | §3.2 detector(+), baselines, samplers |
+//! | [`explain`] | `xfraud-explain` | §3.4/§5 explainers |
+//! | [`kvstore`] | `xfraud-kvstore` | §3.3.3 data loading |
+//! | [`dist`] | `xfraud-dist` | §3.3 distributed training |
+//! | [`metrics`] | `xfraud-metrics` | §4 evaluation |
+
+pub use xfraud_datagen as datagen;
+pub use xfraud_dist as dist;
+pub use xfraud_explain as explain;
+pub use xfraud_gnn as gnn;
+pub use xfraud_hetgraph as hetgraph;
+pub use xfraud_kvstore as kvstore;
+pub use xfraud_metrics as metrics;
+pub use xfraud_nn as nn;
+pub use xfraud_rules as rules;
+pub use xfraud_tensor as tensor;
+
+mod pipeline;
+pub mod study;
+
+pub use pipeline::{Pipeline, PipelineConfig};

@@ -1,0 +1,222 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud_datagen::{Dataset, DatasetPreset};
+use xfraud_gnn::{
+    predict_scores, train_test_split, DetectorConfig, EpochStats, FullGraphSampler,
+    SageSampler, TrainConfig, Trainer, XFraudDetector,
+};
+use xfraud_hetgraph::{community_of, Community, NodeId};
+use xfraud_metrics::{accuracy, average_precision, roc_auc};
+
+/// End-to-end pipeline settings (Fig. 2: graph constructor → detector →
+/// explainer).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub preset: DatasetPreset,
+    pub data_seed: u64,
+    pub model_seed: u64,
+    /// Detector hyper-parameters; `None` = a scaled-down default matched to
+    /// the preset's feature dimension.
+    pub detector: Option<DetectorConfig>,
+    pub train: TrainConfig,
+    /// GraphSAGE sampler shape (k hops, ≤ n per hop): detector+'s sampler.
+    pub sage_hops: usize,
+    pub sage_per_hop: usize,
+    pub test_fraction: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            preset: DatasetPreset::EbaySmallSim,
+            data_seed: 7,
+            model_seed: 1,
+            detector: None,
+            train: TrainConfig { epochs: 8, ..TrainConfig::default() },
+            sage_hops: 2,
+            sage_per_hop: 8,
+            test_fraction: 0.3,
+        }
+    }
+}
+
+/// A trained end-to-end xFraud instance: dataset, detector+, split and
+/// training history.
+pub struct Pipeline {
+    pub cfg: PipelineConfig,
+    pub dataset: Dataset,
+    pub detector: XFraudDetector,
+    pub sampler: SageSampler,
+    pub train_nodes: Vec<NodeId>,
+    pub test_nodes: Vec<NodeId>,
+    pub history: Vec<EpochStats>,
+}
+
+impl Pipeline {
+    /// Generates the dataset, splits it, and trains the detector+.
+    pub fn run(cfg: PipelineConfig) -> Pipeline {
+        let dataset = Dataset::generate(cfg.preset, cfg.data_seed);
+        let (train_nodes, test_nodes) =
+            train_test_split(&dataset.graph, cfg.test_fraction, cfg.data_seed ^ 0x5711);
+        let det_cfg = cfg
+            .detector
+            .clone()
+            .unwrap_or_else(|| DetectorConfig::small(dataset.graph.feature_dim(), cfg.model_seed));
+        let mut detector = XFraudDetector::new(det_cfg);
+        let sampler = SageSampler::new(cfg.sage_hops, cfg.sage_per_hop);
+        let trainer = Trainer::new(cfg.train.clone());
+        let history =
+            trainer.fit(&mut detector, &dataset.graph, &sampler, &train_nodes, &test_nodes);
+        Pipeline { cfg, dataset, detector, sampler, train_nodes, test_nodes, history }
+    }
+
+    /// Scores the held-out transactions; returns `(scores, labels)`.
+    pub fn test_scores(&self) -> (Vec<f32>, Vec<bool>) {
+        let trainer = Trainer::new(self.cfg.train.clone());
+        let mut rng = StdRng::seed_from_u64(self.cfg.model_seed ^ 0xe5a1);
+        trainer.evaluate(&self.detector, &self.dataset.graph, &self.sampler, &self.test_nodes, &mut rng)
+    }
+
+    /// Headline test metrics `(AUC, AP, accuracy@0.5)` — the Table 3/7
+    /// columns.
+    pub fn test_metrics(&self) -> (f64, f64, f64) {
+        let (scores, labels) = self.test_scores();
+        (
+            roc_auc(&scores, &labels),
+            average_precision(&scores, &labels),
+            accuracy(&scores, &labels, 0.5),
+        )
+    }
+
+    /// Fraud probability of one transaction node, computed on its full
+    /// connected community (no sampling) like the explainer path does.
+    pub fn score_transaction(&self, txn: NodeId) -> f32 {
+        let community =
+            community_of(&self.dataset.graph, txn, 4000).expect("valid transaction id");
+        let nodes: Vec<NodeId> = (0..community.graph.n_nodes()).collect();
+        let batch = xfraud_gnn::SubgraphBatch::from_nodes(
+            &community.graph,
+            &nodes,
+            &[community.seed],
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        predict_scores(&self.detector, &batch, &mut rng)[0]
+    }
+
+    /// Draws the §5.1-style community sample: `n` random held-out seed
+    /// transactions (a mix of fraud and legit), each expanded to its
+    /// connected community, keeping communities with at least `min_links`
+    /// and at most `max_nodes` (the paper's 41 communities average 81.6
+    /// edges).
+    pub fn sample_communities(
+        &self,
+        n: usize,
+        min_links: usize,
+        max_nodes: usize,
+        seed: u64,
+    ) -> Vec<Community> {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Stratify towards the paper's 18-fraud / 23-legit mix: interleave
+        // fraud- and legit-seeded candidates (fraud seeds are rare, so an
+        // unstratified draw would yield almost none).
+        let mut fraud: Vec<NodeId> = Vec::new();
+        let mut legit: Vec<NodeId> = Vec::new();
+        for &v in &self.test_nodes {
+            match self.dataset.graph.label(v) {
+                Some(true) => fraud.push(v),
+                Some(false) => legit.push(v),
+                None => {}
+            }
+        }
+        fraud.shuffle(&mut rng);
+        legit.shuffle(&mut rng);
+        let mut candidates = Vec::with_capacity(fraud.len() + legit.len());
+        let mut fi = fraud.into_iter();
+        let mut li = legit.into_iter();
+        loop {
+            match (fi.next(), li.next()) {
+                (None, None) => break,
+                (f, l) => {
+                    candidates.extend(f);
+                    candidates.extend(l);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut used_nodes: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        for &txn in &candidates {
+            if out.len() >= n {
+                break;
+            }
+            if used_nodes.contains(&txn) {
+                continue; // avoid overlapping communities
+            }
+            let c = community_of(&self.dataset.graph, txn, max_nodes)
+                .expect("test node exists");
+            if c.n_links() < min_links {
+                continue;
+            }
+            used_nodes.extend(c.original_ids.iter().copied());
+            out.push(c);
+        }
+        out
+    }
+
+    /// Risk ground truth for a community's nodes (for annotator simulation).
+    pub fn community_risk(&self, community: &Community) -> Vec<f32> {
+        community.original_ids.iter().map(|&v| self.dataset.node_risk[v]).collect()
+    }
+
+    /// A full-graph sampler for exact (unsampled) inference, as used in the
+    /// explainer path.
+    pub fn full_sampler(&self) -> FullGraphSampler {
+        FullGraphSampler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> PipelineConfig {
+        PipelineConfig {
+            train: TrainConfig { epochs: 4, ..TrainConfig::default() },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end_learns() {
+        // The simulated small dataset plateaus near the paper's eBay-small
+        // AUC (~0.725, Fig. 10); four epochs must be clearly above chance.
+        let p = Pipeline::run(quick_cfg());
+        let (auc, ap, acc) = p.test_metrics();
+        assert!(auc > 0.65, "AUC {auc}");
+        assert!(ap > 0.15, "AP {ap}");
+        assert!(acc > 0.7, "accuracy {acc}");
+        assert!(!p.history.is_empty());
+    }
+
+    #[test]
+    fn community_sampling_respects_bounds() {
+        let p = Pipeline::run(quick_cfg());
+        let comms = p.sample_communities(6, 5, 300, 3);
+        assert!(!comms.is_empty());
+        for c in &comms {
+            assert!(c.n_links() >= 5);
+            assert!(c.n_nodes() <= 300);
+            let risk = p.community_risk(c);
+            assert_eq!(risk.len(), c.n_nodes());
+        }
+    }
+
+    #[test]
+    fn score_transaction_returns_probability() {
+        let p = Pipeline::run(quick_cfg());
+        let txn = p.test_nodes[0];
+        let s = p.score_transaction(txn);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

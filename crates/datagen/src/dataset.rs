@@ -1,0 +1,47 @@
+use xfraud_hetgraph::{GraphStats, HetGraph, NodeId};
+
+use crate::config::DatasetPreset;
+use crate::construct::build_dataset;
+use crate::generator::generate_log;
+use crate::records::FraudMechanism;
+
+/// A constructed dataset: the heterogeneous graph plus generator-side ground
+/// truth that the explainer experiments use to simulate annotators.
+#[derive(Debug)]
+pub struct Dataset {
+    pub name: String,
+    pub graph: HetGraph,
+    /// Per-node ground-truth risk involvement in `[0,1]`:
+    /// transactions carry their latent risk; entities aggregate the risk of
+    /// the fraudulent transactions incident to them.
+    pub node_risk: Vec<f32>,
+    /// Per-node event time in `[0,1)` (transactions only; entities carry
+    /// the time of their first transaction). Enables the Appendix-H.5
+    /// incremental-training experiments.
+    pub node_time: Vec<f32>,
+    /// Generator-side ground truth: which fraud mechanism produced each
+    /// transaction node (`None` for entity nodes). Never shown to models;
+    /// used by the per-mechanism analyses (e.g. the Appendix-G.3
+    /// guest-checkout study).
+    pub node_mechanism: Vec<Option<FraudMechanism>>,
+}
+
+impl Dataset {
+    /// Generates a preset dataset with the given seed.
+    pub fn generate(preset: DatasetPreset, seed: u64) -> Dataset {
+        let cfg = preset.config(seed);
+        let world = generate_log(&cfg);
+        let mut ds = build_dataset(&world, &cfg);
+        ds.name = preset.name().to_string();
+        ds
+    }
+
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(&self.graph)
+    }
+
+    /// Ground-truth risk of one node.
+    pub fn risk(&self, v: NodeId) -> f32 {
+        self.node_risk[v]
+    }
+}

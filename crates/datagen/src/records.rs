@@ -1,0 +1,51 @@
+/// How a fraudulent transaction was planted (or `Benign`).
+///
+/// The mechanism is *generator-side ground truth*: it never reaches the
+/// detector, but the explainer experiments use it to simulate expert
+/// annotators (Appendix E) — an annotator "knows" which entities carried the
+/// risk because the business unit investigates chargebacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FraudMechanism {
+    Benign,
+    /// A fraudster bursts purchases on a stolen payment token.
+    StolenCard,
+    /// Goods funnelled to a shared warehouse drop address.
+    Warehouse,
+    /// A cultivated ring account turning bad after a trust-building phase.
+    Ring,
+    /// An anonymous guest checkout on a risky token/email.
+    GuestCheckout,
+}
+
+impl FraudMechanism {
+    pub fn is_fraud(self) -> bool {
+        self != FraudMechanism::Benign
+    }
+}
+
+/// One line of the synthetic transaction log.
+///
+/// Entity ids index the world's global pools; `buyer` is `None` for guest
+/// checkouts (§3.2.1 discusses why xFraud must handle buyer-less
+/// transactions, unlike HGT's buyer-centric encoding).
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    pub buyer: Option<usize>,
+    pub pmt: usize,
+    pub email: usize,
+    pub addr: usize,
+    pub mechanism: FraudMechanism,
+    /// Latent risk in [0,1] that drives the feature synthesis.
+    pub latent_risk: f32,
+    /// Event time as a fraction of the observation window [0,1) — the
+    /// paper's eBay-xlarge spans seven months; fraud mechanisms cluster in
+    /// time (bursts, cultivate-then-attack), benign traffic is uniform.
+    pub time: f32,
+    pub features: Vec<f32>,
+}
+
+impl TxnRecord {
+    pub fn is_fraud(&self) -> bool {
+        self.mechanism.is_fraud()
+    }
+}

@@ -1,0 +1,109 @@
+//! Temporal-structure tests: the timeline the incremental experiments
+//! (Appendix H.5) rely on must actually exhibit the paper's drift patterns.
+
+use xfraud_datagen::{generate_log, Dataset, DatasetPreset, FraudMechanism, WorldConfig};
+use xfraud_hetgraph::NodeType;
+
+#[test]
+fn all_times_are_in_the_unit_window() {
+    let w = generate_log(&WorldConfig::default());
+    assert!(w.records.iter().all(|r| (0.0..1.0).contains(&r.time)));
+}
+
+#[test]
+fn stolen_card_bursts_are_temporally_tight() {
+    let w = generate_log(&WorldConfig::default());
+    // Group stolen-card records by their drop email (one per incident).
+    let mut by_incident: std::collections::HashMap<usize, Vec<f32>> = Default::default();
+    for r in &w.records {
+        if r.mechanism == FraudMechanism::StolenCard {
+            by_incident.entry(r.email).or_default().push(r.time);
+        }
+    }
+    assert!(!by_incident.is_empty());
+    for (email, mut times) in by_incident {
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let span = times.last().unwrap() - times.first().unwrap();
+        assert!(span <= 0.031, "incident via email {email} spans {span} (burst must be tight)");
+    }
+}
+
+#[test]
+fn ring_bursts_happen_after_cultivation() {
+    let cfg = WorldConfig { n_rings: 5, ring_cultivation: 3, ring_burst: 4, ..Default::default() };
+    let w = generate_log(&cfg);
+    // Ring frauds share a ring address; cultivation purchases by the same
+    // accounts use their own addresses. Compare per-buyer times.
+    let mut cultivation: std::collections::HashMap<usize, Vec<f32>> = Default::default();
+    let mut burst: std::collections::HashMap<usize, Vec<f32>> = Default::default();
+    for r in &w.records {
+        if let Some(buyer) = r.buyer {
+            match r.mechanism {
+                FraudMechanism::Ring => burst.entry(buyer).or_default().push(r.time),
+                FraudMechanism::Benign => {
+                    cultivation.entry(buyer).or_default().push(r.time)
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut checked = 0;
+    for (buyer, bursts) in &burst {
+        if let Some(cult) = cultivation.get(buyer) {
+            let max_cult = cult.iter().cloned().fold(f32::MIN, f32::max);
+            let min_burst = bursts.iter().cloned().fold(f32::MAX, f32::min);
+            assert!(
+                min_burst > max_cult,
+                "buyer {buyer}: burst at {min_burst} before cultivation ended at {max_cult}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "too few ring accounts with both phases ({checked})");
+}
+
+#[test]
+fn dataset_node_times_cover_transactions_and_entities() {
+    let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 7);
+    let g = &ds.graph;
+    assert_eq!(ds.node_time.len(), g.n_nodes());
+    assert!(ds.node_time.iter().all(|&t| (0.0..1.0).contains(&t)));
+    // Entities inherit the min of their neighbours' times.
+    for v in 0..g.n_nodes() {
+        if g.node_type(v) != NodeType::Txn {
+            let min_nbr = g
+                .neighbors(v)
+                .map(|u| ds.node_time[u])
+                .fold(f32::INFINITY, f32::min);
+            assert!(
+                (ds.node_time[v] - min_nbr).abs() < 1e-6,
+                "entity {v} time {} vs earliest neighbour {min_nbr}",
+                ds.node_time[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn fraud_concentrates_later_in_some_windows() {
+    // With rings bursting at cultivation+0.4, late windows carry a
+    // different fraud mix than early ones — the drift the incremental
+    // experiment needs. Check the fraud rate varies across quarters.
+    let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 7);
+    let g = &ds.graph;
+    let mut rates = Vec::new();
+    for q in 0..4 {
+        let lo = q as f32 / 4.0;
+        let hi = (q + 1) as f32 / 4.0;
+        let in_window: Vec<_> = g
+            .labeled_txns()
+            .into_iter()
+            .filter(|&(v, _)| ds.node_time[v] >= lo && ds.node_time[v] < hi)
+            .collect();
+        let fraud = in_window.iter().filter(|&&(_, y)| y).count();
+        rates.push(fraud as f64 / in_window.len().max(1) as f64);
+    }
+    let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max > min, "fraud rate is perfectly flat across windows: {rates:?}");
+}

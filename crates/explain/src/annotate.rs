@@ -1,0 +1,287 @@
+//! Simulated expert annotators (the Appendix-E substitution).
+//!
+//! The paper had five eBay risk experts score every node of 41 communities
+//! with an importance in {0,1,2} (mean pairwise IAA 0.532; random annotators
+//! score ≈ −0.006). We cannot hire eBay's BU, but our generator *knows* the
+//! ground truth — which entities carried each planted fraud — so we derive a
+//! true importance bucket per node from the generator's risk score and
+//! simulate five annotators as noisy observers of it. The noise level is
+//! chosen so the mean pairwise Cohen-κ lands near the paper's 0.53.
+//!
+//! Downstream everything matches Appendix E: node scores are the mean of the
+//! five annotations, edge scores aggregate the two endpoint scores by
+//! avg/sum/min, and the comparison to explainer weights is the top-k hit
+//! rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How to turn two endpoint node scores into an edge score (Appendix E
+/// found no significant difference and settled on "avg").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeAgg {
+    Avg,
+    Sum,
+    Min,
+}
+
+impl EdgeAgg {
+    pub const ALL: [EdgeAgg; 3] = [EdgeAgg::Avg, EdgeAgg::Sum, EdgeAgg::Min];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeAgg::Avg => "avg",
+            EdgeAgg::Sum => "sum",
+            EdgeAgg::Min => "min",
+        }
+    }
+
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            EdgeAgg::Avg => (a + b) / 2.0,
+            EdgeAgg::Sum => a + b,
+            EdgeAgg::Min => a.min(b),
+        }
+    }
+}
+
+/// Annotator-simulation settings.
+#[derive(Debug, Clone)]
+pub struct AnnotationConfig {
+    pub n_annotators: usize,
+    /// Probability that an annotator mis-buckets a node by ±1.
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl Default for AnnotationConfig {
+    fn default() -> Self {
+        // noise 0.16 calibrates mean pairwise κ to ≈0.6 — between the
+        // paper's mean (0.532) and its best pair (0.773). Coarse, largely
+        // tied node scores are what the paper's own protocol produced (the
+        // average count of edges sharing the *largest* importance is 20.9
+        // of 81.6 — Appendix E), and the top-k machinery breaks those ties
+        // by averaging random draws.
+        AnnotationConfig { n_annotators: 5, noise: 0.16, seed: 17 }
+    }
+}
+
+/// Maps generator risk scores to true importance buckets {0,1,2}.
+pub fn true_importance(risk: &[f32]) -> Vec<u8> {
+    risk.iter()
+        .map(|&r| {
+            if r < 0.35 {
+                0
+            } else if r < 0.6 {
+                1
+            } else {
+                2
+            }
+        })
+        .collect()
+}
+
+/// Seed-aware ground truth: the annotation task asks "how important is the
+/// node **when the seed node prediction is made**" (Appendix E), so beyond
+/// raw riskiness, the seed itself and its directly linked entities carry a
+/// floor of importance — an expert always inspects the transaction's own
+/// payment token / email / address / buyer first.
+pub fn true_importance_for_seed(
+    risk: &[f32],
+    g: &xfraud_hetgraph::HetGraph,
+    seed: xfraud_hetgraph::NodeId,
+) -> Vec<u8> {
+    let mut t = true_importance(risk);
+    t[seed] = 2;
+    for u in g.neighbors(seed) {
+        t[u] = t[u].max(1);
+        // Entities both linked to the seed AND channelling risky traffic
+        // are the prime suspects.
+        if risk[u] >= 0.35 {
+            t[u] = 2;
+        }
+    }
+    // Heavily shared entities (warehouses, common tokens) draw annotator
+    // attention regardless of label — they are the evidence one checks
+    // (compare Fig. 11's "generic shipping address" discussion). Extreme
+    // hubs are rated as important as risky nodes.
+    for v in 0..g.n_nodes() {
+        if g.node_type(v).is_entity() {
+            let deg = g.degree(v);
+            if deg >= 8 {
+                t[v] = 2;
+            } else if deg >= 4 {
+                t[v] = t[v].max(1);
+            }
+        }
+    }
+    t
+}
+
+/// Simulates `cfg.n_annotators` noisy annotators over the true buckets.
+///
+/// Noise is bucket-dependent: experts are near-unanimous on the obviously
+/// important nodes (the paper's own edge-score statistics imply ~21 edges
+/// per 81-edge community tied at the *maximum* importance, which requires
+/// saturated agreement at the top) and disagree mostly on the mid bucket.
+pub fn simulate_annotations(truth: &[u8], cfg: &AnnotationConfig) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.n_annotators)
+        .map(|_| {
+            truth
+                .iter()
+                .map(|&t| {
+                    let flip_prob = match t {
+                        2 => 0.3 * cfg.noise,
+                        1 => 2.0 * cfg.noise,
+                        _ => 0.8 * cfg.noise,
+                    }
+                    .clamp(0.0, 0.95);
+                    if rng.gen_bool(flip_prob) {
+                        // Slip one bucket up or down (clamped).
+                        if rng.gen_bool(0.5) {
+                            t.saturating_sub(1)
+                        } else {
+                            (t + 1).min(2)
+                        }
+                    } else {
+                        t
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Uniform-random annotators — the paper's sanity baseline (IAA ≈ 0).
+pub fn random_annotations(n_nodes: usize, cfg: &AnnotationConfig) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xbad);
+    (0..cfg.n_annotators)
+        .map(|_| (0..n_nodes).map(|_| rng.gen_range(0..=2u8)).collect())
+        .collect()
+}
+
+/// Mean node importance across annotators — the paper's "average node
+/// importance score ... Σ annotation_i / 5".
+pub fn node_scores(annotations: &[Vec<u8>]) -> Vec<f64> {
+    assert!(!annotations.is_empty());
+    let n = annotations[0].len();
+    let mut scores = vec![0.0f64; n];
+    for a in annotations {
+        assert_eq!(a.len(), n);
+        for (s, &v) in scores.iter_mut().zip(a) {
+            *s += v as f64;
+        }
+    }
+    scores.iter_mut().for_each(|s| *s /= annotations.len() as f64);
+    scores
+}
+
+/// Edge importance from node scores over an undirected link list.
+pub fn edge_scores(node_scores: &[f64], links: &[(usize, usize)], agg: EdgeAgg) -> Vec<f64> {
+    links
+        .iter()
+        .map(|&(u, v)| agg.apply(node_scores[u], node_scores[v]))
+        .collect()
+}
+
+/// Cohen's κ between two categorical annotators.
+pub fn cohen_kappa(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = 3usize;
+    let mut conf = vec![vec![0usize; k]; k];
+    for (&x, &y) in a.iter().zip(b) {
+        conf[x as usize][y as usize] += 1;
+    }
+    let po: f64 = (0..k).map(|i| conf[i][i]).sum::<usize>() as f64 / n as f64;
+    let pe: f64 = (0..k)
+        .map(|i| {
+            let row: usize = conf[i].iter().sum();
+            let col: usize = (0..k).map(|j| conf[j][i]).sum();
+            (row as f64 / n as f64) * (col as f64 / n as f64)
+        })
+        .sum();
+    if (1.0 - pe).abs() < 1e-12 {
+        return 0.0;
+    }
+    (po - pe) / (1.0 - pe)
+}
+
+/// Mean pairwise Cohen-κ across all annotator pairs — the paper's IAA.
+pub fn mean_pairwise_iaa(annotations: &[Vec<u8>]) -> f64 {
+    let m = annotations.len();
+    if m < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for i in 0..m {
+        for j in i + 1..m {
+            total += cohen_kappa(&annotations[i], &annotations[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kappa_perfect_agreement_is_one() {
+        let a = vec![0u8, 1, 2, 0, 1, 2];
+        assert!((cohen_kappa(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_of_random_annotators_is_near_zero() {
+        let cfg = AnnotationConfig { seed: 5, ..AnnotationConfig::default() };
+        let anns = random_annotations(3000, &cfg);
+        let iaa = mean_pairwise_iaa(&anns);
+        assert!(iaa.abs() < 0.05, "random IAA = {iaa} (paper: -0.006)");
+    }
+
+    #[test]
+    fn simulated_iaa_lands_near_the_papers_value() {
+        // A realistic bucket mix: mostly unimportant nodes.
+        let truth: Vec<u8> =
+            (0..2000).map(|i| if i % 10 == 0 { 2 } else if i % 5 == 0 { 1 } else { 0 }).collect();
+        let anns = simulate_annotations(&truth, &AnnotationConfig::default());
+        let iaa = mean_pairwise_iaa(&anns);
+        assert!((0.35..0.7).contains(&iaa), "IAA = {iaa}, paper reports 0.532");
+    }
+
+    #[test]
+    fn node_scores_average_annotators() {
+        let anns = vec![vec![0u8, 2], vec![2, 2], vec![1, 2]];
+        let s = node_scores(&anns);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_aggregations_match_definitions() {
+        let scores = [2.0, 0.5];
+        let links = [(0usize, 1usize)];
+        assert_eq!(edge_scores(&scores, &links, EdgeAgg::Avg), vec![1.25]);
+        assert_eq!(edge_scores(&scores, &links, EdgeAgg::Sum), vec![2.5]);
+        assert_eq!(edge_scores(&scores, &links, EdgeAgg::Min), vec![0.5]);
+    }
+
+    #[test]
+    fn true_importance_buckets_risk() {
+        assert_eq!(true_importance(&[0.1, 0.5, 0.9]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn annotations_are_deterministic_per_seed() {
+        let truth = vec![1u8; 50];
+        let cfg = AnnotationConfig::default();
+        assert_eq!(simulate_annotations(&truth, &cfg), simulate_annotations(&truth, &cfg));
+    }
+}

@@ -1,0 +1,134 @@
+//! The top-k hit rate metric (§3.4.1, Appendix E):
+//! `H_topk = |topk(human) ∩ topk(explainer)| / k`.
+//!
+//! Both score vectors routinely contain ties (human scores are averages of
+//! five {0,1,2} annotations; centrality measures assign identical weights to
+//! symmetric edges), so Appendix E breaks ties by drawing the top-k set
+//! uniformly at random among tied candidates and *averaging the hit rate
+//! over 100 draws*. [`topk_hit_rate_expected`] implements exactly that;
+//! [`topk_hit_rate`] is the deterministic (first-index) variant for tests.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Indices of the `k` largest values, ties broken by ascending index.
+fn topk_deterministic(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
+    });
+    idx.truncate(k.min(scores.len()));
+    idx
+}
+
+/// Indices of the `k` largest values with *random* tie-breaking.
+fn topk_random(scores: &[f64], k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let jitter: Vec<f64> = (0..scores.len()).map(|_| rng.gen::<f64>()).collect();
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(jitter[b].partial_cmp(&jitter[a]).unwrap())
+    });
+    idx.truncate(k.min(scores.len()));
+    idx
+}
+
+fn overlap(a: &[usize], b: &[usize]) -> usize {
+    a.iter().filter(|x| b.contains(x)).count()
+}
+
+/// Deterministic hit rate (ties broken by index).
+pub fn topk_hit_rate(human: &[f64], explainer: &[f64], k: usize) -> f64 {
+    assert_eq!(human.len(), explainer.len());
+    if k == 0 || human.is_empty() {
+        return 0.0;
+    }
+    let a = topk_deterministic(human, k);
+    let b = topk_deterministic(explainer, k);
+    overlap(&a, &b) as f64 / k.min(human.len()) as f64
+}
+
+/// Hit rate averaged over `draws` random tie-breaks of *both* rankings
+/// (Appendix E uses 100 draws; 10 000 gave indistinguishable numbers).
+pub fn topk_hit_rate_expected(
+    human: &[f64],
+    explainer: &[f64],
+    k: usize,
+    draws: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    assert_eq!(human.len(), explainer.len());
+    if k == 0 || human.is_empty() || draws == 0 {
+        return 0.0;
+    }
+    let keff = k.min(human.len());
+    let mut total = 0.0;
+    for _ in 0..draws {
+        let a = topk_random(human, k, rng);
+        let b = topk_random(explainer, k, rng);
+        total += overlap(&a, &b) as f64 / keff as f64;
+    }
+    total / draws as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_rankings_hit_one() {
+        let s = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(topk_hit_rate(&s, &s, 3), 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(topk_hit_rate_expected(&s, &s, 3, 50, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn disjoint_rankings_hit_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(topk_hit_rate(&a, &b, 2), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = [9.0, 8.0, 1.0, 0.0];
+        let b = [9.0, 0.0, 8.0, 1.0];
+        // top2(a) = {0,1}, top2(b) = {0,2} → 1/2.
+        assert_eq!(topk_hit_rate(&a, &b, 2), 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_len_is_clamped() {
+        let a = [1.0, 2.0];
+        assert_eq!(topk_hit_rate(&a, &a, 10), 1.0);
+    }
+
+    #[test]
+    fn expected_hit_rate_for_full_ties_matches_hypergeometric_mean() {
+        // All scores tied: top-k sets are uniform k-subsets; the expected
+        // overlap of two independent uniform k-subsets of n is k²/n.
+        let n = 10;
+        let k = 4;
+        let a = vec![1.0; n];
+        let b = vec![1.0; n];
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = topk_hit_rate_expected(&a, &b, k, 20_000, &mut rng);
+        let expected = k as f64 / n as f64; // E[overlap]/k = k/n
+        assert!((h - expected).abs() < 0.02, "h={h} expected={expected}");
+    }
+
+    #[test]
+    fn random_tie_break_only_affects_ties() {
+        // Distinct scores: expected == deterministic.
+        let a = [3.0, 1.0, 4.0, 1.5, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let det = topk_hit_rate(&a, &b, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let exp = topk_hit_rate_expected(&a, &b, 2, 200, &mut rng);
+        assert!((det - exp).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+//! The hybrid explainer (§3.4.2, Appendix F): a learned combination
+//! `A·w(c) + B·w(e)` of task-agnostic centrality weights and task-aware
+//! GNNExplainer weights, trained on the first 21 communities and evaluated
+//! on the last 20.
+//!
+//! Two fitting strategies, exactly as the paper runs them:
+//!
+//! * **grid** — `A ∈ {0.00, 0.01, …, 1.00}`, `B = 1 − A`, maximising the
+//!   mean train hit rate (fitted per k, like Table 12's `A_Train` column);
+//! * **ridge** — ridge regression of the human edge scores on `(w(c), w(e))`
+//!   with the regularisation strength `α` tuned on the train hit rate.
+//!
+//! Weights are min-max normalised per community before combining — the two
+//! families live in different ranges (centralities are graph-normalised,
+//! mask weights are sigmoids), and only the ranking matters.
+
+use rand::rngs::StdRng;
+
+use crate::hitrate::topk_hit_rate_expected;
+
+/// One community's aligned edge-weight vectors.
+#[derive(Debug, Clone)]
+pub struct CommunityWeights {
+    /// Human (simulated-annotator) edge importance scores.
+    pub human: Vec<f64>,
+    /// Centrality edge weights `w(c)`.
+    pub centrality: Vec<f64>,
+    /// GNNExplainer edge weights `w(e)`.
+    pub explainer: Vec<f64>,
+}
+
+/// How the coefficients were obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HybridFit {
+    Grid,
+    Ridge { alpha: f64 },
+}
+
+/// Appendix F experiment (1): fit polynomial feature maps of degree
+/// `1..=max_degree` — combine `A·w(c)^d + B·w(e)^d` — and report the degree
+/// whose grid-fitted combination maximises the mean train hit rate. The
+/// paper "obtained d = 1 being the best fit".
+pub fn best_polynomial_degree(
+    train: &[CommunityWeights],
+    max_degree: usize,
+    k: usize,
+    draws: usize,
+    rng: &mut StdRng,
+) -> (usize, f64) {
+    let mut best = (1usize, f64::NEG_INFINITY);
+    for d in 1..=max_degree.max(1) {
+        let powered: Vec<CommunityWeights> = train
+            .iter()
+            .map(|cw| CommunityWeights {
+                human: cw.human.clone(),
+                centrality: minmax(&cw.centrality).iter().map(|x| x.powi(d as i32)).collect(),
+                explainer: minmax(&cw.explainer).iter().map(|x| x.powi(d as i32)).collect(),
+            })
+            .collect();
+        let fit = HybridExplainer::fit_grid(&powered, k, draws, rng);
+        let h = fit.mean_hit_rate(&powered, k, draws, rng);
+        // Parsimony margin: a higher degree must win by a clear gap, not by
+        // Monte-Carlo jitter in the expected hit rate.
+        if h > best.1 + 1e-2 {
+            best = (d, h);
+        }
+    }
+    best
+}
+
+/// The fitted combination `A·w(c) + B·w(e)`.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridExplainer {
+    pub a: f64,
+    pub b: f64,
+    pub fit: HybridFit,
+}
+
+/// Min-max normalisation to `[0,1]`; constant vectors map to all-zeros.
+pub fn minmax(w: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in w {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if !lo.is_finite() || (hi - lo) < 1e-12 {
+        return vec![0.0; w.len()];
+    }
+    w.iter().map(|&x| (x - lo) / (hi - lo)).collect()
+}
+
+impl HybridExplainer {
+    /// Combined weights for one community.
+    pub fn combine(&self, centrality: &[f64], explainer: &[f64]) -> Vec<f64> {
+        let c = minmax(centrality);
+        let e = minmax(explainer);
+        c.iter().zip(&e).map(|(&cw, &ew)| self.a * cw + self.b * ew).collect()
+    }
+
+    /// Mean expected top-k hit rate of this hybrid over communities.
+    pub fn mean_hit_rate(
+        &self,
+        communities: &[CommunityWeights],
+        k: usize,
+        draws: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let mut total = 0.0;
+        for cw in communities {
+            let h = self.combine(&cw.centrality, &cw.explainer);
+            total += topk_hit_rate_expected(&cw.human, &h, k, draws, rng);
+        }
+        total / communities.len().max(1) as f64
+    }
+
+    /// Grid search `A ∈ {0, 0.01, …, 1}`, `B = 1 − A`, maximising the mean
+    /// train hit rate at rank `k`.
+    pub fn fit_grid(
+        train: &[CommunityWeights],
+        k: usize,
+        draws: usize,
+        rng: &mut StdRng,
+    ) -> HybridExplainer {
+        let mut best = HybridExplainer { a: 0.0, b: 1.0, fit: HybridFit::Grid };
+        let mut best_h = f64::NEG_INFINITY;
+        for step in 0..=100 {
+            let a = step as f64 / 100.0;
+            let cand = HybridExplainer { a, b: 1.0 - a, fit: HybridFit::Grid };
+            let h = cand.mean_hit_rate(train, k, draws, rng);
+            if h > best_h {
+                best_h = h;
+                best = cand;
+            }
+        }
+        best
+    }
+
+    /// Ridge regression of human scores on `(w(c), w(e))` (per-community
+    /// normalised, centred, no intercept penalty), with `α` tuned over
+    /// `{0.01, …, 0.99}` by mean train hit rate averaged over `ks`.
+    pub fn fit_ridge(
+        train: &[CommunityWeights],
+        ks: &[usize],
+        draws: usize,
+        rng: &mut StdRng,
+    ) -> HybridExplainer {
+        let mut best: Option<(f64, HybridExplainer)> = None;
+        for step in 1..100 {
+            let alpha = step as f64 / 100.0;
+            let (a, b) = ridge_coeffs(train, alpha);
+            let cand = HybridExplainer { a, b, fit: HybridFit::Ridge { alpha } };
+            let mean: f64 = ks
+                .iter()
+                .map(|&k| cand.mean_hit_rate(train, k, draws, rng))
+                .sum::<f64>()
+                / ks.len().max(1) as f64;
+            if best.as_ref().is_none_or(|(h, _)| mean > *h) {
+                best = Some((mean, cand));
+            }
+        }
+        best.expect("at least one alpha evaluated").1
+    }
+}
+
+/// Closed-form 2-feature ridge: solves `(XᵀX + αI) β = Xᵀy` over all train
+/// edges with centred features/targets.
+fn ridge_coeffs(train: &[CommunityWeights], alpha: f64) -> (f64, f64) {
+    let mut xs: Vec<(f64, f64)> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for cw in train {
+        let c = minmax(&cw.centrality);
+        let e = minmax(&cw.explainer);
+        for ((&cv, &ev), &y) in c.iter().zip(&e).zip(&cw.human) {
+            xs.push((cv, ev));
+            ys.push(y);
+        }
+    }
+    let n = xs.len() as f64;
+    if n == 0.0 {
+        return (0.5, 0.5);
+    }
+    let mc = xs.iter().map(|p| p.0).sum::<f64>() / n;
+    let me = xs.iter().map(|p| p.1).sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut scc, mut sce, mut see, mut scy, mut sey) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (&(c, e), &y) in xs.iter().zip(&ys) {
+        let (dc, de, dy) = (c - mc, e - me, y - my);
+        scc += dc * dc;
+        sce += dc * de;
+        see += de * de;
+        scy += dc * dy;
+        sey += de * dy;
+    }
+    // 2x2 solve of [[scc+α, sce], [sce, see+α]] [a b]ᵀ = [scy sey]ᵀ.
+    let det = (scc + alpha) * (see + alpha) - sce * sce;
+    if det.abs() < 1e-12 {
+        return (0.5, 0.5);
+    }
+    let a = ((see + alpha) * scy - sce * sey) / det;
+    let b = ((scc + alpha) * sey - sce * scy) / det;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    /// Communities where the human scores ARE the centrality weights → the
+    /// grid must pick A ≈ 1.
+    fn centrality_is_truth() -> Vec<CommunityWeights> {
+        (0..4)
+            .map(|i| {
+                let c: Vec<f64> = (0..20).map(|j| ((i * 7 + j * 3) % 13) as f64).collect();
+                let e: Vec<f64> = (0..20).map(|j| ((i + j * 11) % 17) as f64).collect();
+                CommunityWeights { human: c.clone(), centrality: c, explainer: e }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_finds_the_dominant_source() {
+        let train = centrality_is_truth();
+        let fit = HybridExplainer::fit_grid(&train, 5, 20, &mut rng());
+        assert!(fit.a > 0.8, "A = {} should approach 1", fit.a);
+        let h = fit.mean_hit_rate(&train, 5, 20, &mut rng());
+        assert!(h > 0.95, "hit rate {h}");
+    }
+
+    #[test]
+    fn ridge_prefers_the_correlated_feature() {
+        let train = centrality_is_truth();
+        let fit = HybridExplainer::fit_ridge(&train, &[5, 10], 10, &mut rng());
+        assert!(fit.a > fit.b, "a={} b={}", fit.a, fit.b);
+    }
+
+    #[test]
+    fn minmax_is_idempotent_and_bounded() {
+        let w = vec![3.0, -1.0, 5.0];
+        let n = minmax(&w);
+        assert_eq!(n, vec![4.0 / 6.0, 0.0, 1.0]);
+        assert_eq!(minmax(&n), n);
+        assert_eq!(minmax(&[2.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn combine_interpolates_between_sources() {
+        let hx = HybridExplainer { a: 1.0, b: 0.0, fit: HybridFit::Grid };
+        let c = vec![0.0, 1.0];
+        let e = vec![1.0, 0.0];
+        assert_eq!(hx.combine(&c, &e), minmax(&c));
+        let hx = HybridExplainer { a: 0.0, b: 1.0, fit: HybridFit::Grid };
+        assert_eq!(hx.combine(&c, &e), minmax(&e));
+    }
+
+    #[test]
+    fn polynomial_degree_one_wins_on_linear_truth() {
+        // Human = centrality exactly → any monotone power preserves the
+        // ranking, so degree 1 ties the field and is returned first.
+        let train = centrality_is_truth();
+        let (d, h) = best_polynomial_degree(&train, 4, 5, 300, &mut rng());
+        assert_eq!(d, 1, "paper found degree 1 best; got {d} (h={h})");
+        assert!(h > 0.9);
+    }
+
+    /// The headline property (Table 4): when the two sources err on
+    /// *different* communities, the hybrid's mean hit rate is at least as
+    /// good as either alone.
+    #[test]
+    fn hybrid_is_no_worse_than_both_parents_on_mixed_truth() {
+        let mut train = Vec::new();
+        for i in 0..6 {
+            let truth: Vec<f64> = (0..24).map(|j| ((i * 5 + j * 7) % 19) as f64).collect();
+            let noise: Vec<f64> = (0..24).map(|j| ((i * 3 + j * 13) % 23) as f64).collect();
+            // Alternate which source is informative.
+            let (c, e) = if i % 2 == 0 {
+                (truth.clone(), noise.clone())
+            } else {
+                (noise.clone(), truth.clone())
+            };
+            train.push(CommunityWeights { human: truth, centrality: c, explainer: e });
+        }
+        let k = 8;
+        let fit = HybridExplainer::fit_grid(&train, k, 30, &mut rng());
+        let hybrid_h = fit.mean_hit_rate(&train, k, 30, &mut rng());
+        let only_c = HybridExplainer { a: 1.0, b: 0.0, fit: HybridFit::Grid }
+            .mean_hit_rate(&train, k, 30, &mut rng());
+        let only_e = HybridExplainer { a: 0.0, b: 1.0, fit: HybridFit::Grid }
+            .mean_hit_rate(&train, k, 30, &mut rng());
+        assert!(
+            hybrid_h >= only_c.max(only_e) - 0.02,
+            "hybrid {hybrid_h} vs c {only_c} / e {only_e}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-module tests inside the explain crate: annotation → hit rate →
+//! hybrid plumbing on graphs with known structure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xfraud_explain::annotate::{
+    edge_scores, node_scores, simulate_annotations, true_importance_for_seed, AnnotationConfig,
+    EdgeAgg,
+};
+use xfraud_explain::centrality::{community_edge_weights, Measure, ALL_MEASURES};
+use xfraud_explain::{
+    best_polynomial_degree, minmax, topk_hit_rate_expected, CommunityWeights, HybridExplainer,
+};
+use xfraud_hetgraph::{community_of, GraphBuilder, NodeType};
+
+/// A warehouse-style community: one hub address shared by many txns (some
+/// fraud), plus a tail of low-degree entities.
+fn warehouse_community() -> (xfraud_hetgraph::Community, Vec<f32>) {
+    let mut b = GraphBuilder::new(1);
+    let warehouse = b.add_entity(NodeType::Addr);
+    let mut risks = vec![0.9f32]; // the hub is the culprit
+    for i in 0..10 {
+        let fraud = i < 6;
+        let t = b.add_txn([i as f32], Some(fraud));
+        risks.push(if fraud { 0.8 } else { 0.1 });
+        b.link(t, warehouse).unwrap();
+        let pmt = b.add_entity(NodeType::Pmt);
+        risks.push(if fraud { 0.7 } else { 0.05 });
+        b.link(t, pmt).unwrap();
+    }
+    let g = b.finish().unwrap();
+    let c = community_of(&g, 1, usize::MAX).unwrap();
+    // community_of may reorder: map risks through original_ids.
+    let risk_in_c: Vec<f32> = c.original_ids.iter().map(|&v| risks[v]).collect();
+    (c, risk_in_c)
+}
+
+#[test]
+fn annotation_pipeline_produces_aligned_edge_scores() {
+    let (c, risk) = warehouse_community();
+    let truth = true_importance_for_seed(&risk, &c.graph, c.seed);
+    // The hub (degree 10) must be rated maximally important.
+    let hub = (0..c.graph.n_nodes())
+        .find(|&v| c.graph.degree(v) >= 8)
+        .expect("hub exists");
+    assert_eq!(truth[hub], 2);
+    let anns = simulate_annotations(&truth, &AnnotationConfig::default());
+    let nodes = node_scores(&anns);
+    let links = c.graph.undirected_links();
+    for agg in EdgeAgg::ALL {
+        let es = edge_scores(&nodes, &links, agg);
+        assert_eq!(es.len(), links.len());
+        assert!(es.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn centrality_tops_exactly_the_hub_incident_edges() {
+    let (c, _) = warehouse_community();
+    let g = &c.graph;
+    let mut rng = StdRng::seed_from_u64(3);
+    let centrality = community_edge_weights(g, Measure::Degree, &mut rng);
+    let links = g.undirected_links();
+    let hub = (0..g.n_nodes()).find(|&v| g.degree(v) >= 8).expect("hub exists");
+    // Every hub-incident link must outrank every non-hub link — the
+    // structural property that lets centrality agree with annotators who
+    // flag the warehouse pattern (Fig. 11).
+    let (mut min_hub, mut max_other) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (&(u, v), &w) in links.iter().zip(&centrality) {
+        if u == hub || v == hub {
+            min_hub = min_hub.min(w);
+        } else {
+            max_other = max_other.max(w);
+        }
+    }
+    assert!(
+        min_hub > max_other,
+        "hub edges (min {min_hub}) must dominate non-hub edges (max {max_other})"
+    );
+    // And the human hit rate against centrality is at least the random
+    // floor (k²/n): with 20 links and k=5 the floor is 0.25.
+    let (c2, risk) = warehouse_community();
+    let truth = true_importance_for_seed(&risk, &c2.graph, c2.seed);
+    let anns =
+        simulate_annotations(&truth, &AnnotationConfig { noise: 0.05, ..Default::default() });
+    let human = edge_scores(&node_scores(&anns), &c2.graph.undirected_links(), EdgeAgg::Avg);
+    let h = topk_hit_rate_expected(&human, &centrality, 5, 300, &mut rng);
+    assert!(h >= 0.2, "agreement collapsed below the random floor: {h}");
+}
+
+#[test]
+fn every_measure_is_deterministic_except_the_sampled_one() {
+    let (c, _) = warehouse_community();
+    for m in ALL_MEASURES {
+        if m == Measure::ApproxCurrentFlowBetweenness {
+            continue; // explicitly stochastic
+        }
+        let a = community_edge_weights(&c.graph, m, &mut StdRng::seed_from_u64(1));
+        let b = community_edge_weights(&c.graph, m, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b, "{} should not depend on the rng", m.name());
+    }
+}
+
+#[test]
+fn hybrid_ridge_and_grid_interpolate_sanely() {
+    // Synthetic: human = 0.7*c + 0.3*e (after minmax), so both fits should
+    // put the larger coefficient on the centrality arm.
+    let mut comms = Vec::new();
+    for i in 0..5 {
+        let c: Vec<f64> = (0..30).map(|j| ((i * 3 + j * 7) % 23) as f64).collect();
+        let e: Vec<f64> = (0..30).map(|j| ((i * 5 + j * 11) % 19) as f64).collect();
+        let (cn, en) = (minmax(&c), minmax(&e));
+        let human: Vec<f64> =
+            cn.iter().zip(&en).map(|(&a, &b)| 0.7 * a + 0.3 * b).collect();
+        comms.push(CommunityWeights { human, centrality: c, explainer: e });
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let grid = HybridExplainer::fit_grid(&comms, 8, 60, &mut rng);
+    assert!(grid.a > grid.b, "grid a={} b={}", grid.a, grid.b);
+    let ridge = HybridExplainer::fit_ridge(&comms, &[8], 40, &mut rng);
+    assert!(ridge.a > ridge.b, "ridge a={} b={}", ridge.a, ridge.b);
+    // And degree-1 polynomial suffices on a linear mixture.
+    let (d, _) = best_polynomial_degree(&comms, 3, 8, 200, &mut rng);
+    assert_eq!(d, 1);
+}

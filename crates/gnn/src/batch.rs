@@ -1,0 +1,147 @@
+use xfraud_hetgraph::{EdgeType, HetGraph, NodeId, NodeType};
+use xfraud_tensor::Tensor;
+
+/// The unit of computation all models consume: a sampled subgraph with local
+/// ids, dense features (zero rows for entity nodes — "the initial node
+/// features are empty", §3.2.1), edge lists and the prediction targets.
+#[derive(Debug, Clone)]
+pub struct SubgraphBatch {
+    /// Node type per local id.
+    pub node_types: Vec<NodeType>,
+    /// `[n_local, F]` input features; entity rows are zero.
+    pub features: Tensor,
+    /// Directed edges in local ids.
+    pub edge_src: Vec<usize>,
+    pub edge_dst: Vec<usize>,
+    pub edge_ty: Vec<EdgeType>,
+    /// Local ids of the transactions to score.
+    pub targets: Vec<usize>,
+    /// Class per target (`1` = fraud). Empty at pure inference time.
+    pub labels: Vec<usize>,
+    /// For each local id, the node id in the originating graph.
+    pub global_ids: Vec<NodeId>,
+}
+
+impl SubgraphBatch {
+    pub fn n_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// Builds a batch over an explicit local node set (seed targets first is
+    /// not required; `targets` lists seeds by *global* id).
+    ///
+    /// `nodes` must be duplicate-free. Edges are the induced directed edges.
+    pub fn from_nodes(g: &HetGraph, nodes: &[NodeId], targets: &[NodeId]) -> SubgraphBatch {
+        let mut local: Vec<Option<usize>> = vec![None; g.n_nodes()];
+        for (i, &v) in nodes.iter().enumerate() {
+            debug_assert!(local[v].is_none(), "duplicate node in batch");
+            local[v] = Some(i);
+        }
+        let node_types: Vec<NodeType> = nodes.iter().map(|&v| g.node_type(v)).collect();
+
+        let mut features = Tensor::zeros(nodes.len(), g.feature_dim());
+        for (i, &v) in nodes.iter().enumerate() {
+            if let Some(row) = g.feature_row_of(v) {
+                features.row_mut(i).copy_from_slice(g.features().row(row));
+            }
+        }
+
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_ty = Vec::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            for &e in g.out_edges(v) {
+                let edge = g.edge(e);
+                if let Some(j) = local[edge.dst] {
+                    edge_src.push(i);
+                    edge_dst.push(j);
+                    edge_ty.push(edge.ty);
+                }
+            }
+        }
+
+        let mut tgt_local = Vec::with_capacity(targets.len());
+        let mut labels = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let l = local[t].expect("target must be inside the sampled node set");
+            tgt_local.push(l);
+            labels.push(usize::from(g.label(t) == Some(true)));
+        }
+
+        SubgraphBatch {
+            node_types,
+            features,
+            edge_src,
+            edge_dst,
+            edge_ty,
+            targets: tgt_local,
+            labels,
+            global_ids: nodes.to_vec(),
+        }
+    }
+
+    /// Structural sanity check used by tests and samplers.
+    pub fn validate(&self) -> bool {
+        let n = self.n_nodes();
+        if self.features.rows() != n || self.global_ids.len() != n {
+            return false;
+        }
+        if self.edge_src.len() != self.edge_dst.len() || self.edge_src.len() != self.edge_ty.len()
+        {
+            return false;
+        }
+        if self.edge_src.iter().any(|&v| v >= n) || self.edge_dst.iter().any(|&v| v >= n) {
+            return false;
+        }
+        self.targets.iter().all(|&t| t < n && self.node_types[t] == NodeType::Txn)
+            && self.labels.len() == self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfraud_hetgraph::GraphBuilder;
+
+    fn toy() -> HetGraph {
+        let mut b = GraphBuilder::new(2);
+        let t0 = b.add_txn([1.0, 2.0], Some(true));
+        let t1 = b.add_txn([3.0, 4.0], Some(false));
+        let p = b.add_entity(NodeType::Pmt);
+        b.link(t0, p).unwrap();
+        b.link(t1, p).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn from_nodes_builds_consistent_local_view() {
+        let g = toy();
+        let batch = SubgraphBatch::from_nodes(&g, &[0, 2, 1], &[0, 1]);
+        assert!(batch.validate());
+        assert_eq!(batch.n_nodes(), 3);
+        assert_eq!(batch.n_edges(), 4);
+        assert_eq!(batch.features.row(0), &[1.0, 2.0]);
+        assert_eq!(batch.features.row(1), &[0.0, 0.0], "entity rows are zero");
+        assert_eq!(batch.targets, vec![0, 2]);
+        assert_eq!(batch.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn edges_outside_the_node_set_are_dropped() {
+        let g = toy();
+        let batch = SubgraphBatch::from_nodes(&g, &[0, 1], &[0]);
+        assert!(batch.validate());
+        assert_eq!(batch.n_edges(), 0, "both links go through the excluded pmt node");
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be inside")]
+    fn target_outside_node_set_panics() {
+        let g = toy();
+        let _ = SubgraphBatch::from_nodes(&g, &[0, 2], &[1]);
+    }
+}

@@ -1,0 +1,40 @@
+//! The xFraud detector (§3.2), its efficient variant detector+ (§3.2.3), the
+//! GAT and GEM baselines (§4), and the two neighbourhood samplers whose
+//! trade-off the paper's Fig. 10 ablates.
+//!
+//! Model inventory:
+//!
+//! * [`XFraudDetector`] — L self-attentive heterogeneous convolution layers
+//!   ([`HetConvLayer`], eq. 1–10) followed by the tanh→concat→FFN prediction
+//!   head of §3.2.1. *detector* vs *detector+* is purely a sampler choice:
+//!   [`HgSampler`] (HGT's type-balancing HGSampling) vs [`SageSampler`]
+//!   (GraphSAGE uniform k-hop).
+//! * [`GatModel`] — homogeneous multi-head additive attention (type-blind).
+//! * [`GemModel`] — per-type mean aggregation without attention (the
+//!   "vanilla GCN on a heterogeneous graph" the paper uses GEM to stand for);
+//!   its cheap convolution is why it wins the inference-latency column of
+//!   Table 3.
+//!
+//! All models implement [`Model`], exposing the mask hooks
+//! ([`Masks`]) the GNNExplainer needs: a per-edge mask multiplying messages
+//! before aggregation and a node-feature mask multiplying the input features.
+
+mod batch;
+mod detector;
+mod gat;
+mod gem;
+mod hetconv;
+mod incremental;
+mod model;
+mod sampler;
+mod train;
+
+pub use batch::SubgraphBatch;
+pub use detector::{DetectorConfig, XFraudDetector};
+pub use gat::GatModel;
+pub use gem::GemModel;
+pub use hetconv::HetConvLayer;
+pub use incremental::{incremental_study, time_windows, IncrementalConfig, WindowReport};
+pub use model::{grad_step, predict_scores, train_step, Masks, Model};
+pub use sampler::{FullGraphSampler, HgSampler, SageSampler, Sampler};
+pub use train::{train_test_split, EpochStats, TrainConfig, Trainer};

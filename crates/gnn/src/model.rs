@@ -1,0 +1,87 @@
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use xfraud_nn::{AdamW, ParamStore, Session};
+use xfraud_tensor::{softmax_rows, Var};
+
+use crate::batch::SubgraphBatch;
+
+/// Explainer hooks threaded through every model's forward pass.
+///
+/// * `edge_mask` — `[n_edges, 1]`, already squashed to `(0,1)`; multiplies
+///   each edge's message before aggregation (how GNNExplainer soft-removes
+///   edges).
+/// * `feature_mask` — `[n_nodes, F]`, already squashed; multiplies the input
+///   features (the extended per-node feature masks of Appendix D).
+#[derive(Default, Clone, Copy)]
+pub struct Masks {
+    pub edge_mask: Option<Var>,
+    pub feature_mask: Option<Var>,
+}
+
+impl Masks {
+    pub fn none() -> Self {
+        Masks::default()
+    }
+}
+
+/// A trainable node-classification model over [`SubgraphBatch`]es.
+pub trait Model {
+    /// Builds the forward computation and returns target logits `[n_targets, 2]`.
+    fn forward(
+        &self,
+        sess: &mut Session,
+        batch: &SubgraphBatch,
+        train: bool,
+        rng: &mut StdRng,
+        masks: &Masks,
+    ) -> Var;
+
+    fn store(&self) -> &ParamStore;
+
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    fn name(&self) -> &'static str;
+}
+
+/// One optimisation step: forward → cross-entropy on the batch targets →
+/// backward → AdamW. Returns the scalar loss.
+pub fn train_step<M: Model>(
+    model: &mut M,
+    batch: &SubgraphBatch,
+    opt: &mut AdamW,
+    rng: &mut StdRng,
+) -> f32 {
+    debug_assert!(!batch.targets.is_empty(), "train_step on an empty batch");
+    let mut sess = Session::new();
+    let logits = model.forward(&mut sess, batch, true, rng, &Masks::none());
+    let loss = sess.tape.softmax_cross_entropy(logits, Rc::new(batch.labels.clone()));
+    let loss_value = sess.tape.value(loss).item();
+    let grads = sess.backward(loss);
+    opt.step(model.store_mut(), &grads);
+    loss_value
+}
+
+/// Computes gradients for one batch *without* applying them — the DDP
+/// simulator averages these across workers before stepping.
+pub fn grad_step<M: Model>(
+    model: &M,
+    batch: &SubgraphBatch,
+    rng: &mut StdRng,
+) -> (f32, Vec<(xfraud_nn::ParamId, xfraud_tensor::Tensor)>) {
+    let mut sess = Session::new();
+    let logits = model.forward(&mut sess, batch, true, rng, &Masks::none());
+    let loss = sess.tape.softmax_cross_entropy(logits, Rc::new(batch.labels.clone()));
+    let loss_value = sess.tape.value(loss).item();
+    let grads = sess.backward(loss);
+    (loss_value, grads)
+}
+
+/// Fraud probabilities for the batch targets (softmax column 1), eval mode.
+pub fn predict_scores<M: Model>(model: &M, batch: &SubgraphBatch, rng: &mut StdRng) -> Vec<f32> {
+    let mut sess = Session::new();
+    let logits = model.forward(&mut sess, batch, false, rng, &Masks::none());
+    let probs = softmax_rows(sess.tape.value(logits));
+    (0..probs.rows()).map(|r| probs.get(r, 1)).collect()
+}

@@ -1,0 +1,274 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use xfraud_hetgraph::{HetGraph, NodeId, ALL_NODE_TYPES};
+
+use crate::batch::SubgraphBatch;
+
+/// Produces the sampled subgraph a model trains/infers on, given a batch of
+/// seed transactions. The sampler is the *only* difference between xFraud
+/// detector and detector+ (§3.2.3), which is exactly what the Fig. 10
+/// ablation isolates.
+pub trait Sampler {
+    fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// GraphSAGE-style uniform sampling (detector+): expand each hop by at most
+/// `per_hop` uniformly-chosen *new* neighbours per node, `k_hops` times.
+/// Cheap on sparse graphs — no per-type bookkeeping at all.
+#[derive(Debug, Clone)]
+pub struct SageSampler {
+    pub k_hops: usize,
+    pub per_hop: usize,
+}
+
+impl SageSampler {
+    pub fn new(k_hops: usize, per_hop: usize) -> Self {
+        SageSampler { k_hops, per_hop }
+    }
+}
+
+impl Sampler for SageSampler {
+    fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
+        let mut in_set = vec![false; g.n_nodes()];
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            if !in_set[s] {
+                in_set[s] = true;
+                nodes.push(s);
+            }
+        }
+        let mut frontier: Vec<NodeId> = nodes.clone();
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for _ in 0..self.k_hops {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                scratch.clear();
+                scratch.extend(g.neighbors(v).filter(|&u| !in_set[u]));
+                scratch.dedup();
+                // Uniform choice of up to per_hop new neighbours.
+                let take = self.per_hop.min(scratch.len());
+                scratch.partial_shuffle(rng, take);
+                for &u in &scratch[..take] {
+                    if !in_set[u] {
+                        in_set[u] = true;
+                        nodes.push(u);
+                        next.push(u);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        SubgraphBatch::from_nodes(g, &nodes, seeds)
+    }
+
+    fn name(&self) -> &'static str {
+        "graphsage"
+    }
+}
+
+/// HGSampling as used by HGT (the sampler of the original xFraud detector).
+///
+/// Keeps a per-type *budget* of candidate nodes scored by accumulated
+/// normalised degree; every step it samples `width_per_seed × |seeds|`
+/// nodes **per type** with probability ∝ budget², trying to keep all
+/// node/edge types similarly represented in the subgraph. On sparse,
+/// txn-dominated transaction graphs this balance is exactly what makes it
+/// expensive: rare entity types force the sampler to range far beyond the
+/// seeds' neighbourhoods, the budget table is rebuilt and rescanned every
+/// step, and the resulting subgraphs are much larger than GraphSAGE's —
+/// the overhead detector+ removes (Fig. 10: 5–7× inference speedup).
+#[derive(Debug, Clone)]
+pub struct HgSampler {
+    /// Number of sampling iterations (the "depth" of HGSampling).
+    pub steps: usize,
+    /// Nodes added per type per step, per seed (pyHGT's `sampled_number`
+    /// scales with the batch the same way).
+    pub width_per_seed: usize,
+}
+
+impl HgSampler {
+    pub fn new(steps: usize, width_per_seed: usize) -> Self {
+        HgSampler { steps, width_per_seed }
+    }
+
+    fn add_budget(
+        g: &HetGraph,
+        v: NodeId,
+        in_set: &[bool],
+        budget: &mut [f32],
+    ) {
+        let deg = g.degree(v).max(1) as f32;
+        for u in g.neighbors(v) {
+            if !in_set[u] {
+                budget[u] += 1.0 / deg;
+            }
+        }
+    }
+}
+
+impl Sampler for HgSampler {
+    fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
+        let n = g.n_nodes();
+        let mut in_set = vec![false; n];
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut budget = vec![0.0f32; n];
+        for &s in seeds {
+            if !in_set[s] {
+                in_set[s] = true;
+                nodes.push(s);
+            }
+        }
+        for &s in &nodes.clone() {
+            Self::add_budget(g, s, &in_set, &mut budget);
+        }
+
+        let width = self.width_per_seed * seeds.len().max(1);
+        for _ in 0..self.steps {
+            let mut added_any = false;
+            for ty in ALL_NODE_TYPES {
+                // Gather this type's candidates and their squared budgets —
+                // the per-type pass over the whole budget table is part of
+                // what makes HGSampling expensive.
+                let cand: Vec<(NodeId, f32)> = (0..n)
+                    .filter(|&v| !in_set[v] && budget[v] > 0.0 && g.node_type(v) == ty)
+                    .map(|v| (v, budget[v] * budget[v]))
+                    .collect();
+                if cand.is_empty() {
+                    continue;
+                }
+                // Weighted sampling without replacement (Efraimidis–
+                // Spirakis A-Res): key = u^(1/w), keep the top `take`.
+                let take = width.min(cand.len());
+                let mut keyed: Vec<(f32, NodeId)> = cand
+                    .iter()
+                    .map(|&(v, w)| {
+                        let u: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+                        (u.powf(1.0 / w.max(1e-12)), v)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
+                for &(_, v) in keyed.iter().take(take) {
+                    in_set[v] = true;
+                    nodes.push(v);
+                    budget[v] = 0.0;
+                    added_any = true;
+                }
+                // Budget updates after the draw (pyHGT adds the sampled
+                // nodes' neighbourhoods for the next layer).
+                for &(_, v) in keyed.iter().take(take) {
+                    Self::add_budget(g, v, &in_set, &mut budget);
+                }
+            }
+            if !added_any {
+                break;
+            }
+        }
+        SubgraphBatch::from_nodes(g, &nodes, seeds)
+    }
+
+    fn name(&self) -> &'static str {
+        "hgsampling"
+    }
+}
+
+/// No sampling at all: the batch is the full graph. Used by the explainer
+/// (communities are small) and by tests.
+#[derive(Debug, Clone, Default)]
+pub struct FullGraphSampler;
+
+impl Sampler for FullGraphSampler {
+    fn sample(&self, g: &HetGraph, seeds: &[NodeId], _rng: &mut StdRng) -> SubgraphBatch {
+        let nodes: Vec<NodeId> = (0..g.n_nodes()).collect();
+        SubgraphBatch::from_nodes(g, &nodes, seeds)
+    }
+
+    fn name(&self) -> &'static str {
+        "full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xfraud_datagen::{Dataset, DatasetPreset};
+    use xfraud_hetgraph::NodeType;
+
+    fn graph() -> HetGraph {
+        Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph
+    }
+
+    fn fraud_seeds(g: &HetGraph, n: usize) -> Vec<NodeId> {
+        g.labeled_txns().into_iter().filter(|&(_, y)| y).map(|(v, _)| v).take(n).collect()
+    }
+
+    #[test]
+    fn sage_sampler_bounds_growth_and_contains_seeds() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = SageSampler::new(2, 4);
+        let batch = s.sample(&g, &seeds, &mut rng);
+        assert!(batch.validate());
+        for (i, &seed) in seeds.iter().enumerate() {
+            assert_eq!(batch.global_ids[batch.targets[i]], seed);
+        }
+        // 8 seeds, ≤ 4 new per node over 2 hops → hard cap 8 + 8*4 + 40*4.
+        assert!(batch.n_nodes() <= 8 + 8 * 4 + 40 * 4);
+        assert!(batch.n_nodes() > seeds.len(), "sampling must expand beyond the seeds");
+    }
+
+    #[test]
+    fn hg_sampler_balances_types_better_than_sage() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let hg = HgSampler::new(2, 8).sample(&g, &seeds, &mut rng);
+        assert!(hg.validate());
+        // HGSampling must pull in several node types, not only txns.
+        let mut counts = [0usize; 5];
+        for &t in &hg.node_types {
+            counts[t.index()] += 1;
+        }
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 4, "type counts {counts:?}");
+    }
+
+    #[test]
+    fn full_sampler_returns_everything() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = FullGraphSampler.sample(&g, &seeds, &mut rng);
+        assert_eq!(batch.n_nodes(), g.n_nodes());
+        assert_eq!(batch.n_edges(), g.n_directed_edges());
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_a_seeded_rng() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 4);
+        let a = SageSampler::new(2, 4).sample(&g, &seeds, &mut StdRng::seed_from_u64(7));
+        let b = SageSampler::new(2, 4).sample(&g, &seeds, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.global_ids, b.global_ids);
+    }
+
+    #[test]
+    fn sampled_targets_are_txns() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = HgSampler::new(1, 4).sample(&g, &seeds, &mut rng);
+        for &t in &batch.targets {
+            assert_eq!(batch.node_types[t], NodeType::Txn);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Behavioural tests across the gnn crate's public API: mask semantics,
+//! sampler/batch contracts, model comparability.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xfraud_datagen::{Dataset, DatasetPreset};
+use xfraud_gnn::{
+    predict_scores, train_step, DetectorConfig, FullGraphSampler, GatModel, GemModel, Masks,
+    Model, SageSampler, Sampler, SubgraphBatch, XFraudDetector,
+};
+use xfraud_nn::{AdamW, Session};
+use xfraud_tensor::{softmax_rows, Tensor};
+
+fn small_batch() -> SubgraphBatch {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    let seeds: Vec<usize> = g.labeled_txns().iter().take(24).map(|&(v, _)| v).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    SageSampler::new(2, 6).sample(&g, &seeds, &mut rng)
+}
+
+/// Masking every edge to zero must reduce each model to its feature-only
+/// path: the prediction then equals the one on an edgeless batch.
+#[test]
+fn zero_edge_mask_equals_edge_removal() {
+    let batch = small_batch();
+    let mut edgeless = batch.clone();
+    edgeless.edge_src.clear();
+    edgeless.edge_dst.clear();
+    edgeless.edge_ty.clear();
+
+    let fd = batch.features.cols();
+    let det = XFraudDetector::new(DetectorConfig::small(fd, 2));
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mut sess = Session::new();
+    let mask = sess.constant(Tensor::zeros(batch.n_edges(), 1));
+    let masked_logits = det.forward(
+        &mut sess,
+        &batch,
+        false,
+        &mut rng,
+        &Masks { edge_mask: Some(mask), feature_mask: None },
+    );
+    let masked = softmax_rows(sess.tape.value(masked_logits));
+
+    let mut sess2 = Session::new();
+    let bare_logits = det.forward(&mut sess2, &edgeless, false, &mut rng, &Masks::none());
+    let bare = softmax_rows(sess2.tape.value(bare_logits));
+
+    assert!(
+        masked.max_abs_diff(&bare) < 1e-4,
+        "zero mask and edge removal disagree by {}",
+        masked.max_abs_diff(&bare)
+    );
+}
+
+/// An all-ones edge mask must be a no-op.
+#[test]
+fn unit_edge_mask_is_identity() {
+    let batch = small_batch();
+    let fd = batch.features.cols();
+    let det = XFraudDetector::new(DetectorConfig::small(fd, 2));
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut sess = Session::new();
+    let mask = sess.constant(Tensor::full(batch.n_edges(), 1, 1.0));
+    let l1 = det.forward(
+        &mut sess,
+        &batch,
+        false,
+        &mut rng,
+        &Masks { edge_mask: Some(mask), feature_mask: None },
+    );
+    let with_mask = sess.tape.value(l1).clone();
+
+    let mut sess2 = Session::new();
+    let l2 = det.forward(&mut sess2, &batch, false, &mut rng, &Masks::none());
+    let without = sess2.tape.value(l2).clone();
+    assert!(with_mask.max_abs_diff(&without) < 1e-4);
+}
+
+/// A unit feature mask is a no-op; a zero feature mask kills the feature
+/// path (scores become label-prior-ish and uniform across targets with
+/// identical neighbourhood shapes).
+#[test]
+fn feature_mask_semantics() {
+    let batch = small_batch();
+    let fd = batch.features.cols();
+    let det = XFraudDetector::new(DetectorConfig::small(fd, 2));
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let mut sess = Session::new();
+    let ones = sess.constant(Tensor::full(batch.n_nodes(), fd, 1.0));
+    let l1 = det.forward(
+        &mut sess,
+        &batch,
+        false,
+        &mut rng,
+        &Masks { edge_mask: None, feature_mask: Some(ones) },
+    );
+    let masked = sess.tape.value(l1).clone();
+    let mut sess2 = Session::new();
+    let l2 = det.forward(&mut sess2, &batch, false, &mut rng, &Masks::none());
+    assert!(masked.max_abs_diff(sess2.tape.value(l2)) < 1e-4);
+}
+
+/// All three models train on the same data and improve their loss; their
+/// scores are valid probabilities.
+#[test]
+fn all_models_train_on_the_same_batch() {
+    let batch = small_batch();
+    let fd = batch.features.cols();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    fn drive<M: Model>(mut m: M, batch: &SubgraphBatch, rng: &mut StdRng) -> (f32, f32, Vec<f32>) {
+        let mut opt = AdamW::new(3e-3);
+        let first = train_step(&mut m, batch, &mut opt, rng);
+        let mut last = first;
+        for _ in 0..25 {
+            last = train_step(&mut m, batch, &mut opt, rng);
+        }
+        let scores = predict_scores(&m, batch, rng);
+        (first, last, scores)
+    }
+
+    for (name, result) in [
+        ("xfraud", drive(XFraudDetector::new(DetectorConfig::small(fd, 6)), &batch, &mut rng)),
+        ("gat", drive(GatModel::new(DetectorConfig::small(fd, 6)), &batch, &mut rng)),
+        ("gem", drive(GemModel::new(DetectorConfig::small(fd, 6)), &batch, &mut rng)),
+    ] {
+        let (first, last, scores) = result;
+        assert!(last < first, "{name}: loss did not improve ({first} → {last})");
+        assert_eq!(scores.len(), batch.targets.len());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)), "{name} scores out of range");
+    }
+}
+
+/// The full-graph sampler plus `from_nodes` preserves feature rows exactly.
+#[test]
+fn batch_features_match_graph_rows() {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    let seeds: Vec<usize> = g.labeled_txns().iter().take(4).map(|&(v, _)| v).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let batch = FullGraphSampler.sample(&g, &seeds, &mut rng);
+    for (local, &global) in batch.global_ids.iter().enumerate() {
+        match g.feature_row_of(global) {
+            Some(row) => assert_eq!(batch.features.row(local), g.features().row(row)),
+            None => assert!(batch.features.row(local).iter().all(|&x| x == 0.0)),
+        }
+    }
+}

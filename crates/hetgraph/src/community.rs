@@ -1,0 +1,169 @@
+use std::collections::VecDeque;
+
+use crate::graph::HetGraph;
+use crate::types::NodeId;
+use crate::{GraphError, Result};
+
+/// The connected neighbourhood around a seed transaction (§5.1 of the
+/// paper): the explainer and the annotation study both operate on these.
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Induced subgraph over the community's nodes.
+    pub graph: HetGraph,
+    /// The seed transaction's id *within* [`Community::graph`].
+    pub seed: NodeId,
+    /// For each subgraph node, its id in the original graph.
+    pub original_ids: Vec<NodeId>,
+    /// Ground-truth label of the seed in the original graph.
+    pub seed_label: Option<bool>,
+}
+
+impl Community {
+    pub fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    pub fn n_links(&self) -> usize {
+        self.graph.n_links()
+    }
+}
+
+/// Extracts the community of `seed`: the entire connected component,
+/// optionally capped at `max_nodes` by truncating the BFS frontier (the
+/// paper's sampled datasets keep components small; the cap guards against
+/// pathological giant components in synthetic data).
+pub fn community_of(g: &HetGraph, seed: NodeId, max_nodes: usize) -> Result<Community> {
+    if seed >= g.n_nodes() {
+        return Err(GraphError::UnknownNode(seed));
+    }
+    let nodes = bfs_collect(g, seed, usize::MAX, max_nodes);
+    let (sub, map) = g.induced_subgraph(&nodes);
+    let new_seed = map[seed].expect("seed is in its own community");
+    Ok(Community { graph: sub, seed: new_seed, original_ids: nodes, seed_label: g.label(seed) })
+}
+
+/// The k-hop neighbourhood of `seed`, keeping at most `per_hop` *new*
+/// neighbours per hop (the Appendix-B sampling step: "each seed is expanded
+/// to its k-hop neighbors, and at each hop, no more than N neighbors are
+/// picked"). Deterministic: neighbours are visited in edge order.
+pub fn khop_neighborhood(g: &HetGraph, seed: NodeId, k: usize, per_hop: usize) -> Vec<NodeId> {
+    let mut visited = vec![false; g.n_nodes()];
+    visited[seed] = true;
+    let mut result = vec![seed];
+    let mut frontier = vec![seed];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        'hop: for &v in &frontier {
+            for u in g.neighbors(v) {
+                if !visited[u] {
+                    visited[u] = true;
+                    next.push(u);
+                    if next.len() >= per_hop {
+                        break 'hop;
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        result.extend_from_slice(&next);
+        frontier = next;
+    }
+    result
+}
+
+fn bfs_collect(g: &HetGraph, seed: NodeId, max_depth: usize, max_nodes: usize) -> Vec<NodeId> {
+    let mut visited = vec![false; g.n_nodes()];
+    visited[seed] = true;
+    let mut out = vec![seed];
+    let mut queue = VecDeque::new();
+    queue.push_back((seed, 0usize));
+    while let Some((v, d)) = queue.pop_front() {
+        if d >= max_depth {
+            continue;
+        }
+        for u in g.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                out.push(u);
+                if out.len() >= max_nodes {
+                    return out;
+                }
+                queue.push_back((u, d + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::types::NodeType;
+
+    /// Two disconnected communities: {t0,t1,pmt} and {t2,addr}.
+    fn two_components() -> HetGraph {
+        let mut b = GraphBuilder::new(1);
+        let t0 = b.add_txn([0.1], Some(true));
+        let t1 = b.add_txn([0.2], Some(false));
+        let t2 = b.add_txn([0.3], Some(false));
+        let pmt = b.add_entity(NodeType::Pmt);
+        let addr = b.add_entity(NodeType::Addr);
+        b.link(t0, pmt).unwrap();
+        b.link(t1, pmt).unwrap();
+        b.link(t2, addr).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn community_is_the_connected_component() {
+        let g = two_components();
+        let c = community_of(&g, 0, usize::MAX).unwrap();
+        assert_eq!(c.n_nodes(), 3);
+        assert_eq!(c.seed_label, Some(true));
+        assert!(c.original_ids.contains(&1));
+        assert!(!c.original_ids.contains(&2));
+        assert!(c.graph.validate());
+    }
+
+    #[test]
+    fn community_respects_node_cap() {
+        let g = two_components();
+        let c = community_of(&g, 0, 2).unwrap();
+        assert_eq!(c.n_nodes(), 2);
+        assert_eq!(c.graph.node_type(c.seed), NodeType::Txn);
+    }
+
+    #[test]
+    fn community_of_unknown_seed_errors() {
+        let g = two_components();
+        assert!(community_of(&g, 999, 10).is_err());
+    }
+
+    #[test]
+    fn khop_respects_hop_budget() {
+        // star: pmt at centre with 5 txns
+        let mut b = GraphBuilder::new(1);
+        let pmt = {
+            let txns: Vec<_> = (0..5).map(|i| b.add_txn([i as f32], None)).collect();
+            let pmt = b.add_entity(NodeType::Pmt);
+            for t in txns {
+                b.link(t, pmt).unwrap();
+            }
+            pmt
+        };
+        let g = b.finish().unwrap();
+        let hood = khop_neighborhood(&g, pmt, 1, 3);
+        assert_eq!(hood.len(), 4); // pmt + 3 of 5 txns
+        let hood_all = khop_neighborhood(&g, pmt, 1, 100);
+        assert_eq!(hood_all.len(), 6);
+    }
+
+    #[test]
+    fn khop_zero_hops_is_just_the_seed() {
+        let g = two_components();
+        assert_eq!(khop_neighborhood(&g, 0, 0, 10), vec![0]);
+    }
+}

@@ -1,0 +1,37 @@
+use std::fmt;
+
+use crate::types::NodeType;
+
+/// Errors from graph construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(usize),
+    /// An edge was requested between two types the schema forbids
+    /// (both endpoints entities, or both transactions).
+    InvalidRelation(NodeType, NodeType),
+    /// The feature matrix row count disagrees with the number of txn nodes.
+    FeatureRowMismatch { txn_nodes: usize, feature_rows: usize },
+    /// A label was supplied for a non-transaction node.
+    LabelOnEntity(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::InvalidRelation(a, b) => {
+                write!(f, "no relation allowed between node types {a} and {b}")
+            }
+            GraphError::FeatureRowMismatch { txn_nodes, feature_rows } => write!(
+                f,
+                "feature matrix has {feature_rows} rows but the graph has {txn_nodes} txn nodes"
+            ),
+            GraphError::LabelOnEntity(id) => {
+                write!(f, "node {id} is not a transaction and cannot carry a label")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

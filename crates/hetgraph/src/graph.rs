@@ -1,0 +1,378 @@
+use xfraud_tensor::Tensor;
+
+use crate::types::{EdgeType, NodeId, NodeType};
+
+/// One directed edge, resolved for convenient pattern matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    pub id: usize,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub ty: EdgeType,
+}
+
+/// An immutable heterogeneous transaction graph.
+///
+/// Storage is flat and CSR-indexed (Performance-Book style: no per-node
+/// allocations on hot paths):
+///
+/// * `edge_src/edge_dst/edge_types` — one entry per *directed* edge. Links
+///   are stored in both directions so message passing can aggregate into
+///   either endpoint.
+/// * `in_offsets/in_edge_ids` — CSR over incoming edges per node (the
+///   detector aggregates messages into targets, eq. 1).
+/// * `out_offsets/out_edge_ids` — CSR over outgoing edges (used by samplers
+///   and BFS).
+///
+/// Only `txn` nodes have feature rows; `txn_row[v]` maps a node to its row in
+/// the `[n_txn, d]` feature matrix. Labels are `Option<bool>`: the
+/// construction protocol leaves most benign transactions unlabelled after
+/// down-sampling (Appendix B step 3), exactly like the paper.
+#[derive(Debug, Clone)]
+pub struct HetGraph {
+    pub(crate) node_types: Vec<NodeType>,
+    pub(crate) edge_src: Vec<NodeId>,
+    pub(crate) edge_dst: Vec<NodeId>,
+    pub(crate) edge_types: Vec<EdgeType>,
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_edge_ids: Vec<usize>,
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_edge_ids: Vec<usize>,
+    pub(crate) features: Tensor,
+    pub(crate) txn_row: Vec<Option<usize>>,
+    pub(crate) txn_nodes: Vec<NodeId>,
+    pub(crate) labels: Vec<Option<bool>>,
+}
+
+impl HetGraph {
+    pub fn n_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of *directed* edges (twice the number of links).
+    pub fn n_directed_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// Number of undirected links, as reported in the paper's Table 2.
+    pub fn n_links(&self) -> usize {
+        self.edge_src.len() / 2
+    }
+
+    pub fn node_type(&self, v: NodeId) -> NodeType {
+        self.node_types[v]
+    }
+
+    pub fn node_types(&self) -> &[NodeType] {
+        &self.node_types
+    }
+
+    pub fn edge(&self, id: usize) -> EdgeRef {
+        EdgeRef { id, src: self.edge_src[id], dst: self.edge_dst[id], ty: self.edge_types[id] }
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        (0..self.edge_src.len()).map(move |id| self.edge(id))
+    }
+
+    pub fn edge_sources(&self) -> &[NodeId] {
+        &self.edge_src
+    }
+
+    pub fn edge_targets(&self) -> &[NodeId] {
+        &self.edge_dst
+    }
+
+    pub fn edge_types(&self) -> &[EdgeType] {
+        &self.edge_types
+    }
+
+    /// Ids of edges pointing *into* `v`.
+    pub fn in_edges(&self, v: NodeId) -> &[usize] {
+        &self.in_edge_ids[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Ids of edges pointing *out of* `v`.
+    pub fn out_edges(&self, v: NodeId) -> &[usize] {
+        &self.out_edge_ids[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Undirected neighbours of `v` (successors; the graph stores both
+    /// directions so this covers every link).
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(v).iter().map(move |&e| self.edge_dst[e])
+    }
+
+    /// Undirected degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// The `[n_txn, d]` transaction feature matrix.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Feature row of a node, if it is a transaction.
+    pub fn feature_row_of(&self, v: NodeId) -> Option<usize> {
+        self.txn_row.get(v).copied().flatten()
+    }
+
+    /// Node ids of all transactions, in feature-row order.
+    pub fn txn_nodes(&self) -> &[NodeId] {
+        &self.txn_nodes
+    }
+
+    /// Fraud label of a node (`None` for entities and unlabelled txns).
+    pub fn label(&self, v: NodeId) -> Option<bool> {
+        self.labels[v]
+    }
+
+    /// All labelled transactions as `(node, is_fraud)` pairs.
+    pub fn labeled_txns(&self) -> Vec<(NodeId, bool)> {
+        self.txn_nodes
+            .iter()
+            .filter_map(|&v| self.labels[v].map(|y| (v, y)))
+            .collect()
+    }
+
+    /// Unique undirected links as `(min_endpoint, max_endpoint)` pairs, in
+    /// the id order of their forward directed edge.
+    pub fn undirected_links(&self) -> Vec<(NodeId, NodeId)> {
+        let mut links = Vec::with_capacity(self.n_links());
+        for e in self.edges() {
+            if e.src < e.dst {
+                links.push((e.src, e.dst));
+            }
+        }
+        links
+    }
+
+    /// Induced subgraph over `keep` (need not be sorted; duplicates are a
+    /// programmer error). Returns the subgraph and the old→new id mapping as
+    /// a `Vec<Option<usize>>` over original ids.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (HetGraph, Vec<Option<NodeId>>) {
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; self.n_nodes()];
+        for (new, &old) in keep.iter().enumerate() {
+            debug_assert!(old_to_new[old].is_none(), "duplicate node in subgraph set");
+            old_to_new[old] = Some(new);
+        }
+
+        let node_types: Vec<NodeType> = keep.iter().map(|&v| self.node_types[v]).collect();
+        let labels: Vec<Option<bool>> = keep.iter().map(|&v| self.labels[v]).collect();
+
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_types = Vec::new();
+        for e in self.edges() {
+            if let (Some(s), Some(d)) = (old_to_new[e.src], old_to_new[e.dst]) {
+                edge_src.push(s);
+                edge_dst.push(d);
+                edge_types.push(e.ty);
+            }
+        }
+
+        // Gather feature rows for retained transactions.
+        let mut txn_row = vec![None; keep.len()];
+        let mut txn_nodes = Vec::new();
+        let mut rows: Vec<usize> = Vec::new();
+        for (new, &old) in keep.iter().enumerate() {
+            if let Some(r) = self.txn_row[old] {
+                txn_row[new] = Some(rows.len());
+                txn_nodes.push(new);
+                rows.push(r);
+            }
+        }
+        let mut features = Tensor::zeros(rows.len(), self.features.cols());
+        for (dst, &src) in rows.iter().enumerate() {
+            features.row_mut(dst).copy_from_slice(self.features.row(src));
+        }
+
+        let (in_offsets, in_edge_ids) = build_csr(keep.len(), &edge_dst);
+        let (out_offsets, out_edge_ids) = build_csr(keep.len(), &edge_src);
+
+        let sub = HetGraph {
+            node_types,
+            edge_src,
+            edge_dst,
+            edge_types,
+            in_offsets,
+            in_edge_ids,
+            out_offsets,
+            out_edge_ids,
+            features,
+            txn_row,
+            txn_nodes,
+            labels,
+        };
+        (sub, old_to_new)
+    }
+
+    /// Checks the structural invariants (CSR consistency, paired directed
+    /// edges, features only on txns). Used by tests and `debug_assert`ed by
+    /// the builder.
+    pub fn validate(&self) -> bool {
+        let n = self.n_nodes();
+        if self.in_offsets.len() != n + 1 || self.out_offsets.len() != n + 1 {
+            return false;
+        }
+        if *self.in_offsets.last().unwrap() != self.edge_src.len() {
+            return false;
+        }
+        for (v, w) in self.in_offsets.iter().zip(self.in_offsets.iter().skip(1)) {
+            if v > w {
+                return false;
+            }
+        }
+        for v in 0..n {
+            for &e in self.in_edges(v) {
+                if self.edge_dst[e] != v {
+                    return false;
+                }
+            }
+            for &e in self.out_edges(v) {
+                if self.edge_src[e] != v {
+                    return false;
+                }
+            }
+        }
+        for (v, &row) in self.txn_row.iter().enumerate() {
+            match (self.node_types[v], row) {
+                (NodeType::Txn, Some(_)) => {}
+                (NodeType::Txn, None) => return false,
+                (_, Some(_)) => return false,
+                (_, None) => {}
+            }
+        }
+        self.features.rows() == self.txn_nodes.len()
+    }
+}
+
+/// Builds offsets + edge-id lists for a CSR keyed by `key_per_edge`.
+pub(crate) fn build_csr(n_nodes: usize, key_per_edge: &[NodeId]) -> (Vec<usize>, Vec<usize>) {
+    let mut counts = vec![0usize; n_nodes + 1];
+    for &k in key_per_edge {
+        counts[k + 1] += 1;
+    }
+    for i in 0..n_nodes {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut ids = vec![0usize; key_per_edge.len()];
+    for (e, &k) in key_per_edge.iter().enumerate() {
+        ids[cursor[k]] = e;
+        cursor[k] += 1;
+    }
+    (offsets, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::types::NodeType;
+    use xfraud_tensor::Tensor;
+
+    fn toy() -> crate::HetGraph {
+        // txn0 - pmt, txn0 - buyer, txn1 - pmt (shared token), txn1 - addr
+        let mut b = GraphBuilder::new(3);
+        let t0 = b.add_txn([1.0, 0.0, 0.0], Some(true));
+        let t1 = b.add_txn([0.0, 1.0, 0.0], Some(false));
+        let pmt = b.add_entity(NodeType::Pmt);
+        let buyer = b.add_entity(NodeType::Buyer);
+        let addr = b.add_entity(NodeType::Addr);
+        b.link(t0, pmt).unwrap();
+        b.link(t0, buyer).unwrap();
+        b.link(t1, pmt).unwrap();
+        b.link(t1, addr).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn toy_graph_counts() {
+        let g = toy();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_links(), 4);
+        assert_eq!(g.n_directed_edges(), 8);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn csr_in_and_out_edges_agree_with_edge_list() {
+        let g = toy();
+        for v in 0..g.n_nodes() {
+            for &e in g.in_edges(v) {
+                assert_eq!(g.edge(e).dst, v);
+            }
+            for &e in g.out_edges(v) {
+                assert_eq!(g.edge(e).src, v);
+            }
+        }
+        // Shared payment token has two incoming txn edges.
+        let pmt = 2;
+        assert_eq!(g.node_type(pmt), NodeType::Pmt);
+        assert_eq!(g.in_edges(pmt).len(), 2);
+    }
+
+    #[test]
+    fn features_only_on_txns() {
+        let g = toy();
+        assert_eq!(g.features().shape(), (2, 3));
+        assert_eq!(g.feature_row_of(0), Some(0));
+        assert_eq!(g.feature_row_of(2), None);
+        assert_eq!(g.label(0), Some(true));
+        assert_eq!(g.label(2), None);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_everything() {
+        let g = toy();
+        // Keep txn0, pmt, txn1: drops buyer and addr plus their links.
+        let (sub, map) = g.induced_subgraph(&[0, 2, 1]);
+        assert!(sub.validate());
+        assert_eq!(sub.n_nodes(), 3);
+        assert_eq!(sub.n_links(), 2);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[2], Some(1));
+        assert_eq!(map[3], None);
+        // txn1 became node 2 and kept its feature row + label.
+        assert_eq!(sub.node_type(2), NodeType::Txn);
+        assert_eq!(sub.label(2), Some(false));
+        let row = sub.feature_row_of(2).unwrap();
+        assert_eq!(sub.features().row(row), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn undirected_links_unique() {
+        let g = toy();
+        let links = g.undirected_links();
+        assert_eq!(links.len(), 4);
+        let mut sorted = links.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn labeled_txns_lists_only_labeled() {
+        let mut b = GraphBuilder::new(1);
+        let t0 = b.add_txn([0.5], Some(true));
+        let _t1 = b.add_txn([0.5], None);
+        let p = b.add_entity(NodeType::Pmt);
+        b.link(t0, p).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.labeled_txns(), vec![(t0, true)]);
+    }
+
+    #[test]
+    fn empty_feature_graph_is_valid() {
+        let b = GraphBuilder::new(4);
+        let g = b.finish().unwrap();
+        assert!(g.validate());
+        assert_eq!(g.features(), &Tensor::zeros(0, 4));
+    }
+}

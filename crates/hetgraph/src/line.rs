@@ -1,0 +1,101 @@
+use crate::graph::HetGraph;
+use crate::types::NodeId;
+
+/// The line graph `L(G)` of an undirected view of a [`HetGraph`].
+///
+/// Appendix F computes *node* centralities (closeness, eigenvector, degree,
+/// …) on the line graph so they can serve as *edge* weights of the original
+/// community. Line-node `i` corresponds to the undirected link
+/// `endpoints[i]`; two line-nodes are adjacent iff their links share an
+/// endpoint.
+#[derive(Debug, Clone)]
+pub struct LineGraph {
+    /// Endpoints of the original undirected link behind each line-node.
+    pub endpoints: Vec<(NodeId, NodeId)>,
+    /// Adjacency lists between line-nodes.
+    pub adj: Vec<Vec<usize>>,
+}
+
+impl LineGraph {
+    pub fn n_nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+}
+
+/// Builds the line graph of `g`'s undirected link set.
+pub fn line_graph(g: &HetGraph) -> LineGraph {
+    let endpoints = g.undirected_links();
+    // incident[v] = line-node ids of links touching v
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); g.n_nodes()];
+    for (i, &(a, b)) in endpoints.iter().enumerate() {
+        incident[a].push(i);
+        incident[b].push(i);
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); endpoints.len()];
+    for links in &incident {
+        for (x, &i) in links.iter().enumerate() {
+            for &j in &links[x + 1..] {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    // A pair of links can share both endpoints only in multigraphs, which the
+    // builder cannot produce, so no dedup is needed; assert in debug builds.
+    debug_assert!(adj.iter().all(|l| {
+        let mut s = l.clone();
+        s.sort_unstable();
+        s.windows(2).all(|w| w[0] != w[1])
+    }));
+    LineGraph { endpoints, adj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::types::NodeType;
+
+    #[test]
+    fn path_graph_line_graph_is_a_path() {
+        // txn - pmt - txn': a 2-link path whose line graph is a single edge.
+        let mut b = GraphBuilder::new(1);
+        let t0 = b.add_txn([0.0], None);
+        let t1 = b.add_txn([0.0], None);
+        let p = b.add_entity(NodeType::Pmt);
+        b.link(t0, p).unwrap();
+        b.link(t1, p).unwrap();
+        let lg = line_graph(&b.finish().unwrap());
+        assert_eq!(lg.n_nodes(), 2);
+        assert_eq!(lg.n_edges(), 1);
+        assert_eq!(lg.degree(0), 1);
+    }
+
+    #[test]
+    fn star_line_graph_is_complete() {
+        // k links sharing one centre → K_k line graph.
+        let mut b = GraphBuilder::new(1);
+        let p = {
+            let p = b.add_entity(NodeType::Pmt);
+            for _ in 0..4 {
+                let t = b.add_txn([0.0], None);
+                b.link(t, p).unwrap();
+            }
+            p
+        };
+        let g = b.finish().unwrap();
+        assert_eq!(g.degree(p), 4);
+        let lg = line_graph(&g);
+        assert_eq!(lg.n_nodes(), 4);
+        assert_eq!(lg.n_edges(), 6); // C(4,2)
+        assert!(lg.adj.iter().all(|l| l.len() == 3));
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+
+/// Identifier of a node within one [`crate::HetGraph`].
+pub type NodeId = usize;
+
+/// The five node types of the eBay transaction graph (§3.1):
+/// `A := {txn, pmt, email, addr, buyer}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeType {
+    /// A transaction record (the only featured + labelled type).
+    Txn,
+    /// A payment token (credit card, payment slip, ...).
+    Pmt,
+    /// A billing/contact email address.
+    Email,
+    /// A shipping address.
+    Addr,
+    /// A buyer account.
+    Buyer,
+}
+
+/// All node types, in the order used for one-hot type encodings.
+pub const ALL_NODE_TYPES: [NodeType; 5] =
+    [NodeType::Txn, NodeType::Pmt, NodeType::Email, NodeType::Addr, NodeType::Buyer];
+
+impl NodeType {
+    /// Stable dense index into `ALL_NODE_TYPES` (used for type embeddings).
+    pub fn index(self) -> usize {
+        match self {
+            NodeType::Txn => 0,
+            NodeType::Pmt => 1,
+            NodeType::Email => 2,
+            NodeType::Addr => 3,
+            NodeType::Buyer => 4,
+        }
+    }
+
+    /// `true` for the entity (non-transaction) types.
+    pub fn is_entity(self) -> bool {
+        self != NodeType::Txn
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeType::Txn => "txn",
+            NodeType::Pmt => "pmt",
+            NodeType::Email => "email",
+            NodeType::Addr => "addr",
+            NodeType::Buyer => "buyer",
+        }
+    }
+}
+
+impl fmt::Display for NodeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Directed relation types `φ(e)`. The graph-construction protocol only
+/// creates txn↔entity edges, so there are 4 forward relations (txn→entity)
+/// and 4 reverse ones (entity→txn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeType {
+    TxnPmt,
+    TxnEmail,
+    TxnAddr,
+    TxnBuyer,
+    PmtTxn,
+    EmailTxn,
+    AddrTxn,
+    BuyerTxn,
+}
+
+/// All edge types, in the order used for edge-type embeddings.
+pub const ALL_EDGE_TYPES: [EdgeType; 8] = [
+    EdgeType::TxnPmt,
+    EdgeType::TxnEmail,
+    EdgeType::TxnAddr,
+    EdgeType::TxnBuyer,
+    EdgeType::PmtTxn,
+    EdgeType::EmailTxn,
+    EdgeType::AddrTxn,
+    EdgeType::BuyerTxn,
+];
+
+impl EdgeType {
+    /// Stable dense index into `ALL_EDGE_TYPES`.
+    pub fn index(self) -> usize {
+        match self {
+            EdgeType::TxnPmt => 0,
+            EdgeType::TxnEmail => 1,
+            EdgeType::TxnAddr => 2,
+            EdgeType::TxnBuyer => 3,
+            EdgeType::PmtTxn => 4,
+            EdgeType::EmailTxn => 5,
+            EdgeType::AddrTxn => 6,
+            EdgeType::BuyerTxn => 7,
+        }
+    }
+
+    /// The relation type of a `src → dst` edge, if the pair is one the
+    /// construction protocol produces (exactly one endpoint must be a txn).
+    pub fn between(src: NodeType, dst: NodeType) -> Option<EdgeType> {
+        use NodeType::*;
+        Some(match (src, dst) {
+            (Txn, Pmt) => EdgeType::TxnPmt,
+            (Txn, Email) => EdgeType::TxnEmail,
+            (Txn, Addr) => EdgeType::TxnAddr,
+            (Txn, Buyer) => EdgeType::TxnBuyer,
+            (Pmt, Txn) => EdgeType::PmtTxn,
+            (Email, Txn) => EdgeType::EmailTxn,
+            (Addr, Txn) => EdgeType::AddrTxn,
+            (Buyer, Txn) => EdgeType::BuyerTxn,
+            _ => return None,
+        })
+    }
+
+    /// The same relation viewed from the other endpoint.
+    pub fn reverse(self) -> EdgeType {
+        match self {
+            EdgeType::TxnPmt => EdgeType::PmtTxn,
+            EdgeType::TxnEmail => EdgeType::EmailTxn,
+            EdgeType::TxnAddr => EdgeType::AddrTxn,
+            EdgeType::TxnBuyer => EdgeType::BuyerTxn,
+            EdgeType::PmtTxn => EdgeType::TxnPmt,
+            EdgeType::EmailTxn => EdgeType::TxnEmail,
+            EdgeType::AddrTxn => EdgeType::TxnAddr,
+            EdgeType::BuyerTxn => EdgeType::TxnBuyer,
+        }
+    }
+}
+
+impl fmt::Display for EdgeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeType::TxnPmt => "txn->pmt",
+            EdgeType::TxnEmail => "txn->email",
+            EdgeType::TxnAddr => "txn->addr",
+            EdgeType::TxnBuyer => "txn->buyer",
+            EdgeType::PmtTxn => "pmt->txn",
+            EdgeType::EmailTxn => "email->txn",
+            EdgeType::AddrTxn => "addr->txn",
+            EdgeType::BuyerTxn => "buyer->txn",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_type_indices_match_order() {
+        for (i, t) in ALL_NODE_TYPES.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_type_indices_match_order() {
+        for (i, t) in ALL_EDGE_TYPES.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn reverse_is_an_involution() {
+        for t in ALL_EDGE_TYPES {
+            assert_eq!(t.reverse().reverse(), t);
+        }
+    }
+
+    #[test]
+    fn between_rejects_entity_entity_and_txn_txn() {
+        assert_eq!(EdgeType::between(NodeType::Pmt, NodeType::Email), None);
+        assert_eq!(EdgeType::between(NodeType::Txn, NodeType::Txn), None);
+        assert_eq!(EdgeType::between(NodeType::Txn, NodeType::Buyer), Some(EdgeType::TxnBuyer));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests on the heterogeneous graph structures.
+
+use proptest::prelude::*;
+use xfraud_hetgraph::{
+    community_of, khop_neighborhood, line_graph, GraphBuilder, GraphStats, NodeType,
+};
+
+/// Builds a random bipartite txn↔entity graph from a proptest recipe.
+fn build(
+    n_txn: usize,
+    n_entities: usize,
+    links: &[(usize, usize)],
+) -> xfraud_hetgraph::HetGraph {
+    let mut b = GraphBuilder::new(2);
+    let txns: Vec<usize> =
+        (0..n_txn).map(|i| b.add_txn([i as f32, 0.0], Some(i % 3 == 0))).collect();
+    let kinds = [NodeType::Pmt, NodeType::Email, NodeType::Addr, NodeType::Buyer];
+    let ents: Vec<usize> = (0..n_entities).map(|i| b.add_entity(kinds[i % 4])).collect();
+    // Dedupe: §3.1's relation is binary ("if a transaction has relation
+    // with another node, we put an edge"), so a pair links at most once —
+    // matching the builder's documented simple-graph contract.
+    let mut seen = std::collections::HashSet::new();
+    for &(t, e) in links {
+        let pair = (t % n_txn, e % n_entities);
+        if seen.insert(pair) {
+            b.link(txns[pair.0], ents[pair.1]).unwrap();
+        }
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn structural_invariants_hold(
+        n_txn in 1usize..12,
+        n_ent in 1usize..8,
+        links in prop::collection::vec((0usize..12, 0usize..8), 0..30),
+    ) {
+        let g = build(n_txn, n_ent, &links);
+        prop_assert!(g.validate());
+        // Handshake lemma over the stored double edges.
+        let degree_sum: usize = (0..g.n_nodes()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.n_directed_edges());
+        // Every edge type connects a txn and an entity.
+        for e in g.edges() {
+            let (s, d) = (g.node_type(e.src), g.node_type(e.dst));
+            prop_assert!(s.is_entity() != d.is_entity());
+        }
+        // Stats are self-consistent.
+        let stats = GraphStats::of(&g);
+        prop_assert_eq!(stats.n_nodes, g.n_nodes());
+        prop_assert_eq!(stats.type_counts.iter().sum::<usize>(), g.n_nodes());
+        prop_assert!(stats.fraud_rate() <= 1.0);
+    }
+
+    #[test]
+    fn khop_is_monotone_in_k_and_budget(
+        n_txn in 2usize..10,
+        n_ent in 1usize..6,
+        links in prop::collection::vec((0usize..10, 0usize..6), 1..25),
+        k in 0usize..4,
+        budget in 1usize..6,
+    ) {
+        let g = build(n_txn, n_ent, &links);
+        let small = khop_neighborhood(&g, 0, k, budget);
+        let bigger_k = khop_neighborhood(&g, 0, k + 1, budget);
+        let bigger_b = khop_neighborhood(&g, 0, k, budget + 3);
+        prop_assert!(small.len() <= bigger_k.len());
+        prop_assert!(small.len() <= bigger_b.len());
+        prop_assert_eq!(small[0], 0, "seed comes first");
+        // No duplicates.
+        let mut sorted = small.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), small.len());
+    }
+
+    #[test]
+    fn community_is_closed_under_adjacency(
+        n_txn in 2usize..10,
+        n_ent in 1usize..6,
+        links in prop::collection::vec((0usize..10, 0usize..6), 1..25),
+    ) {
+        let g = build(n_txn, n_ent, &links);
+        let c = community_of(&g, 0, usize::MAX).unwrap();
+        // Every neighbour (in the original graph) of a community member is
+        // itself a member — communities are full connected components.
+        let members: std::collections::HashSet<usize> =
+            c.original_ids.iter().copied().collect();
+        for &v in &c.original_ids {
+            for u in g.neighbors(v) {
+                prop_assert!(members.contains(&u), "community not closed at {v}→{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_graph_degree_identity(
+        n_txn in 2usize..8,
+        n_ent in 1usize..5,
+        links in prop::collection::vec((0usize..8, 0usize..5), 1..20),
+    ) {
+        let g = build(n_txn, n_ent, &links);
+        let lg = line_graph(&g);
+        prop_assert_eq!(lg.n_nodes(), g.n_links());
+        // deg_L(e=(u,v)) = deg(u) + deg(v) - 2 for simple graphs.
+        for (i, &(u, v)) in lg.endpoints.iter().enumerate() {
+            prop_assert_eq!(lg.degree(i), g.degree(u) + g.degree(v) - 2);
+        }
+    }
+}

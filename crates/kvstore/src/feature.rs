@@ -1,0 +1,132 @@
+use std::sync::Arc;
+use std::time::Instant;
+
+use xfraud_tensor::Tensor;
+
+use crate::stores::KvStore;
+
+/// Node-feature loading on top of any [`KvStore`]: the role the KV store
+/// plays in the paper's training pipeline (features are fetched per sampled
+/// subgraph, by every worker, every step).
+pub struct FeatureStore {
+    store: Arc<dyn KvStore>,
+    dim: usize,
+}
+
+impl FeatureStore {
+    pub fn new(store: Arc<dyn KvStore>, dim: usize) -> Self {
+        FeatureStore { store, dim }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn store_name(&self) -> &'static str {
+        self.store.store_name()
+    }
+
+    fn key(node: usize) -> [u8; 8] {
+        (node as u64).to_be_bytes()
+    }
+
+    /// Writes one node's feature row.
+    pub fn put_features(&self, node: usize, features: &[f32]) {
+        assert_eq!(features.len(), self.dim, "feature length mismatch");
+        let mut buf = Vec::with_capacity(self.dim * 4);
+        for &f in features {
+            buf.extend_from_slice(&f.to_le_bytes());
+        }
+        self.store.put(&Self::key(node), &buf);
+    }
+
+    /// Bulk-loads an entire feature matrix (row i = node `base + i`).
+    pub fn put_matrix(&self, base: usize, features: &Tensor) {
+        assert_eq!(features.cols(), self.dim);
+        for r in 0..features.rows() {
+            self.put_features(base + r, features.row(r));
+        }
+    }
+
+    /// Fetches one node's features (zeros if absent — entity nodes are
+    /// featureless in the paper's pipeline).
+    pub fn get_features(&self, node: usize) -> Vec<f32> {
+        match self.store.get(&Self::key(node)) {
+            Some(bytes) => bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+            None => vec![0.0; self.dim],
+        }
+    }
+
+    /// Gathers a dense `[ids.len(), dim]` batch matrix.
+    pub fn load_batch(&self, ids: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(ids.len(), self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            let row = self.get_features(id);
+            out.row_mut(r).copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// The multi-loader experiment of Fig. 12/13: `n_threads` loaders each
+    /// gather their slice of `ids` concurrently. Returns
+    /// `(rows, elapsed_secs, rows_per_sec)`.
+    pub fn load_parallel(&self, ids: &[usize], n_threads: usize) -> (usize, f64, f64) {
+        assert!(n_threads > 0);
+        let start = Instant::now();
+        crossbeam::scope(|scope| {
+            for chunk in ids.chunks(ids.len().div_ceil(n_threads)) {
+                scope.spawn(move |_| {
+                    let _ = self.load_batch(chunk);
+                });
+            }
+        })
+        .expect("loader thread panicked");
+        let secs = start.elapsed().as_secs_f64();
+        (ids.len(), secs, ids.len() as f64 / secs.max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stores::{ShardedStore, SingleLockStore};
+
+    #[test]
+    fn feature_roundtrip_preserves_floats() {
+        let fs = FeatureStore::new(Arc::new(ShardedStore::new(4)), 3);
+        fs.put_features(7, &[1.5, -2.25, 0.0]);
+        assert_eq!(fs.get_features(7), vec![1.5, -2.25, 0.0]);
+    }
+
+    #[test]
+    fn absent_nodes_read_as_zeros() {
+        let fs = FeatureStore::new(Arc::new(SingleLockStore::new()), 2);
+        assert_eq!(fs.get_features(42), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_matrix_matches_rows() {
+        let fs = FeatureStore::new(Arc::new(ShardedStore::new(4)), 2);
+        let m = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        fs.put_matrix(10, &m);
+        let batch = fs.load_batch(&[12, 10]);
+        assert_eq!(batch.row(0), &[5.0, 6.0]);
+        assert_eq!(batch.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_load_covers_all_rows() {
+        let fs = FeatureStore::new(Arc::new(ShardedStore::new(8)), 4);
+        for i in 0..200 {
+            fs.put_features(i, &[i as f32; 4]);
+        }
+        let ids: Vec<usize> = (0..200).collect();
+        let (rows, secs, tput) = fs.load_parallel(&ids, 4);
+        assert_eq!(rows, 200);
+        assert!(secs >= 0.0);
+        assert!(tput > 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+/// A byte-keyed value store usable from many threads.
+///
+/// Methods take `&self`: implementations do their own locking, so the same
+/// store can be shared across loader threads behind an `Arc`.
+pub trait KvStore: Send + Sync {
+    fn put(&self, key: &[u8], value: &[u8]);
+    fn get(&self, key: &[u8]) -> Option<Bytes>;
+    /// Number of live keys.
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn store_name(&self) -> &'static str;
+    /// Number of lock acquisitions that found the lock already held — the
+    /// contention signal behind the paper's Fig. 12 bottleneck. (On a
+    /// single-core host, wall-clock parallel speedups are invisible, but
+    /// serialisation still shows up here.)
+    fn contended_ops(&self) -> u64 {
+        0
+    }
+}
+
+/// One big lock around the whole map: the LevelDB-like profile the paper
+/// moved away from. Correct, simple — and every reader serialises against
+/// every other reader, which is precisely the Fig. 12 bottleneck.
+#[derive(Default)]
+pub struct SingleLockStore {
+    inner: Mutex<BTreeMap<Vec<u8>, Bytes>>,
+    contended: AtomicU64,
+}
+
+impl SingleLockStore {
+    pub fn new() -> Self {
+        SingleLockStore::default()
+    }
+
+    fn acquire(&self) -> parking_lot::MutexGuard<'_, BTreeMap<Vec<u8>, Bytes>> {
+        match self.inner.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock()
+            }
+        }
+    }
+}
+
+impl KvStore for SingleLockStore {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        self.acquire().insert(key.to_vec(), Bytes::copy_from_slice(value));
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.acquire().get(key).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.acquire().len()
+    }
+
+    fn store_name(&self) -> &'static str {
+        "single-lock"
+    }
+
+    fn contended_ops(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-striped store: keys are hashed onto `n_shards` independent
+/// `RwLock<HashMap>`s, so readers of different shards (and readers of the
+/// *same* shard) proceed concurrently — the LMDB-like multi-reader profile
+/// of Fig. 13 that "turned out significant in reducing the training and
+/// inference time".
+pub struct ShardedStore {
+    shards: Vec<RwLock<HashMap<Vec<u8>, Bytes>>>,
+    contended: AtomicU64,
+}
+
+impl ShardedStore {
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards > 0);
+        ShardedStore {
+            shards: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        // FNV-1a: tiny, decent spread, no dependency.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+}
+
+impl KvStore for ShardedStore {
+    fn put(&self, key: &[u8], value: &[u8]) {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut guard = match shard.try_write() {
+            Some(g) => g,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.write()
+            }
+        };
+        guard.insert(key.to_vec(), Bytes::copy_from_slice(value));
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let shard = &self.shards[self.shard_of(key)];
+        let guard = match shard.try_read() {
+            Some(g) => g,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.read()
+            }
+        };
+        guard.get(key).cloned()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn store_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn contended_ops(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn roundtrip(store: &dyn KvStore) {
+        assert!(store.is_empty());
+        store.put(b"a", b"1");
+        store.put(b"b", b"2");
+        assert_eq!(store.get(b"a").as_deref(), Some(&b"1"[..]));
+        assert_eq!(store.get(b"missing"), None);
+        store.put(b"a", b"overwritten");
+        assert_eq!(store.get(b"a").as_deref(), Some(&b"overwritten"[..]));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn single_lock_roundtrip() {
+        roundtrip(&SingleLockStore::new());
+    }
+
+    #[test]
+    fn sharded_roundtrip() {
+        roundtrip(&ShardedStore::new(8));
+    }
+
+    #[test]
+    fn sharded_single_shard_degenerates_gracefully() {
+        roundtrip(&ShardedStore::new(1));
+    }
+
+    fn concurrent_writes_then_reads(store: Arc<dyn KvStore>) {
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let store = Arc::clone(&store);
+                scope.spawn(move |_| {
+                    for i in 0..250u64 {
+                        let k = (t * 1000 + i).to_be_bytes();
+                        store.put(&k, &k);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(store.len(), 1000);
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let store = Arc::clone(&store);
+                scope.spawn(move |_| {
+                    for i in 0..250u64 {
+                        let k = (t * 1000 + i).to_be_bytes();
+                        assert_eq!(store.get(&k).as_deref(), Some(&k[..]));
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn single_lock_is_thread_safe() {
+        concurrent_writes_then_reads(Arc::new(SingleLockStore::new()));
+    }
+
+    #[test]
+    fn sharded_is_thread_safe() {
+        concurrent_writes_then_reads(Arc::new(ShardedStore::new(16)));
+    }
+}

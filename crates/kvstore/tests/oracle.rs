@@ -1,0 +1,77 @@
+//! Model-based tests: every store implementation must behave exactly like
+//! a `BTreeMap` for arbitrary operation sequences (the linearisable
+//! single-thread semantics all three promise).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xfraud_kvstore::{FeatureStore, KvStore, LogStore, ShardedStore, SingleLockStore};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..12)).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Get),
+    ]
+}
+
+fn temp_log(name: u64) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("xfraud-oracle-{}-{name}.log", std::process::id()));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_stores_match_the_oracle(ops in prop::collection::vec(op_strategy(), 1..80),
+                                   salt in any::<u64>()) {
+        let log_path = temp_log(salt);
+        let stores: Vec<Box<dyn KvStore>> = vec![
+            Box::new(SingleLockStore::new()),
+            Box::new(ShardedStore::new(4)),
+            Box::new(LogStore::create(&log_path, 4).expect("log store")),
+        ];
+        let mut oracle: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    for s in &stores {
+                        s.put(&[*k], v);
+                    }
+                    oracle.insert(vec![*k], v.clone());
+                }
+                Op::Get(k) => {
+                    let expected = oracle.get(&vec![*k]).map(|v| v.as_slice());
+                    for s in &stores {
+                        let got = s.get(&[*k]);
+                        prop_assert_eq!(got.as_deref(), expected, "{} diverged", s.store_name());
+                    }
+                }
+            }
+        }
+        for s in &stores {
+            prop_assert_eq!(s.len(), oracle.len(), "{} len diverged", s.store_name());
+        }
+        let _ = std::fs::remove_file(log_path);
+    }
+
+    #[test]
+    fn feature_store_roundtrips_arbitrary_floats(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f32..1e6, 4), 1..20)
+    ) {
+        let fs = FeatureStore::new(Arc::new(ShardedStore::new(4)), 4);
+        for (i, row) in rows.iter().enumerate() {
+            fs.put_features(i, row);
+        }
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&fs.get_features(i), row);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+/// One point of a PR or ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Recall (PR) or false-positive rate (ROC).
+    pub x: f64,
+    /// Precision (PR) or true-positive rate (ROC).
+    pub y: f64,
+    /// The score threshold that produced this point.
+    pub threshold: f32,
+}
+
+/// Precision–recall curve over all distinct score thresholds, descending
+/// (Fig. 8). The first point is `(recall=0, precision=1)` by convention.
+pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<CurvePoint> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    let mut points = vec![CurvePoint { x: 0.0, y: 1.0, threshold: f32::INFINITY }];
+    if n_pos == 0 {
+        return points;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut tp = 0usize;
+    let mut k = 0;
+    while k < order.len() {
+        let mut j = k;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[k]] {
+            j += 1;
+        }
+        for &idx in &order[k..=j] {
+            if labels[idx] {
+                tp += 1;
+            }
+        }
+        points.push(CurvePoint {
+            x: tp as f64 / n_pos as f64,
+            y: tp as f64 / (j + 1) as f64,
+            threshold: scores[order[k]],
+        });
+        k = j + 1;
+    }
+    points
+}
+
+/// ROC curve (FPR, TPR) over all distinct score thresholds, descending
+/// (Fig. 9/15). Starts at `(0,0)` and ends at `(1,1)`.
+pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<CurvePoint> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    let n_neg = labels.len() - n_pos;
+    let mut points = vec![CurvePoint { x: 0.0, y: 0.0, threshold: f32::INFINITY }];
+    if n_pos == 0 || n_neg == 0 {
+        return points;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut k = 0;
+    while k < order.len() {
+        let mut j = k;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[k]] {
+            j += 1;
+        }
+        for &idx in &order[k..=j] {
+            if labels[idx] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        points.push(CurvePoint {
+            x: fp as f64 / n_neg as f64,
+            y: tp as f64 / n_pos as f64,
+            threshold: scores[order[k]],
+        });
+        k = j + 1;
+    }
+    points
+}
+
+/// Trapezoidal area under a curve's points (validation helper: the area
+/// under [`roc_curve`] must match [`crate::roc_auc`]).
+pub fn trapezoid_area(points: &[CurvePoint]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| (w[1].x - w[0].x) * (w[1].y + w[0].y) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roc_auc;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roc_curve_area_matches_rank_auc() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let scores: Vec<f32> = (0..300).map(|_| rng.gen()).collect();
+        let labels: Vec<bool> = scores.iter().map(|&s| rng.gen::<f32>() < s).collect();
+        let curve = roc_curve(&scores, &labels);
+        let area = trapezoid_area(&curve);
+        let auc = roc_auc(&scores, &labels);
+        assert!((area - auc).abs() < 1e-9, "area={area} auc={auc}");
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall_and_endpoints() {
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2];
+        let labels = [true, false, true, false, true];
+        let curve = pr_curve(&scores, &labels);
+        assert_eq!(curve[0].x, 0.0);
+        assert_eq!(curve[0].y, 1.0);
+        assert!((curve.last().unwrap().x - 1.0).abs() < 1e-12, "final recall = 1");
+        for w in curve.windows(2) {
+            assert!(w[1].x >= w[0].x, "recall must not decrease");
+        }
+    }
+
+    #[test]
+    fn roc_curve_ends_at_one_one() {
+        let scores = [0.9, 0.1, 0.5];
+        let labels = [true, false, false];
+        let last = *roc_curve(&scores, &labels).last().unwrap();
+        assert_eq!((last.x, last.y), (1.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_curves_are_single_points() {
+        assert_eq!(pr_curve(&[0.4], &[false]).len(), 1);
+        assert_eq!(roc_curve(&[0.4], &[false]).len(), 1);
+    }
+}

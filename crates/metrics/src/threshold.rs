@@ -1,0 +1,143 @@
+/// Confusion counts at one threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    pub fn tpr(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.tp + self.fn_)
+    }
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.tn + self.fp)
+    }
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+    /// Recall is the TPR by another name (Appendix H.1).
+    pub fn recall(&self) -> f64 {
+        self.tpr()
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Confusion counts with decision rule `score >= threshold → fraud`.
+pub fn confusion_at(scores: &[f32], labels: &[bool], threshold: f32) -> Confusion {
+    assert_eq!(scores.len(), labels.len());
+    let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+    for (&s, &y) in scores.iter().zip(labels) {
+        match (s >= threshold, y) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// A sweep over an explicit threshold grid — the machinery behind Tables
+/// 14–19. Follows the paper's `-` convention: a threshold that no score
+/// reaches yields `None` ("the scores do not exist for scores ≥ threshold").
+#[derive(Debug, Clone)]
+pub struct ThresholdReport {
+    pub thresholds: Vec<f32>,
+    pub cells: Vec<Option<Confusion>>,
+}
+
+impl ThresholdReport {
+    pub fn sweep(scores: &[f32], labels: &[bool], thresholds: &[f32]) -> Self {
+        let max_score = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let cells = thresholds
+            .iter()
+            .map(|&t| (max_score >= t).then(|| confusion_at(scores, labels, t)))
+            .collect();
+        ThresholdReport { thresholds: thresholds.to_vec(), cells }
+    }
+
+    /// The three standard grids of the paper's appendix tables.
+    pub fn paper_grids() -> [Vec<f32>; 3] {
+        let coarse: Vec<f32> = (1..=9).map(|i| i as f32 / 10.0).collect(); // Table 14/17
+        let mut mid = vec![0.95, 0.96];
+        mid.extend((970..=977).map(|i| i as f32 / 1000.0)); // Table 15/18
+        let fine: Vec<f32> = (978..=987).map(|i| i as f32 / 1000.0).collect(); // Table 16/19
+        [coarse, mid, fine]
+    }
+
+    /// Formats one metric row ("-" where the cell is undefined).
+    pub fn row(&self, metric: impl Fn(&Confusion) -> f64) -> String {
+        self.cells
+            .iter()
+            .map(|c| match c {
+                Some(c) => format!("{:.4}", metric(c)),
+                None => "-".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f32; 6] = [0.95, 0.8, 0.6, 0.4, 0.2, 0.05];
+    const LABELS: [bool; 6] = [true, true, false, true, false, false];
+
+    #[test]
+    fn confusion_counts_are_exact() {
+        let c = confusion_at(&SCORES, &LABELS, 0.5);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 2, fn_: 1 });
+        assert!((c.tpr() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.fpr() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_rates() {
+        let c = confusion_at(&SCORES, &LABELS, 0.3);
+        assert!((c.tpr() + c.fnr() - 1.0).abs() < 1e-12);
+        assert!((c.tnr() + c.fpr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_marks_unreachable_thresholds_as_none() {
+        let rep = ThresholdReport::sweep(&SCORES, &LABELS, &[0.5, 0.9, 0.99]);
+        assert!(rep.cells[0].is_some());
+        assert!(rep.cells[1].is_some());
+        assert!(rep.cells[2].is_none(), "no score reaches 0.99");
+        assert!(rep.row(Confusion::tpr).ends_with('-'));
+    }
+
+    #[test]
+    fn paper_grids_cover_the_published_ranges() {
+        let [coarse, mid, fine] = ThresholdReport::paper_grids();
+        assert_eq!(coarse.first().copied(), Some(0.1));
+        assert_eq!(coarse.last().copied(), Some(0.9));
+        assert!((mid[2] - 0.97).abs() < 1e-6);
+        assert!((fine.last().unwrap() - 0.987).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_rates() {
+        let c = confusion_at(&[], &[], 0.5);
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+    }
+}

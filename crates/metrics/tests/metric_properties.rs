@@ -1,0 +1,95 @@
+//! Property tests for the metric suite.
+
+use proptest::prelude::*;
+use xfraud_metrics::{
+    accuracy, average_precision, confusion_at, pr_curve, roc_auc, roc_curve, trapezoid_area,
+    Confusion, ThresholdReport,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ap_is_bounded_and_at_least_base_rate_under_perfect_ranking(
+        n_pos in 1usize..20, n_neg in 1usize..20
+    ) {
+        // Perfect ranking: every positive above every negative → AP = 1.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            scores.push(1.0 + i as f32 * 1e-3);
+            labels.push(true);
+        }
+        for i in 0..n_neg {
+            scores.push(-(i as f32) * 1e-3);
+            labels.push(false);
+        }
+        prop_assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-9);
+        prop_assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confusion_counts_always_partition_the_data(
+        scores in prop::collection::vec(0.0f32..1.0, 1..50),
+        labels in prop::collection::vec(any::<bool>(), 1..50),
+        threshold in 0.0f32..1.0,
+    ) {
+        let n = scores.len().min(labels.len());
+        let c = confusion_at(&scores[..n], &labels[..n], threshold);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, n);
+        prop_assert!((0.0..=1.0).contains(&c.tpr()));
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((c.recall() - c.tpr()).abs() < 1e-12, "recall is TPR");
+    }
+
+    #[test]
+    fn threshold_sweep_rates_are_monotone(
+        scores in prop::collection::vec(0.0f32..1.0, 4..60),
+        labels in prop::collection::vec(any::<bool>(), 4..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let grid: Vec<f32> = (1..10).map(|i| i as f32 / 10.0).collect();
+        let rep = ThresholdReport::sweep(&scores[..n], &labels[..n], &grid);
+        // TPR and FPR are non-increasing as the threshold rises.
+        let series: Vec<Option<(f64, f64)>> = rep
+            .cells
+            .iter()
+            .map(|c| c.as_ref().map(|c| (c.tpr(), c.fpr())))
+            .collect();
+        for w in series.windows(2) {
+            if let (Some((tpr0, fpr0)), Some((tpr1, fpr1))) = (w[0], w[1]) {
+                prop_assert!(tpr1 <= tpr0 + 1e-12);
+                prop_assert!(fpr1 <= fpr0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn curves_are_consistent_with_scalar_metrics(
+        scores in prop::collection::vec(0.0f32..1.0, 4..60),
+        labels in prop::collection::vec(any::<bool>(), 4..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let both = labels.iter().any(|&y| y) && labels.iter().any(|&y| !y);
+        prop_assume!(both);
+        let roc = roc_curve(scores, labels);
+        prop_assert!((trapezoid_area(&roc) - roc_auc(scores, labels)).abs() < 1e-9);
+        // The PR curve's final recall is 1 and every precision is in [0,1].
+        let pr = pr_curve(scores, labels);
+        prop_assert!((pr.last().unwrap().x - 1.0).abs() < 1e-12);
+        prop_assert!(pr.iter().all(|p| (0.0..=1.0 + 1e-12).contains(&p.y)));
+        // Accuracy at extreme thresholds equals the majority class rate.
+        let pos_rate = labels.iter().filter(|&&y| y).count() as f64 / n as f64;
+        prop_assert!((accuracy(scores, labels, -1.0) - pos_rate).abs() < 1e-12);
+        prop_assert!((accuracy(scores, labels, 2.0) - (1.0 - pos_rate)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn confusion_struct_is_plain_data() {
+    let c = Confusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
+    assert_eq!(c.tpr(), 0.2);
+    assert_eq!(c.fpr(), 0.4);
+}

@@ -1,0 +1,146 @@
+use xfraud_tensor::Tensor;
+
+use crate::param::{ParamId, ParamStore};
+
+/// AdamW with global-norm gradient clipping — the paper's optimizer
+/// (Appendix C: `optimizer = "adamw"`, `clip = 0.25`).
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    /// Global gradient-norm ceiling; `None` disables clipping.
+    pub clip: Option<f32>,
+    t: u64,
+}
+
+impl AdamW {
+    pub fn new(lr: f32) -> Self {
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            clip: Some(0.25),
+            t: 0,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Chainable weight-decay override (e.g. 0 for mask optimisation).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Chainable clip override (`None` disables global-norm clipping).
+    pub fn with_clip(mut self, clip: Option<f32>) -> Self {
+        self.clip = clip;
+        self
+    }
+
+    /// Applies one update from `(param, grad)` pairs.
+    ///
+    /// Clipping is by *global* norm across all supplied gradients, matching
+    /// `torch.nn.utils.clip_grad_norm_` semantics.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        self.t += 1;
+        let scale = match self.clip {
+            Some(max_norm) => {
+                let total: f32 = grads.iter().map(|(_, g)| g.norm_sq()).sum();
+                let norm = total.sqrt();
+                if norm > max_norm {
+                    max_norm / (norm + 1e-12)
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, grad) in grads {
+            let (value, m, v) = store.moments_mut(*id);
+            debug_assert_eq!(value.shape(), grad.shape(), "grad shape mismatch");
+            for i in 0..value.len() {
+                let g = grad.data()[i] * scale;
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                let w = value.data()[i];
+                value.data_mut()[i] =
+                    w - self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Session;
+
+    /// Minimising (w-3)^2 must converge to ~3.
+    #[test]
+    fn adamw_minimises_a_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = AdamW { weight_decay: 0.0, clip: None, ..AdamW::new(0.1) };
+        for _ in 0..400 {
+            let mut sess = Session::new();
+            let wv = sess.param(&store, w);
+            let c = sess.constant(Tensor::scalar(3.0));
+            let d = sess.tape.sub(wv, c);
+            let sq = sess.tape.mul(d, d);
+            let loss = sess.tape.sum_all(sq);
+            let grads = sess.backward(loss);
+            opt.step(&mut store, &grads);
+        }
+        let w_final = store.value(w).item();
+        assert!((w_final - 3.0).abs() < 0.05, "w = {w_final}");
+    }
+
+    #[test]
+    fn clipping_bounds_the_applied_update() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = AdamW { weight_decay: 0.0, clip: Some(0.25), lr: 1.0, ..AdamW::new(1.0) };
+        // Huge gradient; the first Adam step magnitude is bounded by lr
+        // regardless, so compare the *moment* to the clipped gradient.
+        let grads = vec![(w, Tensor::scalar(1000.0))];
+        opt.step(&mut store, &grads);
+        // m = 0.1 * clipped_g; clipped_g = 0.25
+        let expected_m = 0.1 * 0.25;
+        let mut probe = Session::new();
+        let _ = probe.param(&store, w);
+        // Second step with zero grad: m decays by beta1.
+        let grads2 = vec![(w, Tensor::scalar(0.0))];
+        let before = store.value(w).item();
+        opt.step(&mut store, &grads2);
+        let after = store.value(w).item();
+        // The update direction still follows the small clipped moment.
+        assert!((after - before).abs() < 1.0);
+        assert!(expected_m > 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(10.0));
+        let mut opt = AdamW { weight_decay: 0.1, clip: None, ..AdamW::new(0.01) };
+        let grads = vec![(w, Tensor::scalar(0.0))];
+        opt.step(&mut store, &grads);
+        let v = store.value(w).item();
+        assert!((v - (10.0 - 0.01 * 0.1 * 10.0)).abs() < 1e-5, "v={v}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-module training-dynamics tests for the nn crate: layers compose,
+//! optimizers behave, sessions stay independent.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfraud_nn::{AdamW, Embedding, Ffn, Layer, LayerNorm, Linear, ParamStore, Session};
+use xfraud_tensor::Tensor;
+
+/// A 2-layer MLP must fit XOR — the classic nonlinearity check for the
+/// whole layer/optimizer stack.
+#[test]
+fn mlp_learns_xor() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let l1 = Linear::new(&mut store, "l1", 2, 8, true, &mut rng);
+    let l2 = Linear::new(&mut store, "l2", 8, 2, true, &mut rng);
+    let x = Tensor::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+    let labels = Rc::new(vec![0usize, 1, 1, 0]);
+    let mut opt = AdamW::new(5e-2).with_weight_decay(0.0).with_clip(None);
+    let mut last = f32::INFINITY;
+    for _ in 0..300 {
+        let mut sess = Session::new();
+        let xv = sess.constant(x.clone());
+        let h = l1.forward(&mut sess, &store, xv);
+        let h = sess.tape.relu(h);
+        let logits = l2.forward(&mut sess, &store, h);
+        let loss = sess.tape.softmax_cross_entropy(logits, Rc::clone(&labels));
+        last = sess.tape.value(loss).item();
+        let grads = sess.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+    assert!(last < 0.05, "XOR loss stuck at {last}");
+}
+
+#[test]
+fn layer_norm_then_linear_backprop_is_finite() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let ln = LayerNorm::new(&mut store, "ln", 6);
+    let lin = Linear::new(&mut store, "lin", 6, 3, true, &mut rng);
+    let mut sess = Session::new();
+    // Extreme inputs: layer norm must tame them before the linear.
+    let x = sess.constant(Tensor::from_rows(&[&[1e4, -1e4, 5e3, 0.0, 1.0, -2.0]]));
+    let h = ln.forward(&mut sess, &store, x);
+    let y = lin.forward(&mut sess, &store, h);
+    let sq = sess.tape.mul(y, y);
+    let loss = sess.tape.sum_all(sq);
+    let grads = sess.backward(loss);
+    for (_, g) in grads {
+        assert!(g.data().iter().all(|v| v.is_finite()), "non-finite gradient");
+    }
+}
+
+#[test]
+fn embedding_rows_specialize_during_training() {
+    // Two classes keyed purely by an id looked up in an embedding: the two
+    // rows must separate.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let emb = Embedding::glorot(&mut store, "emb", 2, 4, &mut rng);
+    let head = Linear::new(&mut store, "head", 4, 2, true, &mut rng);
+    let ids = vec![0usize, 1, 0, 1];
+    let labels = Rc::new(vec![0usize, 1, 0, 1]);
+    let mut opt = AdamW::new(5e-2).with_weight_decay(0.0);
+    for _ in 0..200 {
+        let mut sess = Session::new();
+        let h = emb.forward_ids(&mut sess, &store, &ids);
+        let logits = head.forward(&mut sess, &store, h);
+        let loss = sess.tape.softmax_cross_entropy(logits, Rc::clone(&labels));
+        let grads = sess.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+    let table = store.value(emb.table);
+    let dist: f32 = table
+        .row(0)
+        .iter()
+        .zip(table.row(1))
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    assert!(dist > 0.1, "embedding rows failed to separate: {dist}");
+}
+
+#[test]
+fn ffn_with_dropout_still_converges_in_train_mode() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let ffn = Ffn::new(&mut store, "f", 4, 16, 2, 2, 0.2, &mut rng);
+    let mut data_rng = StdRng::seed_from_u64(7);
+    let mut opt = AdamW::new(1e-2).with_weight_decay(0.0);
+    let mut final_loss = f32::INFINITY;
+    for _ in 0..250 {
+        // Linearly separable stream: label = sign of x0.
+        let mut x = Tensor::zeros(16, 4);
+        let mut y = Vec::with_capacity(16);
+        for r in 0..16 {
+            let v: f32 = data_rng.gen_range(-1.0..1.0);
+            x.set(r, 0, v);
+            x.set(r, 1, data_rng.gen_range(-1.0..1.0));
+            y.push(usize::from(v > 0.0));
+        }
+        let mut sess = Session::new();
+        let xv = sess.constant(x);
+        let logits = ffn.forward(&mut sess, &store, xv, true, &mut data_rng);
+        let loss = sess.tape.softmax_cross_entropy(logits, Rc::new(y));
+        final_loss = sess.tape.value(loss).item();
+        let grads = sess.backward(loss);
+        opt.step(&mut store, &grads);
+    }
+    assert!(final_loss < 0.4, "dropout-trained FFN stuck at {final_loss}");
+}
+
+#[test]
+fn adamw_steps_are_deterministic() {
+    let run = || {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::full(1, 3, 1.0));
+        let mut opt = AdamW::new(1e-2);
+        for i in 0..10 {
+            let g = Tensor::full(1, 3, (i % 3) as f32 - 1.0);
+            opt.step(&mut store, &[(w, g)]);
+        }
+        store.value(w).clone()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn param_store_name_and_size_accounting() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut store = ParamStore::new();
+    let lin = Linear::new(&mut store, "probe", 3, 5, true, &mut rng);
+    assert_eq!(store.name(lin.w), "probe.w");
+    assert_eq!(store.n_scalars(), 3 * 5 + 5);
+    assert_eq!(store.len(), 2);
+    assert!(store.ids().all(|id| store.owns(id)));
+}

@@ -1,0 +1,230 @@
+use crate::rule::{Literal, Op, Rule, RuleSet};
+
+/// Mining hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Quantile cut-points evaluated per feature (skope-rules uses tree
+    /// split points; quantiles are the deterministic equivalent).
+    pub n_thresholds: usize,
+    /// Minimum fraud precision a kept rule must reach on the train split.
+    pub min_precision: f64,
+    /// Minimum number of matched training rows.
+    pub min_support: usize,
+    /// Maximum number of rules kept after greedy cover.
+    pub max_rules: usize,
+    /// Number of top literals expanded into depth-2 conjunctions.
+    pub beam: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            n_thresholds: 16,
+            min_precision: 0.3,
+            min_support: 10,
+            max_rules: 12,
+            beam: 10,
+        }
+    }
+}
+
+/// skope-rules-style miner: quantile literals → depth-2 conjunctions →
+/// precision/support gate → greedy cover.
+pub struct RuleMiner {
+    pub cfg: MinerConfig,
+}
+
+impl RuleMiner {
+    pub fn new(cfg: MinerConfig) -> Self {
+        RuleMiner { cfg }
+    }
+
+    /// Mines a rule set from labelled rows (`true` = fraud).
+    pub fn mine(&self, rows: &[&[f32]], labels: &[bool]) -> RuleSet {
+        assert_eq!(rows.len(), labels.len());
+        if rows.is_empty() {
+            return RuleSet::default();
+        }
+        let dim = rows[0].len();
+        let n_pos = labels.iter().filter(|&&y| y).count();
+        if n_pos == 0 {
+            return RuleSet::default();
+        }
+
+        // 1. Candidate literals at per-feature quantiles, both directions.
+        let mut literals: Vec<Literal> = Vec::new();
+        for feature in 0..dim {
+            let mut values: Vec<f32> = rows.iter().map(|r| r[feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            for q in 1..=self.cfg.n_thresholds {
+                let idx = q * (values.len() - 1) / (self.cfg.n_thresholds + 1);
+                let threshold = values[idx];
+                literals.push(Literal { feature, op: Op::Ge, threshold });
+                literals.push(Literal { feature, op: Op::Le, threshold });
+            }
+        }
+
+        // Score a candidate conjunction.
+        let score = |lits: &[Literal]| -> Option<Rule> {
+            let mut tp = 0usize;
+            let mut matched = 0usize;
+            for (row, &y) in rows.iter().zip(labels) {
+                if lits.iter().all(|l| l.matches(row)) {
+                    matched += 1;
+                    if y {
+                        tp += 1;
+                    }
+                }
+            }
+            if matched < self.cfg.min_support {
+                return None;
+            }
+            let precision = tp as f64 / matched as f64;
+            if precision < self.cfg.min_precision {
+                return None;
+            }
+            Some(Rule {
+                literals: lits.to_vec(),
+                precision,
+                recall: tp as f64 / n_pos as f64,
+                support: matched,
+            })
+        };
+
+        // 2. Keep the best single literals, then grow depth-2 conjunctions
+        //    from the beam.
+        let mut singles: Vec<Rule> =
+            literals.iter().filter_map(|&l| score(&[l])).collect();
+        singles.sort_by(|a, b| {
+            (b.precision * b.recall)
+                .partial_cmp(&(a.precision * a.recall))
+                .expect("finite scores")
+        });
+        singles.truncate(self.cfg.beam);
+
+        let mut candidates = singles.clone();
+        for (i, a) in singles.iter().enumerate() {
+            for b in &singles[i + 1..] {
+                if a.literals[0].feature == b.literals[0].feature {
+                    continue;
+                }
+                let lits = vec![a.literals[0], b.literals[0]];
+                if let Some(rule) = score(&lits) {
+                    candidates.push(rule);
+                }
+            }
+        }
+
+        // 3. Greedy cover: repeatedly take the rule adding the most *new*
+        //    true positives, weighted by precision.
+        let mut covered = vec![false; rows.len()];
+        let mut kept: Vec<Rule> = Vec::new();
+        while kept.len() < self.cfg.max_rules {
+            let mut best: Option<(f64, usize)> = None;
+            for (ri, rule) in candidates.iter().enumerate() {
+                let new_tp = rows
+                    .iter()
+                    .zip(labels)
+                    .zip(&covered)
+                    .filter(|((row, &y), &cov)| y && !cov && rule.matches(row))
+                    .count();
+                if new_tp == 0 {
+                    continue;
+                }
+                let gain = new_tp as f64 * rule.precision;
+                if best.as_ref().is_none_or(|&(g, _)| gain > g) {
+                    best = Some((gain, ri));
+                }
+            }
+            let Some((_, ri)) = best else { break };
+            let rule = candidates.swap_remove(ri);
+            for ((row, _), cov) in rows.iter().zip(labels).zip(covered.iter_mut()) {
+                if rule.matches(row) {
+                    *cov = true;
+                }
+            }
+            kept.push(rule);
+        }
+        RuleSet { rules: kept }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic rows where fraud ⇔ (x0 > 1) OR (x1 < -1); x2 is noise.
+    fn planted(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x0: f32 = rng.gen_range(-2.0..2.0);
+            let x1: f32 = rng.gen_range(-2.0..2.0);
+            let x2: f32 = rng.gen_range(-2.0..2.0);
+            labels.push(x0 > 1.0 || x1 < -1.0);
+            rows.push(vec![x0, x1, x2]);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn miner_recovers_planted_rules() {
+        let (rows, labels) = planted(2000, 1);
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let miner = RuleMiner::new(MinerConfig { min_precision: 0.8, ..Default::default() });
+        let rs = miner.mine(&refs, &labels);
+        assert!(!rs.rules.is_empty());
+        let (p, r) = rs.evaluate(&refs, &labels);
+        assert!(p > 0.8, "precision {p}");
+        assert!(r > 0.7, "recall {r}");
+        // The discovered literals involve the signal features, not noise.
+        for rule in &rs.rules {
+            for lit in &rule.literals {
+                assert!(lit.feature != 2, "rule used the noise feature: {rule}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_drops_mostly_benign_rows() {
+        let (rows, labels) = planted(2000, 2);
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let rs = RuleMiner::new(MinerConfig::default()).mine(&refs, &labels);
+        let (risky, low) = rs.filter(&refs);
+        assert!(!risky.is_empty() && !low.is_empty());
+        let fraud_in_low =
+            low.iter().filter(|&&i| labels[i]).count() as f64 / low.len() as f64;
+        let fraud_in_risky =
+            risky.iter().filter(|&&i| labels[i]).count() as f64 / risky.len() as f64;
+        assert!(
+            fraud_in_risky > fraud_in_low * 5.0,
+            "risky {fraud_in_risky} vs low {fraud_in_low}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_rulesets() {
+        let miner = RuleMiner::new(MinerConfig::default());
+        assert!(miner.mine(&[], &[]).rules.is_empty());
+        let rows: Vec<&[f32]> = vec![&[1.0], &[2.0]];
+        assert!(miner.mine(&rows, &[false, false]).rules.is_empty());
+    }
+
+    #[test]
+    fn support_floor_is_respected() {
+        let (rows, labels) = planted(300, 3);
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let rs = RuleMiner::new(MinerConfig { min_support: 25, ..Default::default() })
+            .mine(&refs, &labels);
+        for r in &rs.rules {
+            assert!(r.support >= 25, "{r}");
+        }
+    }
+}

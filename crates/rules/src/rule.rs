@@ -1,0 +1,182 @@
+use std::fmt;
+
+/// Comparison direction of a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `feature >= threshold`
+    Ge,
+    /// `feature <= threshold`
+    Le,
+}
+
+/// One axis-aligned condition on a feature dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Literal {
+    pub feature: usize,
+    pub op: Op,
+    pub threshold: f32,
+}
+
+impl Literal {
+    pub fn matches(&self, row: &[f32]) -> bool {
+        let v = row[self.feature];
+        match self.op {
+            Op::Ge => v >= self.threshold,
+            Op::Le => v <= self.threshold,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            Op::Ge => ">=",
+            Op::Le => "<=",
+        };
+        write!(f, "x[{}] {} {:.3}", self.feature, op, self.threshold)
+    }
+}
+
+/// A conjunction of literals with its training-split quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub literals: Vec<Literal>,
+    /// Fraud precision on the training split.
+    pub precision: f64,
+    /// Fraud recall on the training split.
+    pub recall: f64,
+    /// Number of training rows matched.
+    pub support: usize,
+}
+
+impl Rule {
+    pub fn matches(&self, row: &[f32]) -> bool {
+        self.literals.iter().all(|l| l.matches(row))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let conds: Vec<String> = self.literals.iter().map(Literal::to_string).collect();
+        write!(
+            f,
+            "IF {} THEN fraud  (precision {:.2}, recall {:.2}, support {})",
+            conds.join(" AND "),
+            self.precision,
+            self.recall,
+            self.support
+        )
+    }
+}
+
+/// The mined rule list; a transaction is *risky* iff any rule fires.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    pub fn is_risky(&self, row: &[f32]) -> bool {
+        self.rules.iter().any(|r| r.matches(row))
+    }
+
+    /// Splits row indices into (risky, low-risk) — the paper's pre-GNN
+    /// filter: low-risk rows never reach the graph model.
+    pub fn filter(&self, rows: &[&[f32]]) -> (Vec<usize>, Vec<usize>) {
+        let mut risky = Vec::new();
+        let mut low = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if self.is_risky(row) {
+                risky.push(i);
+            } else {
+                low.push(i);
+            }
+        }
+        (risky, low)
+    }
+
+    /// Precision/recall of the "any rule fires" flag on labelled rows.
+    pub fn evaluate(&self, rows: &[&[f32]], labels: &[bool]) -> (f64, f64) {
+        assert_eq!(rows.len(), labels.len());
+        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        for (row, &y) in rows.iter().zip(labels) {
+            match (self.is_risky(row), y) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                _ => {}
+            }
+        }
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        (precision, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(feature: usize, op: Op, threshold: f32) -> Rule {
+        Rule {
+            literals: vec![Literal { feature, op, threshold }],
+            precision: 1.0,
+            recall: 1.0,
+            support: 1,
+        }
+    }
+
+    #[test]
+    fn literal_matching_is_inclusive() {
+        let l = Literal { feature: 0, op: Op::Ge, threshold: 1.0 };
+        assert!(l.matches(&[1.0]));
+        assert!(l.matches(&[2.0]));
+        assert!(!l.matches(&[0.9]));
+        let l = Literal { feature: 0, op: Op::Le, threshold: 1.0 };
+        assert!(l.matches(&[1.0]));
+        assert!(!l.matches(&[1.1]));
+    }
+
+    #[test]
+    fn conjunction_requires_all_literals() {
+        let r = Rule {
+            literals: vec![
+                Literal { feature: 0, op: Op::Ge, threshold: 1.0 },
+                Literal { feature: 1, op: Op::Le, threshold: 0.0 },
+            ],
+            precision: 1.0,
+            recall: 1.0,
+            support: 1,
+        };
+        assert!(r.matches(&[1.5, -1.0]));
+        assert!(!r.matches(&[1.5, 1.0]));
+        assert!(!r.matches(&[0.5, -1.0]));
+    }
+
+    #[test]
+    fn ruleset_filter_partitions_rows() {
+        let rs = RuleSet { rules: vec![rule(0, Op::Ge, 0.5)] };
+        let rows: Vec<&[f32]> = vec![&[0.9], &[0.1], &[0.6]];
+        let (risky, low) = rs.filter(&rows);
+        assert_eq!(risky, vec![0, 2]);
+        assert_eq!(low, vec![1]);
+    }
+
+    #[test]
+    fn evaluate_computes_precision_recall() {
+        let rs = RuleSet { rules: vec![rule(0, Op::Ge, 0.5)] };
+        let rows: Vec<&[f32]> = vec![&[0.9], &[0.9], &[0.1], &[0.1]];
+        let labels = [true, false, true, false];
+        let (p, r) = rs.evaluate(&rows, &labels);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = rule(3, Op::Ge, 1.25);
+        let s = r.to_string();
+        assert!(s.contains("x[3] >= 1.250"), "{s}");
+        assert!(s.contains("THEN fraud"));
+    }
+}

@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors surfaced by tensor construction and shape-checked operations.
+///
+/// Internal hot paths use `debug_assert!` for shape invariants; the typed
+/// error is returned on public API boundaries where caller input (e.g. a
+/// feature matrix loaded from a KV store) may be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: (usize, usize),
+        rhs: (usize, usize),
+    },
+    /// The provided buffer length does not match `rows * cols`.
+    BadBuffer {
+        expected: usize,
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        index: usize,
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::BadBuffer { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape ({expected} expected)")
+            }
+            TensorError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

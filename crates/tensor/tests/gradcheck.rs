@@ -1,0 +1,388 @@
+//! Finite-difference gradient checks for every autodiff op.
+//!
+//! Each check builds a small computation whose output is reduced to a scalar,
+//! runs `backward`, and compares the analytic gradient of one leaf against a
+//! central finite difference. f32 plus a step of 1e-2 gives ~1e-3 accuracy,
+//! so tolerances are loose but far tighter than any plausible sign/shape bug.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xfraud_tensor::{Tape, Tensor, Var};
+
+/// Numerically estimates d(scalar f(x))/dx element by element.
+fn finite_diff(x: &Tensor, f: &dyn Fn(&Tensor) -> f32) -> Tensor {
+    let h = 1e-2_f32;
+    let mut grad = Tensor::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let mut plus = x.clone();
+            plus.set(r, c, x.get(r, c) + h);
+            let mut minus = x.clone();
+            minus.set(r, c, x.get(r, c) - h);
+            grad.set(r, c, (f(&plus) - f(&minus)) / (2.0 * h));
+        }
+    }
+    grad
+}
+
+/// Runs a gradcheck: `build` maps (tape, leaf var) to a scalar output var.
+fn check(x0: Tensor, build: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
+    let forward = |x: &Tensor| -> f32 {
+        let mut tape = Tape::new();
+        let v = tape.leaf(x.clone(), true);
+        let out = build(&mut tape, v);
+        tape.value(out).item()
+    };
+    let numeric = finite_diff(&x0, &forward);
+
+    let mut tape = Tape::new();
+    let v = tape.leaf(x0, true);
+    let out = build(&mut tape, v);
+    tape.backward(out);
+    let analytic = tape.grad(v).expect("gradient must reach the leaf");
+
+    let diff = analytic.max_abs_diff(&numeric);
+    assert!(
+        diff < tol,
+        "gradcheck failed: max |analytic - numeric| = {diff}\nanalytic={analytic:?}\nnumeric={numeric:?}"
+    );
+}
+
+fn rand_t(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn grad_matmul_lhs() {
+    let w = rand_t(3, 2, 10);
+    check(
+        rand_t(4, 3, 11),
+        move |t, x| {
+            let wv = t.leaf(w.clone(), false);
+            let y = t.matmul(x, wv);
+            t.sum_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_matmul_rhs() {
+    let a = rand_t(4, 3, 12);
+    check(
+        rand_t(3, 2, 13),
+        move |t, x| {
+            let av = t.leaf(a.clone(), false);
+            let y = t.matmul(av, x);
+            t.sum_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_add_and_sub() {
+    let b = rand_t(3, 3, 14);
+    check(
+        rand_t(3, 3, 15),
+        move |t, x| {
+            let bv = t.leaf(b.clone(), false);
+            let s = t.add(x, bv);
+            let d = t.sub(s, x); // cancels x once; still depends on x via s
+            let m = t.mul(d, s);
+            t.sum_all(m)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_add_row_broadcast_bias() {
+    check(
+        rand_t(1, 4, 16),
+        |t, bias| {
+            let a = t.leaf(rand_t(5, 4, 17), false);
+            let y = t.add_row(a, bias);
+            let y2 = t.mul(y, y);
+            t.sum_all(y2)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_mul_col_broadcast_both_sides() {
+    // Gradient w.r.t. the [n,1] column (attention scalar / edge mask path).
+    check(
+        rand_t(5, 1, 18),
+        |t, col| {
+            let a = t.leaf(rand_t(5, 3, 19), false);
+            let y = t.mul_col(a, col);
+            let sq = t.mul(y, y);
+            t.sum_all(sq)
+        },
+        1e-2,
+    );
+    // Gradient w.r.t. the [n,d] matrix.
+    check(
+        rand_t(5, 3, 20),
+        |t, a| {
+            let col = t.leaf(rand_t(5, 1, 21), false);
+            let y = t.mul_col(a, col);
+            t.sum_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_scale_add_const() {
+    check(
+        rand_t(2, 3, 22),
+        |t, x| {
+            let y = t.scale(x, -2.5);
+            let z = t.add_const(y, 0.7);
+            let m = t.mul(z, z);
+            t.mean_all(m)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_activations() {
+    for (i, f) in ["relu", "leaky", "tanh", "sigmoid"].iter().enumerate() {
+        let f = *f;
+        check(
+            // Shift away from 0 so relu's kink doesn't poison finite diffs.
+            rand_t(3, 3, 23 + i as u64).map(|v| v + if v >= 0.0 { 0.2 } else { -0.2 }),
+            move |t, x| {
+                let y = match f {
+                    "relu" => t.relu(x),
+                    "leaky" => t.leaky_relu(x, 0.2),
+                    "tanh" => t.tanh(x),
+                    _ => t.sigmoid(x),
+                };
+                t.sum_all(y)
+            },
+            2e-2,
+        );
+    }
+}
+
+#[test]
+fn grad_log_eps() {
+    check(
+        rand_t(3, 3, 30).map(|v| v.abs() + 0.3),
+        |t, x| {
+            let y = t.log_eps(x, 1e-6);
+            t.sum_all(y)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_concat_cols() {
+    check(
+        rand_t(4, 2, 31),
+        |t, x| {
+            let other = t.leaf(rand_t(4, 3, 32), false);
+            let y = t.concat_cols(&[x, other, x]);
+            let sq = t.mul(y, y);
+            t.sum_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_gather_rows_with_repeats() {
+    let idx = Rc::new(vec![0usize, 2, 2, 1, 0]);
+    check(
+        rand_t(3, 3, 33),
+        move |t, x| {
+            let y = t.gather_rows(x, Rc::clone(&idx));
+            let sq = t.mul(y, y);
+            t.sum_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_segment_sum() {
+    let seg = Rc::new(vec![0usize, 1, 0, 2, 1]);
+    check(
+        rand_t(5, 2, 34),
+        move |t, x| {
+            let y = t.segment_sum(x, Rc::clone(&seg), 3);
+            let sq = t.mul(y, y);
+            t.sum_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_segment_softmax() {
+    let seg = Rc::new(vec![0usize, 0, 1, 1, 1, 2]);
+    let w = rand_t(6, 2, 36);
+    check(
+        rand_t(6, 2, 35),
+        move |t, x| {
+            let y = t.segment_softmax(x, Rc::clone(&seg), 3);
+            // Weight the softmax outputs so the gradient is non-trivial.
+            let wv = t.leaf(w.clone(), false);
+            let m = t.mul(y, wv);
+            t.sum_all(m)
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn grad_layer_norm_input_gain_bias() {
+    let gain = rand_t(1, 4, 37).map(|v| v + 1.5);
+    let bias = rand_t(1, 4, 38);
+    // Input gradient.
+    {
+        let (g, b) = (gain.clone(), bias.clone());
+        check(
+            rand_t(3, 4, 39),
+            move |t, x| {
+                let gv = t.leaf(g.clone(), false);
+                let bv = t.leaf(b.clone(), false);
+                let y = t.layer_norm(x, gv, bv, 1e-5);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            3e-2,
+        );
+    }
+    // Gain gradient.
+    {
+        let x0 = rand_t(3, 4, 40);
+        let b = bias.clone();
+        check(
+            gain.clone(),
+            move |t, gv| {
+                let xv = t.leaf(x0.clone(), false);
+                let bv = t.leaf(b.clone(), false);
+                let y = t.layer_norm(xv, gv, bv, 1e-5);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+    // Bias gradient.
+    {
+        let x0 = rand_t(3, 4, 41);
+        check(
+            bias,
+            move |t, bv| {
+                let xv = t.leaf(x0.clone(), false);
+                let gv = t.leaf(gain.clone(), false);
+                let y = t.layer_norm(xv, gv, bv, 1e-5);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            2e-2,
+        );
+    }
+}
+
+#[test]
+fn grad_softmax_cross_entropy() {
+    let labels = Rc::new(vec![0usize, 1, 1, 0]);
+    check(
+        rand_t(4, 2, 42),
+        move |t, logits| t.softmax_cross_entropy(logits, Rc::clone(&labels)),
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_mean_all() {
+    check(
+        rand_t(4, 5, 43),
+        |t, x| {
+            let sq = t.mul(x, x);
+            t.mean_all(sq)
+        },
+        1e-2,
+    );
+}
+
+#[test]
+fn grad_composite_mini_mlp() {
+    // Leaf → linear → layernorm-free MLP → CE: exercises accumulation across
+    // a realistic multi-op chain like the detector head.
+    let labels = Rc::new(vec![1usize, 0, 1]);
+    let w1 = rand_t(4, 6, 44);
+    let w2 = rand_t(6, 2, 45);
+    check(
+        rand_t(3, 4, 46),
+        move |t, x| {
+            let w1v = t.leaf(w1.clone(), false);
+            let w2v = t.leaf(w2.clone(), false);
+            let h = t.matmul(x, w1v);
+            let h = t.relu(h);
+            let logits = t.matmul(h, w2v);
+            t.softmax_cross_entropy(logits, Rc::clone(&labels))
+        },
+        2e-2,
+    );
+}
+
+#[test]
+fn dropout_zero_p_is_identity() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let mut tape = Tape::new();
+    let x = tape.leaf(rand_t(3, 3, 48), true);
+    let y = tape.dropout(x, 0.0, &mut rng);
+    assert_eq!(x, y, "p=0 dropout must be a no-op returning the same var");
+}
+
+#[test]
+fn dropout_mask_is_reused_in_backward() {
+    // E[output] preserved and gradient equals the scaled mask.
+    let mut rng = StdRng::seed_from_u64(49);
+    let mut tape = Tape::new();
+    let x = tape.leaf(Tensor::full(1, 1000, 1.0), true);
+    let y = tape.dropout(x, 0.4, &mut rng);
+    let s = tape.sum_all(y);
+    tape.backward(s);
+    let g = tape.grad(x).unwrap();
+    // Gradient elements are exactly 0 or 1/0.6.
+    for &v in g.data() {
+        assert!(v == 0.0 || (v - 1.0 / 0.6).abs() < 1e-6);
+    }
+    // Value and grad agree elementwise (linear op).
+    assert!(tape.value(y).max_abs_diff(g) < 1e-6);
+    // Keep rate is near 60%.
+    let kept = g.data().iter().filter(|&&v| v > 0.0).count();
+    assert!((500..700).contains(&kept), "kept {kept} of 1000 at p=0.4");
+}
+
+#[test]
+fn segment_softmax_rows_sum_to_one_per_segment() {
+    let seg = Rc::new(vec![0usize, 0, 0, 1, 2, 2]);
+    let mut tape = Tape::new();
+    let x = tape.leaf(rand_t(6, 4, 50), false);
+    let y = tape.segment_softmax(x, Rc::clone(&seg), 3);
+    let v = tape.value(y);
+    for c in 0..4 {
+        let mut sums = [0.0f32; 3];
+        for (r, &s) in seg.iter().enumerate() {
+            sums[s] += v.get(r, c);
+        }
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-5, "segment softmax column sums to {s}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Case study: a cultivated fraud ring (§5.2 / Appendix G).
+//!
+//! Builds a world with a prominent ring — accounts that execute a few
+//! "cultivation" purchases before bursting — trains the detector, and shows
+//! how (a) the detector scores ring vs background transactions and (b) the
+//! explainer surfaces the shared ring entities as the load-bearing edges.
+//!
+//! Run: `cargo run --release -p xfraud-examples --bin fraud_ring`
+
+use xfraud::datagen::{build_dataset, generate_log, FraudMechanism, WorldConfig};
+use xfraud::explain::{ExplainerConfig, GnnExplainer};
+use xfraud::gnn::{
+    predict_scores, train_test_split, DetectorConfig, SageSampler, TrainConfig, Trainer,
+    XFraudDetector,
+};
+use xfraud::hetgraph::{community_of, NodeType};
+use xfraud::metrics::roc_auc;
+
+fn main() {
+    // A world where rings dominate the fraud mix.
+    let cfg = WorldConfig {
+        n_rings: 6,
+        ring_size: 5,
+        ring_cultivation: 3,
+        ring_burst: 4,
+        n_stolen_card_incidents: 2,
+        n_warehouses: 1,
+        n_guest_frauds: 4,
+        seed: 21,
+        ..WorldConfig::default()
+    };
+    let world = generate_log(&cfg);
+    let ring_txns = world
+        .records
+        .iter()
+        .filter(|r| r.mechanism == FraudMechanism::Ring)
+        .count();
+    println!(
+        "world: {} transactions, {} of them ring frauds",
+        world.records.len(),
+        ring_txns
+    );
+    let ds = build_dataset(&world, &cfg);
+    let g = &ds.graph;
+
+    // Train detector+.
+    let (train, test) = train_test_split(g, 0.3, 1);
+    let mut det = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 2));
+    let sampler = SageSampler::new(2, 8);
+    let trainer = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::default() });
+    trainer.fit(&mut det, g, &sampler, &train, &test);
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
+    let (scores, labels) = trainer.evaluate(&det, g, &sampler, &test, &mut rng);
+    println!("test AUC = {:.4}", roc_auc(&scores, &labels));
+
+    // Pick the fraud seed whose community looks most ring-like: several
+    // buyers (complex community) and several fraud transactions.
+    let ring_seed = g
+        .labeled_txns()
+        .into_iter()
+        .filter(|&(_, y)| y)
+        .max_by_key(|&(v, _)| {
+            let c = community_of(g, v, 400).unwrap();
+            let buyers = (0..c.graph.n_nodes())
+                .filter(|&u| c.graph.node_type(u) == NodeType::Buyer)
+                .count();
+            let frauds = c
+                .graph
+                .labeled_txns()
+                .iter()
+                .filter(|&&(_, y)| y)
+                .count();
+            if buyers >= 3 { frauds * 10 + buyers } else { 0 }
+        })
+        .map(|(v, _)| v)
+        .expect("a ring community exists");
+    let community = community_of(g, ring_seed, 400).unwrap();
+    println!(
+        "\nring community around txn {ring_seed}: {} nodes / {} links, {} buyers",
+        community.n_nodes(),
+        community.n_links(),
+        (0..community.graph.n_nodes())
+            .filter(|&u| community.graph.node_type(u) == NodeType::Buyer)
+            .count()
+    );
+
+    // Detector scores across the community's transactions.
+    let nodes: Vec<usize> = (0..community.graph.n_nodes()).collect();
+    let txns: Vec<usize> = community
+        .graph
+        .txn_nodes()
+        .iter()
+        .copied()
+        .filter(|&v| community.graph.label(v).is_some())
+        .collect();
+    let batch = xfraud::gnn::SubgraphBatch::from_nodes(&community.graph, &nodes, &txns);
+    let s = predict_scores(&det, &batch, &mut rng);
+    println!("community transaction scores (label → score):");
+    for (&t, &sc) in txns.iter().zip(&s) {
+        println!(
+            "  txn {t:>3} {} → {sc:.3}",
+            if community.graph.label(t) == Some(true) { "FRAUD" } else { "legit" }
+        );
+    }
+
+    // Explain the seed: which entities channel the risk?
+    let explainer = GnnExplainer::new(&det, ExplainerConfig::default());
+    let (_, weights) = explainer.explain_community(&community);
+    let links = community.graph.undirected_links();
+    // Aggregate edge weight per entity node: entities whose incident edges
+    // carry the most explanation mass are the ring infrastructure.
+    let mut entity_mass = vec![0.0f64; community.graph.n_nodes()];
+    for (&(u, v), &w) in links.iter().zip(&weights) {
+        entity_mass[u] += w;
+        entity_mass[v] += w;
+    }
+    let mut ranked: Vec<usize> = (0..community.graph.n_nodes())
+        .filter(|&v| community.graph.node_type(v) != NodeType::Txn)
+        .collect();
+    ranked.sort_by(|&a, &b| entity_mass[b].partial_cmp(&entity_mass[a]).unwrap());
+    println!("\nmost influential entities (explanation mass):");
+    for &v in ranked.iter().take(5) {
+        println!(
+            "  {} {v:>3}  degree {:>2}  mass {:.3}",
+            community.graph.node_type(v),
+            community.graph.degree(v),
+            entity_mass[v]
+        );
+    }
+    println!("\nExpected: the ring's shared payment tokens / emails top this list —");
+    println!("the same pattern the paper's Fig. 16(b)/(e) 'risk propagation paths' show.");
+}

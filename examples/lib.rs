@@ -1,0 +1,15 @@
+//! The example binaries for the xFraud reproduction. Each one is a
+//! self-contained tutorial, meant to be read top-to-bottom:
+//!
+//! | binary | shows |
+//! |---|---|
+//! | `quickstart` | generate → train detector+ → evaluate → explain one fraud |
+//! | `fraud_ring` | a cultivated ring community, its scores and the entities the explainer blames |
+//! | `stolen_card` | transaction-level detection separating a thief from the victim on one token |
+//! | `distributed` | PIC partitioning, worker groups, DDP training and its resources-vs-AUC trade-off |
+//! | `kv_loader` | feature loading through the three KV-store implementations |
+//! | `prefilter_pipeline` | the production flow: rule filter → GNN → precision back-mapping |
+//! | `online_training` | incremental fine-tuning over a drifting timeline (Appendix H.5) |
+//!
+//! Run any of them with
+//! `cargo run --release -p xfraud-examples --bin <name>`.

@@ -1,0 +1,49 @@
+//! Online model maintenance (Appendix H.5): keep the detector current by
+//! fine-tuning on each new time window, and watch it track drifting fraud
+//! behaviour (stolen-card bursts, rings that turn bad months after their
+//! cultivation phase).
+//!
+//! Run: `cargo run --release -p xfraud-examples --bin online_training`
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::gnn::{
+    incremental_study, time_windows, DetectorConfig, IncrementalConfig, SageSampler,
+    XFraudDetector,
+};
+
+fn main() {
+    let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 7);
+    let g = &ds.graph;
+    let cfg = IncrementalConfig::default();
+    println!("timeline ({} windows over the observation period):", cfg.n_windows);
+    for (w, win) in time_windows(g, &ds.node_time, cfg.n_windows).iter().enumerate() {
+        let fraud = win.iter().filter(|&&v| g.label(v) == Some(true)).count();
+        println!(
+            "  window {w}: {:>5} labelled txns, {:>5.2}% fraud",
+            win.len(),
+            100.0 * fraud as f64 / win.len().max(1) as f64
+        );
+    }
+
+    let fd = g.feature_dim();
+    let sampler = SageSampler::new(2, 8);
+    println!("\ntraining static arm on window 0, then streaming windows 1.. :");
+    let reports = incremental_study(
+        g,
+        &ds.node_time,
+        &sampler,
+        || XFraudDetector::new(DetectorConfig::small(fd, 1)),
+        &cfg,
+    );
+    for r in &reports {
+        println!(
+            "window {}: static AUC {:.4} | incremental AUC {:.4} ({:+.4})",
+            r.window,
+            r.auc_static,
+            r.auc_incremental,
+            r.auc_incremental - r.auc_static
+        );
+    }
+    println!("\nThe incremental arm sees each window only *after* being scored on it, so");
+    println!("the comparison is leakage-free — the paper's evaluate-then-train cadence.");
+}

@@ -1,0 +1,91 @@
+//! The full production flow of Appendix B/H: rule-based pre-filter → GNN
+//! detector on the concentrated stream → precision back-mapping to the raw
+//! rate.
+//!
+//! 1. Mine threshold rules on the training features (the platform's
+//!    existing defence layer, footnote 6: skope-rules).
+//! 2. Drop "low-risk" transactions the rules never flag.
+//! 3. Run the trained detector+ only on the surviving stream.
+//! 4. Report how precision/recall compose across the two stages.
+//!
+//! Run: `cargo run --release -p xfraud-examples --bin prefilter_pipeline`
+
+use xfraud::gnn::TrainConfig;
+use xfraud::metrics::{confusion_at, precision_at_base_rate, roc_auc};
+use xfraud::rules::{MinerConfig, RuleMiner};
+use xfraud::{Pipeline, PipelineConfig};
+
+fn main() {
+    println!("training detector+ ...");
+    let pipeline = Pipeline::run(PipelineConfig {
+        train: TrainConfig { epochs: 6, ..TrainConfig::default() },
+        ..PipelineConfig::default()
+    });
+    let g = &pipeline.dataset.graph;
+
+    // Stage 1: mine the platform rules on the training stream.
+    let row_of = |v: usize| g.features().row(g.feature_row_of(v).expect("txn"));
+    let train_rows: Vec<&[f32]> = pipeline.train_nodes.iter().map(|&v| row_of(v)).collect();
+    let train_labels: Vec<bool> =
+        pipeline.train_nodes.iter().map(|&v| g.label(v) == Some(true)).collect();
+    let base_rate =
+        train_labels.iter().filter(|&&y| y).count() as f64 / train_labels.len() as f64;
+    let ruleset = RuleMiner::new(MinerConfig {
+        min_precision: 1.5 * base_rate,
+        min_support: 20,
+        max_rules: 20,
+        beam: 16,
+        ..MinerConfig::default()
+    })
+    .mine(&train_rows, &train_labels);
+    println!("stage 1: {} platform rules mined", ruleset.rules.len());
+
+    // Stage 2: filter the held-out stream.
+    let test_rows: Vec<&[f32]> = pipeline.test_nodes.iter().map(|&v| row_of(v)).collect();
+    let (risky_idx, low_idx) = ruleset.filter(&test_rows);
+    let kept: Vec<usize> = risky_idx.iter().map(|&i| pipeline.test_nodes[i]).collect();
+    println!(
+        "stage 2: {} of {} held-out transactions survive the filter ({} dropped)",
+        kept.len(),
+        pipeline.test_nodes.len(),
+        low_idx.len()
+    );
+
+    // Stage 3: GNN only on the survivors.
+    let trainer = xfraud::gnn::Trainer::new(TrainConfig::default());
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
+    let (scores, labels) =
+        trainer.evaluate(&pipeline.detector, g, &pipeline.sampler, &kept, &mut rng);
+    println!("stage 3: detector+ AUC on the filtered stream = {:.4}", roc_auc(&scores, &labels));
+
+    // Stage 4: composed precision/recall. Fraud missed by the filter can
+    // never be recalled downstream.
+    let filter_recall = {
+        let total_fraud = pipeline
+            .test_nodes
+            .iter()
+            .filter(|&&v| g.label(v) == Some(true))
+            .count();
+        let kept_fraud = labels.iter().filter(|&&y| y).count();
+        kept_fraud as f64 / total_fraud.max(1) as f64
+    };
+    println!("\n{:>9} {:>10} {:>14} {:>16}", "threshold", "precision", "pipeline recall", "prec@0.043% raw");
+    for t in [0.5f32, 0.8, 0.9, 0.95] {
+        let c = confusion_at(&scores, &labels, t);
+        if c.tp + c.fp == 0 {
+            continue;
+        }
+        let pipeline_recall = c.recall() * filter_recall;
+        let sampled_rate = labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64;
+        let raw = precision_at_base_rate(c.precision(), sampled_rate, 0.00043);
+        println!(
+            "{t:>9} {:>10.4} {:>14.4} {:>16.4}",
+            c.precision(),
+            pipeline_recall,
+            raw
+        );
+    }
+    println!("\nThe two stages compose exactly like the paper's production pipeline:");
+    println!("rules concentrate the stream cheaply, the GNN spends its capacity on the");
+    println!("survivors, and Appendix-H.4 maps precision back to the raw fraud rate.");
+}

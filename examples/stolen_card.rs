@@ -1,0 +1,106 @@
+//! Case study: stolen payment tokens (§3.1's motivating scenario — "a
+//! credit card might be linked to both a legitimate user and a fraudulent
+//! user at different stages").
+//!
+//! Shows the transaction-level (not account-level) framing the paper argues
+//! for: the *victim's* own transactions stay legit while the thief's burst
+//! on the same token is flagged — something an account-level detector like
+//! GEM structurally can't express.
+//!
+//! Run: `cargo run --release -p xfraud-examples --bin stolen_card`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::datagen::{build_dataset, generate_log, FraudMechanism, WorldConfig};
+use xfraud::gnn::{
+    predict_scores, train_test_split, DetectorConfig, SageSampler, SubgraphBatch, TrainConfig,
+    Trainer, XFraudDetector,
+};
+use xfraud::hetgraph::{community_of, NodeType};
+use xfraud::metrics::roc_auc;
+
+fn main() {
+    let cfg = WorldConfig {
+        n_stolen_card_incidents: 14,
+        stolen_burst: 5,
+        n_rings: 1,
+        n_warehouses: 1,
+        n_guest_frauds: 4,
+        seed: 33,
+        ..WorldConfig::default()
+    };
+    let world = generate_log(&cfg);
+    let stolen = world
+        .records
+        .iter()
+        .filter(|r| r.mechanism == FraudMechanism::StolenCard)
+        .count();
+    println!("world: {} transactions, {stolen} on stolen cards", world.records.len());
+    let ds = build_dataset(&world, &cfg);
+    let g = &ds.graph;
+
+    let (train, test) = train_test_split(g, 0.3, 2);
+    let mut det = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 4));
+    let sampler = SageSampler::new(2, 8);
+    let trainer = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::default() });
+    trainer.fit(&mut det, g, &sampler, &train, &test);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (scores, labels) = trainer.evaluate(&det, g, &sampler, &test, &mut rng);
+    println!("test AUC = {:.4}\n", roc_auc(&scores, &labels));
+
+    // Find the payment token with the strongest stolen-card signature:
+    // linked to several frauds AND several legit transactions. (Taking the
+    // *most* mixed token skips spurious single-flip label-noise cases.)
+    let mixed_pmt = (0..g.n_nodes())
+        .filter(|&v| g.node_type(v) == NodeType::Pmt)
+        .max_by_key(|&v| {
+            let mut fraud = 0usize;
+            let mut legit = 0usize;
+            for u in g.neighbors(v) {
+                match g.label(u) {
+                    Some(true) => fraud += 1,
+                    Some(false) => legit += 1,
+                    None => {}
+                }
+            }
+            fraud.min(legit) * 100 + fraud + legit
+        })
+        .expect("a stolen token exists");
+    println!("payment token {mixed_pmt} is linked to both fraud and legit transactions:");
+
+    let community = community_of(g, g.neighbors(mixed_pmt).next().unwrap(), 400).unwrap();
+    let local_pmt = community
+        .original_ids
+        .iter()
+        .position(|&v| v == mixed_pmt)
+        .expect("token in its own community");
+    let token_txns: Vec<usize> = community
+        .graph
+        .neighbors(local_pmt)
+        .filter(|&u| community.graph.label(u).is_some())
+        .collect();
+    let nodes: Vec<usize> = (0..community.graph.n_nodes()).collect();
+    let batch = SubgraphBatch::from_nodes(&community.graph, &nodes, &token_txns);
+    let s = predict_scores(&det, &batch, &mut rng);
+
+    let mut fraud_scores = Vec::new();
+    let mut legit_scores = Vec::new();
+    for (&t, &sc) in token_txns.iter().zip(&s) {
+        let is_fraud = community.graph.label(t) == Some(true);
+        println!("  txn {t:>3} {} → {sc:.3}", if is_fraud { "FRAUD" } else { "legit" });
+        if is_fraud {
+            fraud_scores.push(sc);
+        } else {
+            legit_scores.push(sc);
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    println!(
+        "\nmean score on this token — thief's txns: {:.3}, victim's txns: {:.3}",
+        mean(&fraud_scores),
+        mean(&legit_scores)
+    );
+    println!("Transaction-level detection separates the two users of one token, which is");
+    println!("exactly why xFraud flags transactions rather than accounts (§3.2.1 vs GEM).");
+}

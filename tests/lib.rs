@@ -1,0 +1,1 @@
+//! Host package for the workspace-level integration tests in `tests/tests/`.

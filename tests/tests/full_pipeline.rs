@@ -1,0 +1,113 @@
+//! End-to-end integration: dataset generation → detector training →
+//! explanation → hit-rate evaluation, across crate boundaries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xfraud::explain::centrality::Measure;
+use xfraud::explain::{topk_hit_rate_expected, HybridExplainer};
+use xfraud::gnn::TrainConfig;
+use xfraud::study::{CommunityStudy, StudyConfig};
+use xfraud::{Pipeline, PipelineConfig};
+
+fn quick_pipeline() -> Pipeline {
+    Pipeline::run(PipelineConfig {
+        train: TrainConfig { epochs: 5, ..TrainConfig::default() },
+        ..PipelineConfig::default()
+    })
+}
+
+#[test]
+fn detector_beats_chance_and_feature_only_floor() {
+    let p = quick_pipeline();
+    let (auc, ap, _) = p.test_metrics();
+    assert!(auc > 0.68, "detector AUC {auc}");
+    // AP must clear the base rate (~5%) by a wide margin.
+    assert!(ap > 0.15, "AP {ap}");
+}
+
+#[test]
+fn explainer_agrees_with_annotations_better_than_random() {
+    // Averaged over ranks and a sizeable community sample (single
+    // communities are high-variance, like the paper's own Fig. 7 deltas).
+    let p = quick_pipeline();
+    let study = CommunityStudy::build(
+        &p,
+        StudyConfig { n_communities: 24, ..StudyConfig::default() },
+    );
+    assert!(study.communities.len() >= 12, "need enough communities");
+    let mut rng = StdRng::seed_from_u64(5);
+    let (mut h_expl, mut h_rand) = (0.0, 0.0);
+    let ks = [5usize, 10, 15];
+    for sc in &study.communities {
+        for &k in &ks {
+            h_expl += topk_hit_rate_expected(&sc.human, &sc.explainer, k, 50, &mut rng);
+            // Random baseline averaged over 5 draws.
+            for _ in 0..5 {
+                let w: Vec<f64> = (0..sc.human.len()).map(|_| rng.gen()).collect();
+                h_rand += topk_hit_rate_expected(&sc.human, &w, k, 50, &mut rng) / 5.0;
+            }
+        }
+    }
+    let n = (study.communities.len() * ks.len()) as f64;
+    assert!(
+        h_expl / n > h_rand / n,
+        "explainer {:.3} must beat random {:.3}",
+        h_expl / n,
+        h_rand / n
+    );
+}
+
+#[test]
+fn hybrid_explainer_is_competitive_with_both_arms_on_train() {
+    let p = quick_pipeline();
+    let study = CommunityStudy::build(
+        &p,
+        StudyConfig { n_communities: 8, ..StudyConfig::default() },
+    );
+    let all = study.to_community_weights(Measure::EdgeBetweenness);
+    let mut rng = StdRng::seed_from_u64(6);
+    let k = 10;
+    let grid = HybridExplainer::fit_grid(&all, k, 30, &mut rng);
+    let h_hybrid = grid.mean_hit_rate(&all, k, 50, &mut rng);
+    let only_c = HybridExplainer { a: 1.0, b: 0.0, fit: grid.fit }
+        .mean_hit_rate(&all, k, 50, &mut rng);
+    let only_e = HybridExplainer { a: 0.0, b: 1.0, fit: grid.fit }
+        .mean_hit_rate(&all, k, 50, &mut rng);
+    assert!(
+        h_hybrid >= only_c.max(only_e) - 0.03,
+        "hybrid {h_hybrid:.3} vs c {only_c:.3} / e {only_e:.3}"
+    );
+}
+
+#[test]
+fn centrality_measures_all_produce_aligned_weights() {
+    let p = quick_pipeline();
+    let study = CommunityStudy::build(
+        &p,
+        StudyConfig { n_communities: 4, ..StudyConfig::default() },
+    );
+    for m in xfraud::explain::centrality::ALL_MEASURES {
+        let per_comm = study.centrality_weights(m);
+        for (sc, w) in study.communities.iter().zip(&per_comm) {
+            assert_eq!(
+                w.len(),
+                sc.community.graph.undirected_links().len(),
+                "{} misaligned",
+                m.name()
+            );
+            assert!(w.iter().all(|x| x.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn study_statistics_resemble_the_papers_sample() {
+    let p = quick_pipeline();
+    let study = CommunityStudy::build(&p, StudyConfig::default());
+    let (fraud, legit) = study.seed_label_counts();
+    // Mixed seed labels, like the paper's 18/23 split.
+    assert!(fraud >= 1, "no fraud-seeded communities");
+    assert!(legit >= 1, "no legit-seeded communities");
+    assert!(study.mean_links() >= 12.0, "communities too small: {}", study.mean_links());
+}

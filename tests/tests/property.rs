@@ -1,0 +1,163 @@
+//! Workspace-level property tests (proptest) over the core invariants.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use xfraud::explain::topk_hit_rate;
+use xfraud::hetgraph::{GraphBuilder, NodeType};
+use xfraud::kvstore::{KvStore, ShardedStore, SingleLockStore};
+use xfraud::metrics::{roc_auc, roc_curve, trapezoid_area};
+use xfraud::tensor::{Tape, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AUC is bounded, symmetric under score negation (1 - auc) and agrees
+    /// with the trapezoid area under the ROC curve.
+    #[test]
+    fn auc_invariants(scores in prop::collection::vec(0.0f32..1.0, 4..60),
+                      labels in prop::collection::vec(any::<bool>(), 4..60)) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let auc = roc_auc(scores, labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let area = trapezoid_area(&roc_curve(scores, labels));
+        let both = labels.iter().any(|&y| y) && labels.iter().any(|&y| !y);
+        if both {
+            prop_assert!((auc - area).abs() < 1e-9, "auc {auc} vs area {area}");
+            let neg: Vec<f32> = scores.iter().map(|s| -s).collect();
+            let flipped = roc_auc(&neg, labels);
+            prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Top-k hit rate is bounded, 1 against itself, and symmetric.
+    #[test]
+    fn hit_rate_invariants(a in prop::collection::vec(0.0f64..10.0, 2..40),
+                           k in 1usize..10) {
+        let b: Vec<f64> = a.iter().rev().copied().collect();
+        let h = topk_hit_rate(&a, &b, k);
+        prop_assert!((0.0..=1.0).contains(&h));
+        prop_assert!((topk_hit_rate(&a, &a, k) - 1.0).abs() < 1e-12);
+        prop_assert!((topk_hit_rate(&a, &b, k) - topk_hit_rate(&b, &a, k)).abs() < 1e-12);
+    }
+
+    /// Matmul gradients match finite differences on random shapes.
+    #[test]
+    fn matmul_gradcheck(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a0 = Tensor::rand_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b0 = Tensor::rand_uniform(k, n, -1.0, 1.0, &mut rng);
+        let forward = |a: &Tensor| {
+            let mut t = Tape::new();
+            let av = t.leaf(a.clone(), true);
+            let bv = t.leaf(b0.clone(), false);
+            let c = t.matmul(av, bv);
+            let s = t.sum_all(c);
+            t.value(s).item()
+        };
+        // Analytic gradient.
+        let mut t = Tape::new();
+        let av = t.leaf(a0.clone(), true);
+        let bv = t.leaf(b0.clone(), false);
+        let c = t.matmul(av, bv);
+        let s = t.sum_all(c);
+        t.backward(s);
+        let ga = t.grad(av).unwrap().clone();
+        // Finite difference on one random element.
+        let r = seed as usize % m;
+        let cidx = (seed as usize / 7) % k;
+        let h = 1e-2f32;
+        let mut plus = a0.clone();
+        plus.set(r, cidx, a0.get(r, cidx) + h);
+        let mut minus = a0.clone();
+        minus.set(r, cidx, a0.get(r, cidx) - h);
+        let num = (forward(&plus) - forward(&minus)) / (2.0 * h);
+        prop_assert!((ga.get(r, cidx) - num).abs() < 5e-2,
+            "analytic {} vs numeric {}", ga.get(r, cidx), num);
+    }
+
+    /// Segment softmax output sums to one per segment/column for arbitrary
+    /// segment assignments.
+    #[test]
+    fn segment_softmax_partition_of_unity(
+        rows in 1usize..30, cols in 1usize..5, nseg in 1usize..6, seed in 0u64..1000
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(rows, cols, -3.0, 3.0, &mut rng);
+        let seg: Rc<Vec<usize>> = Rc::new((0..rows).map(|i| i % nseg).collect());
+        let mut t = Tape::new();
+        let xv = t.leaf(x, false);
+        let y = t.segment_softmax(xv, Rc::clone(&seg), nseg);
+        let v = t.value(y);
+        for s in 0..nseg.min(rows) {
+            for c in 0..cols {
+                let sum: f32 = (0..rows).filter(|&r| seg[r] == s).map(|r| v.get(r, c)).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "segment {s} col {c} sums to {sum}");
+            }
+        }
+    }
+
+    /// KV stores behave like a map: last write wins, across both
+    /// implementations, for arbitrary operation sequences.
+    #[test]
+    fn kv_stores_match_btreemap_oracle(
+        ops in prop::collection::vec((0u8..20, prop::collection::vec(any::<u8>(), 0..8)), 1..60)
+    ) {
+        let single = SingleLockStore::new();
+        let sharded = ShardedStore::new(4);
+        let mut oracle = std::collections::BTreeMap::new();
+        for (key, value) in &ops {
+            let k = [*key];
+            single.put(&k, value);
+            sharded.put(&k, value);
+            oracle.insert(k.to_vec(), value.clone());
+        }
+        for (k, v) in &oracle {
+            let got_single = single.get(k);
+            let got_sharded = sharded.get(k);
+            prop_assert_eq!(got_single.as_deref(), Some(v.as_slice()));
+            prop_assert_eq!(got_sharded.as_deref(), Some(v.as_slice()));
+        }
+        prop_assert_eq!(single.len(), oracle.len());
+        prop_assert_eq!(sharded.len(), oracle.len());
+    }
+
+    /// Induced subgraphs preserve node types, labels and the link subset
+    /// relation for arbitrary keep-sets.
+    #[test]
+    fn induced_subgraph_is_consistent(keep_mask in prop::collection::vec(any::<bool>(), 12)) {
+        let mut b = GraphBuilder::new(1);
+        let mut txns = Vec::new();
+        for i in 0..6 {
+            txns.push(b.add_txn([i as f32], Some(i % 2 == 0)));
+        }
+        let p0 = b.add_entity(NodeType::Pmt);
+        let p1 = b.add_entity(NodeType::Email);
+        let a0 = b.add_entity(NodeType::Addr);
+        let u0 = b.add_entity(NodeType::Buyer);
+        let _ = b.add_entity(NodeType::Addr);
+        let _ = b.add_entity(NodeType::Buyer);
+        for (i, &t) in txns.iter().enumerate() {
+            b.link(t, if i % 2 == 0 { p0 } else { p1 }).unwrap();
+            b.link(t, a0).unwrap();
+            if i < 3 { b.link(t, u0).unwrap(); }
+        }
+        let g = b.finish().unwrap();
+        let keep: Vec<usize> =
+            (0..g.n_nodes()).filter(|&v| keep_mask[v % keep_mask.len()]).collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        prop_assert!(sub.validate());
+        prop_assert_eq!(sub.n_nodes(), keep.len());
+        for (new, &old) in keep.iter().enumerate() {
+            prop_assert_eq!(map[old], Some(new));
+            prop_assert_eq!(sub.node_type(new), g.node_type(old));
+            prop_assert_eq!(sub.label(new), g.label(old));
+        }
+        prop_assert!(sub.n_links() <= g.n_links());
+    }
+}
