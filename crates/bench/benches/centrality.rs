@@ -31,13 +31,21 @@ fn bench_centrality(c: &mut Criterion) {
     group.bench_function("degree_baseline", |b| {
         b.iter(|| std::hint::black_box(xfraud::explain::centrality::degree(&g)))
     });
-    group.bench_function("betweenness", |b| b.iter(|| std::hint::black_box(betweenness(&g))));
+    group.bench_function("betweenness", |b| {
+        b.iter(|| std::hint::black_box(betweenness(&g)))
+    });
     group.bench_function("edge_betweenness", |b| {
         b.iter(|| std::hint::black_box(edge_betweenness(&g)))
     });
-    group.bench_function("closeness", |b| b.iter(|| std::hint::black_box(closeness(&g))));
-    group.bench_function("eigenvector", |b| b.iter(|| std::hint::black_box(eigenvector(&g))));
-    group.bench_function("subgraph_expm", |b| b.iter(|| std::hint::black_box(subgraph(&g))));
+    group.bench_function("closeness", |b| {
+        b.iter(|| std::hint::black_box(closeness(&g)))
+    });
+    group.bench_function("eigenvector", |b| {
+        b.iter(|| std::hint::black_box(eigenvector(&g)))
+    });
+    group.bench_function("subgraph_expm", |b| {
+        b.iter(|| std::hint::black_box(subgraph(&g)))
+    });
     group.sample_size(10);
     group.bench_function("current_flow_betweenness", |b| {
         b.iter(|| std::hint::black_box(current_flow_betweenness(&g)))

@@ -8,15 +8,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xfraud::datagen::{Dataset, DatasetPreset};
-use xfraud::gnn::{FullGraphSampler, Masks, Model, Sampler, SubgraphBatch};
 use xfraud::gnn::{DetectorConfig, GatModel, GemModel, XFraudDetector};
+use xfraud::gnn::{FullGraphSampler, Masks, Model, Sampler, SubgraphBatch};
 use xfraud::nn::Session;
 
 fn fixture() -> SubgraphBatch {
     let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 3);
     let g = ds.graph;
-    let seeds: Vec<usize> =
-        g.labeled_txns().iter().take(64).map(|&(v, _)| v).collect();
+    let seeds: Vec<usize> = g.labeled_txns().iter().take(64).map(|&(v, _)| v).collect();
     let mut rng = StdRng::seed_from_u64(0);
     // A mid-sized neighbourhood batch.
     xfraud::gnn::SageSampler::new(2, 8).sample(&g, &seeds, &mut rng);

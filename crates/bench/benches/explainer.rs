@@ -10,7 +10,10 @@ use xfraud::{Pipeline, PipelineConfig};
 
 fn bench_explainer(c: &mut Criterion) {
     let pipeline = Pipeline::run(PipelineConfig {
-        train: TrainConfig { epochs: 3, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     });
     let communities = pipeline.sample_communities(3, 10, 200, 1);
@@ -21,7 +24,10 @@ fn bench_explainer(c: &mut Criterion) {
     group.bench_function("gnnexplainer_30_epochs", |b| {
         let explainer = GnnExplainer::new(
             &pipeline.detector,
-            ExplainerConfig { epochs: 30, ..Default::default() },
+            ExplainerConfig {
+                epochs: 30,
+                ..Default::default()
+            },
         );
         b.iter(|| std::hint::black_box(explainer.explain_community(community).1.len()))
     });
@@ -36,7 +42,11 @@ fn bench_explainer(c: &mut Criterion) {
         })
     });
     group.bench_function("hybrid_combine", |b| {
-        let hybrid = HybridExplainer { a: 0.6, b: 0.4, fit: HybridFit::Grid };
+        let hybrid = HybridExplainer {
+            a: 0.6,
+            b: 0.4,
+            fit: HybridFit::Grid,
+        };
         let w: Vec<f64> = (0..200).map(|i| i as f64).collect();
         b.iter(|| std::hint::black_box(hybrid.combine(&w, &w)))
     });

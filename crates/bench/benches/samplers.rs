@@ -6,12 +6,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xfraud::datagen::{Dataset, DatasetPreset};
-use xfraud::gnn::{HgSampler, SageSampler, Sampler};
+use xfraud::gnn::{batch_rng, streams, BatchEngine, HgSampler, SageSampler, Sampler};
 
 fn bench_samplers(c: &mut Criterion) {
     let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
-    let seeds: Vec<usize> =
-        g.labeled_txns().iter().take(64).map(|&(v, _)| v).collect();
+    let seeds: Vec<usize> = g.labeled_txns().iter().take(64).map(|&(v, _)| v).collect();
     let sage = SageSampler::new(2, 8);
     let hg = HgSampler::new(2, 8);
 
@@ -28,6 +27,38 @@ fn bench_samplers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Work-queue engine throughput: the same ordered sampling pass, inline vs
+/// on 4 worker threads. The outputs are bit-identical by construction; on a
+/// multi-core host the 4-worker row should approach a 4x speedup (on a
+/// single-core CI runner the rows tie — the comparison needs ≥4 cores to
+/// show the gap).
+fn bench_engine_sampling(c: &mut Criterion) {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    let seeds: Vec<usize> = g.labeled_txns().iter().map(|&(v, _)| v).collect();
+    let sampler = SageSampler::new(2, 8);
+    let chunks: Vec<&[usize]> = seeds.chunks(32).collect();
+
+    let mut group = c.benchmark_group("engine_sample_ordered");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let engine = BatchEngine::new(workers);
+        group.bench_function(&format!("{workers}_workers"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                engine.sample_ordered(
+                    &g,
+                    &sampler,
+                    &chunks,
+                    |i| batch_rng(1, streams::SAMPLE, 0, i as u64),
+                    |_, batch| total += batch.n_nodes(),
+                );
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Short measurement windows: the suite runs on a single core and the
 /// per-iteration costs here are far above timer resolution.
 fn quick() -> Criterion {
@@ -39,6 +70,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_samplers
+    targets = bench_samplers, bench_engine_sampling
 }
 criterion_main!(benches);

@@ -15,8 +15,7 @@ fn bench_segment_ops(c: &mut Criterion) {
     let heads = 4usize;
     let dim = 64usize;
     let mut rng = StdRng::seed_from_u64(1);
-    let seg: Rc<Vec<usize>> =
-        Rc::new((0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect());
+    let seg: Rc<Vec<usize>> = Rc::new((0..n_edges).map(|_| rng.gen_range(0..n_nodes)).collect());
     let scores = Tensor::rand_uniform(n_edges, heads, -1.0, 1.0, &mut rng);
     let msgs = Tensor::rand_uniform(n_edges, dim, -1.0, 1.0, &mut rng);
     let nodes = Tensor::rand_uniform(n_nodes, dim, -1.0, 1.0, &mut rng);

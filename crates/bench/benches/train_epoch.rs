@@ -8,14 +8,14 @@ use rand::SeedableRng;
 
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::gnn::{
-    train_step, DetectorConfig, GatModel, GemModel, SageSampler, Sampler, XFraudDetector,
+    batch_rng, streams, train_step, BatchEngine, DetectorConfig, GatModel, GemModel, SageSampler,
+    Sampler, XFraudDetector,
 };
 use xfraud::nn::AdamW;
 
 fn bench_train_step(c: &mut Criterion) {
     let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
-    let seeds: Vec<usize> =
-        g.labeled_txns().iter().take(128).map(|&(v, _)| v).collect();
+    let seeds: Vec<usize> = g.labeled_txns().iter().take(128).map(|&(v, _)| v).collect();
     let sampler = SageSampler::new(2, 8);
     let fd = g.feature_dim();
 
@@ -51,6 +51,44 @@ fn bench_train_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// One overlapped training epoch through the work-queue engine, inline vs
+/// 4 sampler threads. Because the engine only parallelises the sampling /
+/// feature-assembly half of the step, the headline ≥1.5x gap appears on a
+/// multi-core host; on a single-core runner both rows measure the same
+/// serial work.
+fn bench_engine_epoch(c: &mut Criterion) {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    let seeds: Vec<usize> = g.labeled_txns().iter().take(128).map(|&(v, _)| v).collect();
+    let sampler = SageSampler::new(2, 8);
+    let fd = g.feature_dim();
+    let chunks: Vec<&[usize]> = seeds.chunks(32).collect();
+
+    let mut group = c.benchmark_group("engine_epoch_128_targets");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let engine = BatchEngine::new(workers);
+        group.bench_function(&format!("xfraud_detector_{workers}_workers"), |b| {
+            let mut model = XFraudDetector::new(DetectorConfig::small(fd, 1));
+            let mut opt = AdamW::new(2e-3);
+            b.iter(|| {
+                let mut total = 0.0f32;
+                engine.sample_ordered(
+                    &g,
+                    &sampler,
+                    &chunks,
+                    |i| batch_rng(1, streams::SAMPLE, 0, i as u64),
+                    |i, batch| {
+                        let mut rng = batch_rng(1, streams::STEP, 0, i as u64);
+                        total += train_step(&mut model, &batch, &mut opt, &mut rng);
+                    },
+                );
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Short measurement windows: the suite runs on a single core and the
 /// per-iteration costs here are far above timer resolution.
 fn quick() -> Criterion {
@@ -62,6 +100,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_train_step
+    targets = bench_train_step, bench_engine_epoch
 }
 criterion_main!(benches);

@@ -1,18 +1,26 @@
 //! Probe: feature-only AUC vs graph AUC (how much signal is structural?).
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::gnn::*;
 use xfraud::metrics::roc_auc;
 
 struct NoEdges(SageSampler);
 impl Sampler for NoEdges {
-    fn sample(&self, g: &xfraud::hetgraph::HetGraph, seeds: &[usize], rng: &mut StdRng) -> SubgraphBatch {
+    fn sample(
+        &self,
+        g: &xfraud::hetgraph::HetGraph,
+        seeds: &[usize],
+        rng: &mut StdRng,
+    ) -> SubgraphBatch {
         let mut b = self.0.sample(g, seeds, rng);
-        b.edge_src.clear(); b.edge_dst.clear(); b.edge_ty.clear();
+        b.edge_src.clear();
+        b.edge_dst.clear();
+        b.edge_ty.clear();
         b
     }
-    fn name(&self) -> &'static str { "noedges" }
+    fn name(&self) -> &'static str {
+        "noedges"
+    }
 }
 
 fn main() {
@@ -21,16 +29,18 @@ fn main() {
     let (train, test) = train_test_split(g, 0.3, 42);
     for (label, use_edges) in [("features-only", false), ("with graph", true)] {
         let mut model = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 1));
-        let trainer = Trainer::new(TrainConfig { epochs: 8, ..TrainConfig::default() });
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        });
         let sage = SageSampler::new(2, 8);
-        let mut rng = StdRng::seed_from_u64(9);
         let (scores, labels) = if use_edges {
             trainer.fit(&mut model, g, &sage, &train, &test);
-            trainer.evaluate(&model, g, &sage, &test, &mut rng)
+            trainer.evaluate(&model, g, &sage, &test, 9)
         } else {
             let s = NoEdges(sage);
             trainer.fit(&mut model, g, &s, &train, &test);
-            trainer.evaluate(&model, g, &s, &test, &mut rng)
+            trainer.evaluate(&model, g, &s, &test, 9)
         };
         println!("{label}: AUC {:.4}", roc_auc(&scores, &labels));
     }

@@ -11,7 +11,10 @@ use xfraud_bench::{scale_from_args, section, trained_study};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix E — inter-annotator agreement ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix E — inter-annotator agreement ({}-sim)",
+        scale.name()
+    ));
     let (_pipeline, study) = trained_study(scale);
 
     // Pool annotations over all communities per annotator.
@@ -48,8 +51,14 @@ fn main() {
     // Random annotators, 10 repetitions.
     let mut total = 0.0;
     for rep in 0..10 {
-        let cfg = AnnotationConfig { seed: 1000 + rep, ..study.cfg.annotation.clone() };
+        let cfg = AnnotationConfig {
+            seed: 1000 + rep,
+            ..study.cfg.annotation.clone()
+        };
         total += mean_pairwise_iaa(&random_annotations(n_nodes, &cfg));
     }
-    println!("random-annotator IAA (10 reps) = {:.3}  (paper: -0.006)", total / 10.0);
+    println!(
+        "random-annotator IAA (10 reps) = {:.3}  (paper: -0.006)",
+        total / 10.0
+    );
 }

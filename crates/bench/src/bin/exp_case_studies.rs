@@ -16,14 +16,21 @@ use xfraud_bench::{scale_from_args, section, trained_study};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Figures 6/11/16/17 + Table 13 — case studies ({}-sim)", scale.name()));
+    section(&format!(
+        "Figures 6/11/16/17 + Table 13 — case studies ({}-sim)",
+        scale.name()
+    ));
     let (pipeline, study) = trained_study(scale);
     let out_dir = std::path::Path::new("target/case_studies");
     std::fs::create_dir_all(out_dir).expect("create output dir");
 
     // Hybrid weights with a fixed mid blend (the case studies use "hybrid
     // learner weights"; the exact coefficients barely move the pictures).
-    let hybrid = HybridExplainer { a: 0.5, b: 0.5, fit: HybridFit::Grid };
+    let hybrid = HybridExplainer {
+        a: 0.5,
+        b: 0.5,
+        fit: HybridFit::Grid,
+    };
     let all = study.to_community_weights(Measure::EdgeBetweenness);
 
     let mut confusion = [[0usize; 2]; 2]; // [simple/complex][TP,TN,FP,FN packed below]
@@ -50,9 +57,8 @@ fn main() {
         *cells.entry((complexity, outcome)).or_default() += 1;
         confusion[usize::from(complexity == "complex")][usize::from(predicted)] += 1;
 
-        let title = format!(
-            "community {i}: {outcome} ({complexity}, {n_buyers} buyers, score {score:.3})"
-        );
+        let title =
+            format!("community {i}: {outcome} ({complexity}, {n_buyers} buyers, score {score:.3})");
         let dot = community_dot(&sc.community, &weights, &title);
         let path = out_dir.join(format!("community_{i:02}_{outcome}.dot"));
         std::fs::write(&path, dot).expect("write dot");

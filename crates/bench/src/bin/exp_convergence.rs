@@ -12,7 +12,8 @@ use xfraud::gnn::{
 use xfraud::hetgraph::{HetGraph, NodeId};
 use xfraud_bench::{scale_from_args, section, SEEDS};
 
-fn converge<M: Model + Send>(
+#[allow(clippy::too_many_arguments)]
+fn converge<M: Model + Send + Sync>(
     name: &str,
     make: impl Fn() -> M,
     g: &HetGraph,
@@ -33,13 +34,19 @@ fn converge<M: Model + Send>(
     let sampler = SageSampler::new(2, 8);
     let hist = trainer.fit(g, test, &sampler);
     for e in &hist {
-        println!("{name} {workers}w epoch {:>2}  loss {:.4}  auc {:.4}", e.epoch, e.mean_loss, e.val_auc);
+        println!(
+            "{name} {workers}w epoch {:>2}  loss {:.4}  auc {:.4}",
+            e.epoch, e.mean_loss, e.val_auc
+        );
     }
 }
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Figure 14 — convergence, 8 vs 16 workers ({}-sim)", scale.name()));
+    section(&format!(
+        "Figure 14 — convergence, 8 vs 16 workers ({}-sim)",
+        scale.name()
+    ));
     let ds = Dataset::generate(scale.preset(), 7);
     let g = &ds.graph;
     let (train, test) = train_test_split(g, 0.3, 42);
@@ -49,8 +56,26 @@ fn main() {
         for (s, seed) in SEEDS {
             println!("\n# seed {s}, {workers} workers");
             let det = DetectorConfig::small(fd, seed);
-            converge(&format!("GAT-{s}"), || GatModel::new(det.clone()), g, &train, &test, workers, seed, epochs);
-            converge(&format!("GEM-{s}"), || GemModel::new(det.clone()), g, &train, &test, workers, seed, epochs);
+            converge(
+                &format!("GAT-{s}"),
+                || GatModel::new(det.clone()),
+                g,
+                &train,
+                &test,
+                workers,
+                seed,
+                epochs,
+            );
+            converge(
+                &format!("GEM-{s}"),
+                || GemModel::new(det.clone()),
+                g,
+                &train,
+                &test,
+                workers,
+                seed,
+                epochs,
+            );
             converge(
                 &format!("xFraud-{s}"),
                 || XFraudDetector::new(det.clone()),

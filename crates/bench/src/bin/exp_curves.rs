@@ -4,18 +4,15 @@
 //!
 //! Output is plain `x y` series per curve, ready for gnuplot/matplotlib.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use xfraud::datagen::Dataset;
 use xfraud::gnn::{
-    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig,
-    Trainer, XFraudDetector,
+    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig, Trainer,
+    XFraudDetector,
 };
 use xfraud::metrics::{pr_curve, roc_auc, roc_curve};
 use xfraud_bench::{scale_from_args, section, SEEDS};
 
-fn curves_for<M: Model>(
+fn curves_for<M: Model + Sync>(
     name: &str,
     mut model: M,
     g: &xfraud::hetgraph::HetGraph,
@@ -25,10 +22,13 @@ fn curves_for<M: Model>(
     seed: u64,
 ) {
     let sampler = SageSampler::new(2, 8);
-    let trainer = Trainer::new(TrainConfig { epochs, seed, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        seed,
+        ..TrainConfig::default()
+    });
     trainer.fit(&mut model, g, &sampler, train, test);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xfe);
-    let (scores, labels) = trainer.evaluate(&model, g, &sampler, test, &mut rng);
+    let (scores, labels) = trainer.evaluate(&model, g, &sampler, test, seed ^ 0xfe);
     println!("\n# {name} — AUC {:.4}", roc_auc(&scores, &labels));
 
     println!("# PR curve (recall precision) — Fig. 8");
@@ -50,7 +50,10 @@ fn curves_for<M: Model>(
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Figures 8 / 9 / 15 — PR and ROC curves ({}-sim)", scale.name()));
+    section(&format!(
+        "Figures 8 / 9 / 15 — PR and ROC curves ({}-sim)",
+        scale.name()
+    ));
     let ds = Dataset::generate(scale.preset(), 7);
     let g = &ds.graph;
     let (train, test) = train_test_split(g, 0.3, 42);

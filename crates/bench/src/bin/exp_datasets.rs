@@ -34,21 +34,33 @@ const PAPER_TABLE2: &[(&str, usize, &str, &str, f64)] = &[
 
 fn main() {
     section("Figure 1 — heterogeneous graph landscape (log10 nodes, log10 edges)");
-    println!("{:<34} {:>12} {:>12} {:>8} {:>8}", "dataset", "#nodes", "#edges", "log10 N", "log10 E");
+    println!(
+        "{:<34} {:>12} {:>12} {:>8} {:>8}",
+        "dataset", "#nodes", "#edges", "log10 N", "log10 E"
+    );
     for &(name, n, e) in LANDSCAPE {
-        println!("{name:<34} {n:>12.0} {e:>12.0} {:>8.2} {:>8.2}", n.log10(), e.log10());
+        println!(
+            "{name:<34} {n:>12.0} {e:>12.0} {:>8.2} {:>8.2}",
+            n.log10(),
+            e.log10()
+        );
     }
 
     section("Table 2 (paper) — dataset summary");
-    println!("{:<14} {:>9} {:>8} {:>8} {:>8}", "dataset", "features", "#nodes", "#edges", "fraud%");
+    println!(
+        "{:<14} {:>9} {:>8} {:>8} {:>8}",
+        "dataset", "features", "#nodes", "#edges", "fraud%"
+    );
     for &(name, feat, n, e, fr) in PAPER_TABLE2 {
         println!("{name:<14} {feat:>9} {n:>8} {e:>8} {fr:>7.2}%");
     }
 
     section("Table 2 / Table 6 (measured) — simulated datasets");
-    for preset in
-        [DatasetPreset::EbaySmallSim, DatasetPreset::EbayLargeSim, DatasetPreset::EbayXlargeSim]
-    {
+    for preset in [
+        DatasetPreset::EbaySmallSim,
+        DatasetPreset::EbayLargeSim,
+        DatasetPreset::EbayXlargeSim,
+    ] {
         let ds = Dataset::generate(preset, 7);
         let s = ds.stats();
         println!("\n{}:", ds.name);

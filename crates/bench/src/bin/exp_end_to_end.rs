@@ -7,14 +7,11 @@
 //! machines, GEM posts the fastest inference, 16 machines train faster per
 //! epoch but lose AUC (restrained neighbour fields).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use xfraud::datagen::Dataset;
 use xfraud::dist::{DdpConfig, DdpTrainer};
 use xfraud::gnn::{
-    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig,
-    Trainer, XFraudDetector,
+    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig, Trainer,
+    XFraudDetector,
 };
 use xfraud::hetgraph::{HetGraph, NodeId};
 use xfraud::metrics::{accuracy, average_precision, roc_auc};
@@ -32,7 +29,8 @@ struct Row {
     infer_std: f64,
 }
 
-fn run_model<M: Model + Send>(
+#[allow(clippy::too_many_arguments)]
+fn run_model<M: Model + Send + Sync>(
     name: &'static str,
     make: impl Fn() -> M,
     g: &HetGraph,
@@ -52,15 +50,13 @@ fn run_model<M: Model + Send>(
     };
     let mut trainer = DdpTrainer::new(g, train, &make, cfg);
     let hist = trainer.fit(g, test, &sampler);
-    let train_s_per_epoch =
-        hist.iter().map(|e| e.secs).sum::<f64>() / hist.len().max(1) as f64;
+    let train_s_per_epoch = hist.iter().map(|e| e.secs).sum::<f64>() / hist.len().max(1) as f64;
 
     // Final test metrics with the lead replica.
     let eval = Trainer::new(TrainConfig::default());
-    let mut rng = StdRng::seed_from_u64(seed.1 ^ 0xfe);
-    let (scores, labels) = eval.evaluate(trainer.lead_model(), g, &sampler, test, &mut rng);
+    let (scores, labels) = eval.evaluate(trainer.lead_model(), g, &sampler, test, seed.1 ^ 0xfe);
     let (mean, std, _total) =
-        eval.time_inference(trainer.lead_model(), g, &sampler, test, &mut rng);
+        eval.time_inference(trainer.lead_model(), g, &sampler, test, seed.1 ^ 0xff);
 
     Row {
         model: name,
@@ -139,21 +135,32 @@ fn main() {
     for r in &rows {
         println!(
             "{:<18} {:>3}w {:>4} {:>8.4} {:>8.4} {:>8.4} {:>12.2} {:>10.4} ± {:.4}",
-            r.model, r.workers, r.seed, r.acc, r.ap, r.auc, r.train_s_per_epoch,
-            r.infer_s_per_batch, r.infer_std
+            r.model,
+            r.workers,
+            r.seed,
+            r.acc,
+            r.ap,
+            r.auc,
+            r.train_s_per_epoch,
+            r.infer_s_per_batch,
+            r.infer_std
         );
     }
 
     // Seed-averaged Table-3 style summary.
     section("Table 3 — seed-averaged summary");
-    println!("{:<18} {:>3}w {:>8} {:>12} {:>14}", "model", "", "AUC", "s/epoch", "s/batch");
+    println!(
+        "{:<18} {:>3}w {:>8} {:>12} {:>14}",
+        "model", "", "AUC", "s/epoch", "s/batch"
+    );
     for workers in [8usize, 16] {
         for model in ["GAT", "GEM", "xFraud detector+"] {
-            let sel: Vec<&Row> =
-                rows.iter().filter(|r| r.model == model && r.workers == workers).collect();
-            let avg = |f: &dyn Fn(&Row) -> f64| {
-                sel.iter().map(|r| f(r)).sum::<f64>() / sel.len() as f64
-            };
+            let sel: Vec<&Row> = rows
+                .iter()
+                .filter(|r| r.model == model && r.workers == workers)
+                .collect();
+            let avg =
+                |f: &dyn Fn(&Row) -> f64| sel.iter().map(|r| f(r)).sum::<f64>() / sel.len() as f64;
             println!(
                 "{model:<18} {workers:>3}w {:>8.4} {:>12.2} {:>14.4}",
                 avg(&|r| r.auc),

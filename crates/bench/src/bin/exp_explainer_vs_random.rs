@@ -49,16 +49,14 @@ fn main() {
                     e_total += topk_hit_rate_expected(human, &sc.explainer, k, 100, &mut rng);
                     // 10 random draws, as the appendix averages.
                     for _ in 0..10 {
-                        let w: Vec<f64> =
-                            (0..human.len()).map(|_| rng.gen::<f64>()).collect();
+                        let w: Vec<f64> = (0..human.len()).map(|_| rng.gen::<f64>()).collect();
                         r_total += topk_hit_rate_expected(human, &w, k, 100, &mut rng) / 10.0;
                     }
                 }
                 expl_row.push(e_total / selected.len() as f64);
                 rand_row.push(r_total / selected.len() as f64);
             }
-            let delta: Vec<f64> =
-                expl_row.iter().zip(&rand_row).map(|(e, r)| e - r).collect();
+            let delta: Vec<f64> = expl_row.iter().zip(&rand_row).map(|(e, r)| e - r).collect();
             println!("\n[{filter}] ({} communities)", selected.len());
             println!("{}", fmt_row("Random", &rand_row));
             println!("{}", fmt_row("GNNExplainer", &expl_row));

@@ -11,7 +11,10 @@ use xfraud_bench::{scale_from_args, section, trained_pipeline};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix D — node-feature-mask analysis ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix D — node-feature-mask analysis ({}-sim)",
+        scale.name()
+    ));
     let pipeline = trained_pipeline(scale, 1);
     let dim = pipeline.dataset.graph.feature_dim();
     // The generator's informative dimensions: signal block + category block.
@@ -39,7 +42,10 @@ fn main() {
     let n = communities.len() as f64;
     mean_recovery /= n;
     println!("\nmean signal recovery @ top-{n_signal}: {mean_recovery:.3}");
-    println!("(random ranking expectation: {:.3})", n_signal as f64 / dim as f64);
+    println!(
+        "(random ranking expectation: {:.3})",
+        n_signal as f64 / dim as f64
+    );
 
     let mut ranked: Vec<usize> = (0..dim).collect();
     ranked.sort_by(|&a, &b| dim_totals[b].partial_cmp(&dim_totals[a]).unwrap());

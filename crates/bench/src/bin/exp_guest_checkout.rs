@@ -18,7 +18,10 @@ use xfraud_bench::{scale_from_args, section, trained_pipeline};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix G.3 — guest-checkout hard case ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix G.3 — guest-checkout hard case ({}-sim)",
+        scale.name()
+    ));
     let pipeline = trained_pipeline(scale, 1);
     let ds = &pipeline.dataset;
     let g = &ds.graph;
@@ -31,9 +34,9 @@ fn main() {
         if ds.node_mechanism[v] != Some(FraudMechanism::GuestCheckout) {
             continue;
         }
-        let shares_entity = g.neighbors(v).any(|u| {
-            matches!(g.node_type(u), NodeType::Pmt | NodeType::Email) && g.degree(u) > 1
-        });
+        let shares_entity = g
+            .neighbors(v)
+            .any(|u| matches!(g.node_type(u), NodeType::Pmt | NodeType::Email) && g.degree(u) > 1);
         if shares_entity {
             linked.push(v);
         } else {
@@ -67,8 +70,14 @@ fn main() {
     let linked_scores = score_of(&linked, &mut rng);
     let fresh_scores = score_of(&fresh, &mut rng);
     let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
-    println!("mean fraud score — linked guests: {:.3}", mean(&linked_scores));
-    println!("mean fraud score — fresh guests : {:.3}", mean(&fresh_scores));
+    println!(
+        "mean fraud score — linked guests: {:.3}",
+        mean(&linked_scores)
+    );
+    println!(
+        "mean fraud score — fresh guests : {:.3}",
+        mean(&fresh_scores)
+    );
 
     // Detection quality of each class against the benign held-out stream.
     let benign: Vec<usize> = pipeline
@@ -85,8 +94,11 @@ fn main() {
         let mut all = scores.clone();
         all.extend_from_slice(&benign_scores);
         let mut labels = vec![true; scores.len()];
-        labels.extend(std::iter::repeat(false).take(benign_scores.len()));
-        println!("AUC({name} guest frauds vs benign) = {:.4}", roc_auc(&all, &labels));
+        labels.extend(std::iter::repeat_n(false, benign_scores.len()));
+        println!(
+            "AUC({name} guest frauds vs benign) = {:.4}",
+            roc_auc(&all, &labels)
+        );
     }
     println!("\npaper: fully fresh guest checkouts 'remain a difficult use case' — the");
     println!("linked class should be clearly more detectable than the fresh class.");

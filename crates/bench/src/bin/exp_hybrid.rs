@@ -31,7 +31,10 @@ fn mean_hit(
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Tables 4/12 + Figure 7 — hybrid explainer ({}-sim)", scale.name()));
+    section(&format!(
+        "Tables 4/12 + Figure 7 — hybrid explainer ({}-sim)",
+        scale.name()
+    ));
     let (_pipeline, study) = trained_study(scale);
     // Edge betweenness is the centrality arm, as in the paper (best H(c)@5).
     let all = study.to_community_weights(Measure::EdgeBetweenness);
@@ -59,7 +62,9 @@ fn main() {
         }
         println!("community {i:>2}  Δ = {d:+.3}");
     }
-    println!("GNNExplainer better on {e_wins}, centrality better on {c_wins} (trade-off ⇔ both > 0)");
+    println!(
+        "GNNExplainer better on {e_wins}, centrality better on {c_wins} (trade-off ⇔ both > 0)"
+    );
 
     // Ridge fit (single coefficient pair across ranks).
     let ridge = HybridExplainer::fit_ridge(&train, &[5, 10, 15, 20, 25], 30, &mut rng);
@@ -71,8 +76,16 @@ fn main() {
     section("Table 12 — train/test hit rates per rank");
     println!(
         "{:<7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "k", "c:train", "c:test", "e:train", "e:test", "ridge:tr", "ridge:te", "grid:tr",
-        "grid:te", "A_grid"
+        "k",
+        "c:train",
+        "c:test",
+        "e:train",
+        "e:test",
+        "ridge:tr",
+        "ridge:te",
+        "grid:tr",
+        "grid:te",
+        "A_grid"
     );
     let ks = [5usize, 10, 15, 20, 25, 30, 35, 40, 45];
     let mut table4: Vec<(usize, f64, f64, f64, f64)> = Vec::new();

@@ -8,17 +8,24 @@
 
 use xfraud::datagen::Dataset;
 use xfraud::gnn::{
-    incremental_study, time_windows, DetectorConfig, IncrementalConfig, SageSampler,
-    XFraudDetector,
+    incremental_study, time_windows, DetectorConfig, IncrementalConfig, SageSampler, XFraudDetector,
 };
 use xfraud_bench::{scale_from_args, section};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix H.5 — incremental vs static training ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix H.5 — incremental vs static training ({}-sim)",
+        scale.name()
+    ));
     let ds = Dataset::generate(scale.preset(), 7);
     let g = &ds.graph;
-    let cfg = IncrementalConfig { n_windows: 5, initial_epochs: 6, finetune_epochs: 2, ..Default::default() };
+    let cfg = IncrementalConfig {
+        n_windows: 5,
+        initial_epochs: 6,
+        finetune_epochs: 2,
+        ..Default::default()
+    };
     let windows = time_windows(g, &ds.node_time, cfg.n_windows);
     println!("timeline windows (labelled txns / fraud share):");
     for (w, win) in windows.iter().enumerate() {

@@ -86,7 +86,12 @@ fn main() {
 
     let mut log_path = std::env::temp_dir();
     log_path.push(format!("xfraud-exp-kv-{}.log", std::process::id()));
-    bench_store(Arc::new(LogStore::create(&log_path, 64).expect("log store")), dim, n_nodes, reps);
+    bench_store(
+        Arc::new(LogStore::create(&log_path, 64).expect("log store")),
+        dim,
+        n_nodes,
+        reps,
+    );
     let _ = std::fs::remove_file(log_path);
 
     println!("\npaper: LevelDB-style single-threaded loading was the epoch bottleneck");

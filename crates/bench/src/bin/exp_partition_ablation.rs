@@ -15,7 +15,10 @@ use xfraud_bench::{scale_from_args, section, SEEDS};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix G.3 — fraud-ratio-aware partitioning ablation ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix G.3 — fraud-ratio-aware partitioning ablation ({}-sim)",
+        scale.name()
+    ));
     let ds = Dataset::generate(scale.preset(), 7);
     let g = &ds.graph;
     let (train, test) = train_test_split(g, 0.3, 42);
@@ -25,7 +28,10 @@ fn main() {
     let parts = pic_partition(g, 128, 0);
     for (name, groups) in [
         ("size-only (footnote 3)", group_partitions(&parts, 8)),
-        ("ratio-aware (App. G.3)", group_partitions_ratio_aware(&parts, 8, &fraud)),
+        (
+            "ratio-aware (App. G.3)",
+            group_partitions_ratio_aware(&parts, 8, &fraud),
+        ),
     ] {
         let counts = group_fraud_counts(&parts, &groups, &fraud);
         println!(
@@ -57,7 +63,11 @@ fn main() {
             let hist = trainer.fit(g, &test, &sampler);
             println!(
                 "{} seed {s}: worker train counts {:?} → final AUC {:.4}",
-                if ratio_aware { "ratio-aware" } else { "size-only  " },
+                if ratio_aware {
+                    "ratio-aware"
+                } else {
+                    "size-only  "
+                },
                 trainer.worker_train_counts(),
                 hist.last().unwrap().val_auc
             );

@@ -14,7 +14,10 @@ use xfraud_bench::{scale_from_args, section};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix B step 2 — rule-based pre-filtering ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix B step 2 — rule-based pre-filtering ({}-sim)",
+        scale.name()
+    ));
     let ds = Dataset::generate(scale.preset(), 7);
     let g = &ds.graph;
     let (train, test) = train_test_split(g, 0.3, 42);
@@ -26,8 +29,7 @@ fn main() {
     // The platform filter aims at *concentration*, not final precision: a
     // kept rule must beat the base rate by 1.5x (the paper's own filter
     // lifts 0.016% → 0.043%, ≈2.7x, with rules unioned for recall).
-    let base_rate =
-        train_labels.iter().filter(|&&y| y).count() as f64 / train_labels.len() as f64;
+    let base_rate = train_labels.iter().filter(|&&y| y).count() as f64 / train_labels.len() as f64;
     let miner = RuleMiner::new(MinerConfig {
         min_precision: 1.5 * base_rate,
         min_support: 20,
@@ -53,8 +55,11 @@ fn main() {
         }
     };
     let (precision, recall) = ruleset.evaluate(&test_rows, &test_labels);
-    println!("\nheld-out stream: {} transactions, fraud rate {:.2}%", test.len(),
-        100.0 * test_labels.iter().filter(|&&y| y).count() as f64 / test.len() as f64);
+    println!(
+        "\nheld-out stream: {} transactions, fraud rate {:.2}%",
+        test.len(),
+        100.0 * test_labels.iter().filter(|&&y| y).count() as f64 / test.len() as f64
+    );
     println!(
         "after filter  : {} kept ({:.1}% of stream), fraud rate {:.2}%  ({:.1}x concentration)",
         risky.len(),

@@ -6,16 +6,16 @@
 //! sampled set maps to ≈0.32 at 0.043% (1-in-3 investigations is real
 //! fraud, at recall 0.1); 0.95 maps to ≈0.16 (1-in-6, recall 0.2).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use xfraud::gnn::{SageSampler, TrainConfig, Trainer};
 use xfraud::metrics::{confusion_at, precision_at_base_rate};
 use xfraud_bench::{scale_from_args, section, trained_pipeline};
 
 fn main() {
     let scale = scale_from_args();
-    section(&format!("Appendix H.4 — production precision back-mapping ({}-sim)", scale.name()));
+    section(&format!(
+        "Appendix H.4 — production precision back-mapping ({}-sim)",
+        scale.name()
+    ));
 
     // Paper's published mapping, reproduced analytically first.
     println!("analytic mapping at the paper's rates (4.33% sampled → 0.043% filtered):");
@@ -30,12 +30,20 @@ fn main() {
     // Now the measured equivalent on the simulated data.
     let pipeline = trained_pipeline(scale, 1);
     let trainer = Trainer::new(TrainConfig::default());
-    let mut rng = StdRng::seed_from_u64(5);
     let sampler = SageSampler::new(2, 8);
-    let (scores, labels) =
-        trainer.evaluate(&pipeline.detector, &pipeline.dataset.graph, &sampler, &pipeline.test_nodes, &mut rng);
+    let (scores, labels) = trainer.evaluate(
+        &pipeline.detector,
+        &pipeline.dataset.graph,
+        &sampler,
+        &pipeline.test_nodes,
+        5,
+    );
     let sampled_rate = labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64;
-    println!("\nmeasured on {}-sim (sampled fraud rate {:.2}%):", scale.name(), 100.0 * sampled_rate);
+    println!(
+        "\nmeasured on {}-sim (sampled fraud rate {:.2}%):",
+        scale.name(),
+        100.0 * sampled_rate
+    );
     println!(
         "{:>9} {:>10} {:>8} {:>22} {:>16}",
         "threshold", "precision", "recall", "precision@0.043%", "investigations/TP"
@@ -53,8 +61,14 @@ fn main() {
             p,
             c.recall(),
             mapped,
-            if mapped > 0.0 { 1.0 / mapped } else { f64::INFINITY }
+            if mapped > 0.0 {
+                1.0 / mapped
+            } else {
+                f64::INFINITY
+            }
         );
     }
-    println!("\npaper: '0.98 precision on (3) corresponds to 0.32 precision on (2), with 0.1 recall'.");
+    println!(
+        "\npaper: '0.98 precision on (3) corresponds to 0.32 precision on (2), with 0.1 recall'."
+    );
 }

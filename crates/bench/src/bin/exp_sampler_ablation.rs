@@ -33,7 +33,10 @@ fn run(preset: DatasetPreset, epochs: usize) {
     // both inference paths, isolating the sampler exactly as in §4.2).
     let mut model = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 1));
     let sage = SageSampler::new(2, 8);
-    let trainer = Trainer::new(TrainConfig { epochs, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    });
     trainer.fit(&mut model, g, &sage, &train, &test);
 
     // HGSampling runs at pyHGT's defaults: sampled depth 6 (the paper's

@@ -43,8 +43,7 @@ fn main() {
                 ..TrainConfig::default()
             });
             let hist = trainer.fit(&mut model, g, &sampler, &train, &test);
-            let s_per_epoch =
-                hist.iter().map(|e| e.secs).sum::<f64>() / hist.len().max(1) as f64;
+            let s_per_epoch = hist.iter().map(|e| e.secs).sum::<f64>() / hist.len().max(1) as f64;
             println!(
                 "{:<10} {:>4} {:>10} {:>10.2} {:>9.4}",
                 if per_type { "per-type" } else { "shared" },

@@ -4,19 +4,17 @@
 //!
 //! `-` marks thresholds no score reaches, exactly as the paper prints.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use xfraud::datagen::Dataset;
 use xfraud::gnn::{
-    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig,
-    Trainer, XFraudDetector,
+    train_test_split, DetectorConfig, GatModel, GemModel, Model, SageSampler, TrainConfig, Trainer,
+    XFraudDetector,
 };
 use xfraud::hetgraph::HetGraph;
 use xfraud::metrics::{Confusion, ThresholdReport};
 use xfraud_bench::{scale_from_args, section, Scale, SEEDS};
 
-fn sweep_model<M: Model>(
+#[allow(clippy::too_many_arguments)]
+fn sweep_model<M: Model + Sync>(
     name: &str,
     seed_name: char,
     mut model: M,
@@ -27,10 +25,13 @@ fn sweep_model<M: Model>(
     seed: u64,
 ) {
     let sampler = SageSampler::new(2, 8);
-    let trainer = Trainer::new(TrainConfig { epochs, seed, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        seed,
+        ..TrainConfig::default()
+    });
     trainer.fit(&mut model, g, &sampler, train, test);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xfe);
-    let (scores, labels) = trainer.evaluate(&model, g, &sampler, test, &mut rng);
+    let (scores, labels) = trainer.evaluate(&model, g, &sampler, test, seed ^ 0xfe);
 
     println!("\n## {name}, seed {seed_name}");
     for (gi, grid) in ThresholdReport::paper_grids().iter().enumerate() {
@@ -48,7 +49,10 @@ fn sweep_model<M: Model>(
 
 fn main() {
     let scale: Scale = scale_from_args();
-    section(&format!("Tables 14–19 — threshold sweeps ({}-sim)", scale.name()));
+    section(&format!(
+        "Tables 14–19 — threshold sweeps ({}-sim)",
+        scale.name()
+    ));
     let ds = Dataset::generate(scale.preset(), 7);
     let g = &ds.graph;
     let (train, test) = train_test_split(g, 0.3, 42);
@@ -56,8 +60,26 @@ fn main() {
     let epochs = scale.epochs();
 
     for (s, seed) in SEEDS {
-        sweep_model("GAT", s, GatModel::new(DetectorConfig::small(fd, seed)), g, &train, &test, epochs, seed);
-        sweep_model("GEM", s, GemModel::new(DetectorConfig::small(fd, seed)), g, &train, &test, epochs, seed);
+        sweep_model(
+            "GAT",
+            s,
+            GatModel::new(DetectorConfig::small(fd, seed)),
+            g,
+            &train,
+            &test,
+            epochs,
+            seed,
+        );
+        sweep_model(
+            "GEM",
+            s,
+            GemModel::new(DetectorConfig::small(fd, seed)),
+            g,
+            &train,
+            &test,
+            epochs,
+            seed,
+        );
         sweep_model(
             "xFraud detector+",
             s,

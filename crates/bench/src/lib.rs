@@ -70,7 +70,11 @@ pub fn trained_pipeline(scale: Scale, model_seed: u64) -> Pipeline {
         preset: scale.preset(),
         data_seed: 7,
         model_seed,
-        train: TrainConfig { epochs: scale.epochs(), seed: model_seed, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: scale.epochs(),
+            seed: model_seed,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     })
 }
@@ -79,10 +83,8 @@ pub fn trained_pipeline(scale: Scale, model_seed: u64) -> Pipeline {
 /// shared setup of every explainer experiment (Tables 1, 4, 8–12, Fig. 7).
 pub fn trained_study(scale: Scale) -> (Pipeline, xfraud::study::CommunityStudy) {
     let pipeline = trained_pipeline(scale, 1);
-    let study = xfraud::study::CommunityStudy::build(
-        &pipeline,
-        xfraud::study::StudyConfig::default(),
-    );
+    let study =
+        xfraud::study::CommunityStudy::build(&pipeline, xfraud::study::StudyConfig::default());
     (pipeline, study)
 }
 

@@ -1,8 +1,8 @@
 //! `xfraud-cli` — run the pipeline from the command line.
 //!
 //! ```text
-//! xfraud-cli train   [--preset small|large|xlarge] [--epochs N] [--seed S]
-//! xfraud-cli explain [--preset ...] [--epochs N] [--seed S] [--top K]
+//! xfraud-cli train   [--preset small|large|xlarge] [--epochs N] [--seed S] [--workers W]
+//! xfraud-cli explain [--preset ...] [--epochs N] [--seed S] [--top K] [--workers W]
 //! xfraud-cli stats   [--preset ...]
 //! ```
 //!
@@ -20,6 +20,8 @@ struct Args {
     epochs: usize,
     seed: u64,
     top: usize,
+    /// Batch-engine sampling threads; results are identical for any value.
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         epochs: 6,
         seed: 7,
         top: 5,
+        workers: xfraud::gnn::default_num_workers(),
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
             "--epochs" => parsed.epochs = value()?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("{e}"))?,
             "--top" => parsed.top = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => parsed.workers = value()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -54,7 +58,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: xfraud-cli <train|explain|stats> [--preset small|large|xlarge] \
-     [--epochs N] [--seed S] [--top K]"
+     [--epochs N] [--seed S] [--top K] [--workers W]"
         .to_string()
 }
 
@@ -76,7 +80,11 @@ fn main() {
                 preset: args.preset,
                 data_seed: args.seed,
                 model_seed: args.seed,
-                train: TrainConfig { epochs: args.epochs, ..TrainConfig::default() },
+                train: TrainConfig {
+                    epochs: args.epochs,
+                    num_workers: args.workers,
+                    ..TrainConfig::default()
+                },
                 ..PipelineConfig::default()
             });
             for e in &pipeline.history {
@@ -100,20 +108,17 @@ fn main() {
                     std::process::exit(1);
                 };
                 let txn = pipeline.test_nodes[idx];
-                let community =
-                    xfraud::hetgraph::community_of(&pipeline.dataset.graph, txn, 400)
-                        .expect("valid node");
+                let community = xfraud::hetgraph::community_of(&pipeline.dataset.graph, txn, 400)
+                    .expect("valid node");
                 println!(
                     "\nexplaining txn {txn} (score {score:.3}; community {} nodes / {} links)",
                     community.n_nodes(),
                     community.n_links()
                 );
-                let explainer =
-                    GnnExplainer::new(&pipeline.detector, ExplainerConfig::default());
+                let explainer = GnnExplainer::new(&pipeline.detector, ExplainerConfig::default());
                 let (_, weights) = explainer.explain_community(&community);
                 let links = community.graph.undirected_links();
-                let mut ranked: Vec<(usize, f64)> =
-                    weights.iter().copied().enumerate().collect();
+                let mut ranked: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
                 ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
                 for &(i, w) in ranked.iter().take(args.top) {
                     let (u, v) = links[i];

@@ -3,8 +3,8 @@ use rand::SeedableRng;
 
 use xfraud_datagen::{Dataset, DatasetPreset};
 use xfraud_gnn::{
-    predict_scores, train_test_split, DetectorConfig, EpochStats, FullGraphSampler,
-    SageSampler, TrainConfig, Trainer, XFraudDetector,
+    predict_scores, train_test_split, DetectorConfig, EpochStats, FullGraphSampler, SageSampler,
+    TrainConfig, Trainer, XFraudDetector,
 };
 use xfraud_hetgraph::{community_of, Community, NodeId};
 use xfraud_metrics::{accuracy, average_precision, roc_auc};
@@ -33,7 +33,10 @@ impl Default for PipelineConfig {
             data_seed: 7,
             model_seed: 1,
             detector: None,
-            train: TrainConfig { epochs: 8, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 8,
+                ..TrainConfig::default()
+            },
             sage_hops: 2,
             sage_per_hop: 8,
             test_fraction: 0.3,
@@ -66,16 +69,37 @@ impl Pipeline {
         let mut detector = XFraudDetector::new(det_cfg);
         let sampler = SageSampler::new(cfg.sage_hops, cfg.sage_per_hop);
         let trainer = Trainer::new(cfg.train.clone());
-        let history =
-            trainer.fit(&mut detector, &dataset.graph, &sampler, &train_nodes, &test_nodes);
-        Pipeline { cfg, dataset, detector, sampler, train_nodes, test_nodes, history }
+        let history = trainer.fit(
+            &mut detector,
+            &dataset.graph,
+            &sampler,
+            &train_nodes,
+            &test_nodes,
+        );
+        Pipeline {
+            cfg,
+            dataset,
+            detector,
+            sampler,
+            train_nodes,
+            test_nodes,
+            history,
+        }
     }
 
     /// Scores the held-out transactions; returns `(scores, labels)`.
+    /// Batched on the [`xfraud_gnn::BatchEngine`] (`cfg.train.num_workers`
+    /// parallel score workers); the fixed evaluation seed keeps the scores
+    /// bit-identical at any worker count.
     pub fn test_scores(&self) -> (Vec<f32>, Vec<bool>) {
         let trainer = Trainer::new(self.cfg.train.clone());
-        let mut rng = StdRng::seed_from_u64(self.cfg.model_seed ^ 0xe5a1);
-        trainer.evaluate(&self.detector, &self.dataset.graph, &self.sampler, &self.test_nodes, &mut rng)
+        trainer.evaluate(
+            &self.detector,
+            &self.dataset.graph,
+            &self.sampler,
+            &self.test_nodes,
+            self.cfg.model_seed ^ 0xe5a1,
+        )
     }
 
     /// Headline test metrics `(AUC, AP, accuracy@0.5)` — the Table 3/7
@@ -92,14 +116,10 @@ impl Pipeline {
     /// Fraud probability of one transaction node, computed on its full
     /// connected community (no sampling) like the explainer path does.
     pub fn score_transaction(&self, txn: NodeId) -> f32 {
-        let community =
-            community_of(&self.dataset.graph, txn, 4000).expect("valid transaction id");
+        let community = community_of(&self.dataset.graph, txn, 4000).expect("valid transaction id");
         let nodes: Vec<NodeId> = (0..community.graph.n_nodes()).collect();
-        let batch = xfraud_gnn::SubgraphBatch::from_nodes(
-            &community.graph,
-            &nodes,
-            &[community.seed],
-        );
+        let batch =
+            xfraud_gnn::SubgraphBatch::from_nodes(&community.graph, &nodes, &[community.seed]);
         let mut rng = StdRng::seed_from_u64(0);
         predict_scores(&self.detector, &batch, &mut rng)[0]
     }
@@ -153,8 +173,7 @@ impl Pipeline {
             if used_nodes.contains(&txn) {
                 continue; // avoid overlapping communities
             }
-            let c = community_of(&self.dataset.graph, txn, max_nodes)
-                .expect("test node exists");
+            let c = community_of(&self.dataset.graph, txn, max_nodes).expect("test node exists");
             if c.n_links() < min_links {
                 continue;
             }
@@ -166,7 +185,11 @@ impl Pipeline {
 
     /// Risk ground truth for a community's nodes (for annotator simulation).
     pub fn community_risk(&self, community: &Community) -> Vec<f32> {
-        community.original_ids.iter().map(|&v| self.dataset.node_risk[v]).collect()
+        community
+            .original_ids
+            .iter()
+            .map(|&v| self.dataset.node_risk[v])
+            .collect()
     }
 
     /// A full-graph sampler for exact (unsampled) inference, as used in the
@@ -182,7 +205,10 @@ mod tests {
 
     fn quick_cfg() -> PipelineConfig {
         PipelineConfig {
-            train: TrainConfig { epochs: 4, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
             ..PipelineConfig::default()
         }
     }

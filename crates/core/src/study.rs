@@ -47,7 +47,10 @@ impl Default for StudyConfig {
             // confidence gradient is larger, so the edge-size penalty is
             // raised proportionally to keep the mask sparse and
             // discriminative instead of saturating.
-            explainer: ExplainerConfig { beta_edge_size: 0.05, ..ExplainerConfig::default() },
+            explainer: ExplainerConfig {
+                beta_edge_size: 0.05,
+                ..ExplainerConfig::default()
+            },
             seed: 3,
         }
     }
@@ -78,12 +81,8 @@ impl CommunityStudy {
     /// simulates annotators from the generator's ground-truth risk, and
     /// runs the GNNExplainer per community against the frozen detector.
     pub fn build(pipeline: &Pipeline, cfg: StudyConfig) -> CommunityStudy {
-        let sampled = pipeline.sample_communities(
-            cfg.n_communities,
-            cfg.min_links,
-            cfg.max_nodes,
-            cfg.seed,
-        );
+        let sampled =
+            pipeline.sample_communities(cfg.n_communities, cfg.min_links, cfg.max_nodes, cfg.seed);
         let explainer = GnnExplainer::new(&pipeline.detector, cfg.explainer.clone());
         let mut communities = Vec::with_capacity(sampled.len());
         for (i, community) in sampled.into_iter().enumerate() {
@@ -139,7 +138,10 @@ impl CommunityStudy {
 
     /// Split into the paper's train (first 21) / test (last 20) scheme,
     /// proportionally when fewer communities are available.
-    pub fn train_test_split(&self, weights: &[CommunityWeights]) -> (Vec<CommunityWeights>, Vec<CommunityWeights>) {
+    pub fn train_test_split(
+        &self,
+        weights: &[CommunityWeights],
+    ) -> (Vec<CommunityWeights>, Vec<CommunityWeights>) {
         let n = weights.len();
         let n_train = (n * 21 + 20) / 41; // ≈ 21/41 of the sample
         let (a, b) = weights.split_at(n_train.clamp(1, n.saturating_sub(1).max(1)));
@@ -158,7 +160,11 @@ impl CommunityStudy {
 
     /// Mean links per community (paper: 81.56).
     pub fn mean_links(&self) -> f64 {
-        let total: usize = self.communities.iter().map(|sc| sc.community.n_links()).sum();
+        let total: usize = self
+            .communities
+            .iter()
+            .map(|sc| sc.community.n_links())
+            .sum();
         total as f64 / self.communities.len().max(1) as f64
     }
 }

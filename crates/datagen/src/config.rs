@@ -100,7 +100,10 @@ impl DatasetPreset {
     /// The world configuration behind the preset, with a caller seed.
     pub fn config(self, seed: u64) -> WorldConfig {
         match self {
-            DatasetPreset::EbaySmallSim => WorldConfig { seed, ..WorldConfig::default() },
+            DatasetPreset::EbaySmallSim => WorldConfig {
+                seed,
+                ..WorldConfig::default()
+            },
             DatasetPreset::EbayLargeSim => WorldConfig {
                 n_buyers: 5_000,
                 feature_dim: 48,

@@ -50,7 +50,11 @@ pub fn build_dataset(world: &World, cfg: &WorldConfig) -> Dataset {
         // forward some card-stolen claims, §5.2) far more often than benign
         // transactions get wrongly flagged.
         let label = clean.map(|y| {
-            let flip_prob = if y { cfg.label_noise } else { cfg.label_noise * 0.1 };
+            let flip_prob = if y {
+                cfg.label_noise
+            } else {
+                cfg.label_noise * 0.1
+            };
             if rng.gen_bool(flip_prob) {
                 !y
             } else {
@@ -60,14 +64,22 @@ pub fn build_dataset(world: &World, cfg: &WorldConfig) -> Dataset {
         let t = b.add_txn(&rec.features, label);
         txn_nodes.push(t);
 
-        let p = *pmt_node.entry(rec.pmt).or_insert_with(|| b.add_entity(NodeType::Pmt));
+        let p = *pmt_node
+            .entry(rec.pmt)
+            .or_insert_with(|| b.add_entity(NodeType::Pmt));
         b.link(t, p).expect("txn-pmt link");
-        let e = *email_node.entry(rec.email).or_insert_with(|| b.add_entity(NodeType::Email));
+        let e = *email_node
+            .entry(rec.email)
+            .or_insert_with(|| b.add_entity(NodeType::Email));
         b.link(t, e).expect("txn-email link");
-        let a = *addr_node.entry(rec.addr).or_insert_with(|| b.add_entity(NodeType::Addr));
+        let a = *addr_node
+            .entry(rec.addr)
+            .or_insert_with(|| b.add_entity(NodeType::Addr));
         b.link(t, a).expect("txn-addr link");
         if let Some(buyer) = rec.buyer {
-            let u = *buyer_node.entry(buyer).or_insert_with(|| b.add_entity(NodeType::Buyer));
+            let u = *buyer_node
+                .entry(buyer)
+                .or_insert_with(|| b.add_entity(NodeType::Buyer));
             b.link(t, u).expect("txn-buyer link");
         }
     }
@@ -169,7 +181,9 @@ fn filter_small_components(g: &xfraud_hetgraph::HetGraph, min_txns: usize) -> Ve
             txns_per_comp[comp[v]] += 1;
         }
     }
-    (0..n).filter(|&v| txns_per_comp[comp[v]] >= min_txns).collect()
+    (0..n)
+        .filter(|&v| txns_per_comp[comp[v]] >= min_txns)
+        .collect()
 }
 
 #[cfg(test)]
@@ -189,7 +203,11 @@ mod tests {
         let spn = s.links_per_node();
         assert!((1.0..4.0).contains(&spn), "links/node {spn}");
         // txn share dominates the node mix (Table 6: 42–77 %).
-        assert!(s.type_share(NodeType::Txn) > 0.35, "txn share {}", s.type_share(NodeType::Txn));
+        assert!(
+            s.type_share(NodeType::Txn) > 0.35,
+            "txn share {}",
+            s.type_share(NodeType::Txn)
+        );
         // Labelled fraud rate in a broad band around the paper's ~4 %.
         let fr = s.fraud_rate();
         assert!((0.01..0.25).contains(&fr), "fraud rate {fr}");
@@ -197,13 +215,20 @@ mod tests {
 
     #[test]
     fn every_component_has_min_txns() {
-        let cfg = WorldConfig { min_neighborhood_txns: 5, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            min_neighborhood_txns: 5,
+            ..WorldConfig::default()
+        };
         let world = generate_log(&cfg);
         let ds = build_dataset(&world, &cfg);
         let g = &ds.graph;
         // Recompute components on the filtered graph and check the floor.
         let keep = filter_small_components(g, 5);
-        assert_eq!(keep.len(), g.n_nodes(), "a small component survived filtering");
+        assert_eq!(
+            keep.len(),
+            g.n_nodes(),
+            "a small component survived filtering"
+        );
     }
 
     #[test]
@@ -221,7 +246,12 @@ mod tests {
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         // Risk bands overlap by design and 4% of labels are noise-flipped,
         // so the mean gap is moderate but must stay clearly positive.
-        assert!(mean(&fr) > mean(&bn) + 0.12, "fraud {} vs benign {}", mean(&fr), mean(&bn));
+        assert!(
+            mean(&fr) > mean(&bn) + 0.12,
+            "fraud {} vs benign {}",
+            mean(&fr),
+            mean(&bn)
+        );
     }
 
     #[test]
@@ -260,13 +290,23 @@ mod tests {
             .iter()
             .filter(|&&v| g.label(v).is_none())
             .count();
-        assert!(unlabeled > 0, "benign down-sampling should leave unlabelled txns in the graph");
+        assert!(
+            unlabeled > 0,
+            "benign down-sampling should leave unlabelled txns in the graph"
+        );
     }
 
     #[test]
     fn presets_scale_up() {
-        let small = Dataset::generate(DatasetPreset::EbaySmallSim, 7).stats().n_nodes;
-        let large = Dataset::generate(DatasetPreset::EbayLargeSim, 7).stats().n_nodes;
-        assert!(large > small * 4, "large ({large}) must dwarf small ({small})");
+        let small = Dataset::generate(DatasetPreset::EbaySmallSim, 7)
+            .stats()
+            .n_nodes;
+        let large = Dataset::generate(DatasetPreset::EbayLargeSim, 7)
+            .stats()
+            .n_nodes;
+        assert!(
+            large > small * 4,
+            "large ({large}) must dwarf small ({small})"
+        );
     }
 }

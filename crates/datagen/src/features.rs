@@ -76,10 +76,16 @@ mod tests {
         // Average the first signal dim over many draws at low vs high risk.
         let mut rng = StdRng::seed_from_u64(3);
         let avg = |risk: f32, rng: &mut StdRng| -> f32 {
-            (0..500).map(|_| synth_features(24, risk, 0, rng)[0]).sum::<f32>() / 500.0
+            (0..500)
+                .map(|_| synth_features(24, risk, 0, rng)[0])
+                .sum::<f32>()
+                / 500.0
         };
         let low = avg(0.05, &mut rng);
         let high = avg(0.95, &mut rng);
-        assert!(high - low > 0.5, "signal dim must separate risk: low={low} high={high}");
+        assert!(
+            high - low > 0.5,
+            "signal dim must separate risk: low={low} high={high}"
+        );
     }
 }

@@ -77,7 +77,16 @@ fn push_txn(
         FraudMechanism::GuestCheckout => rng.gen_range(0.42..0.97),
     };
     let features = synth_features(feature_dim, latent_risk, category, rng);
-    records.push(TxnRecord { buyer, pmt, email, addr, mechanism, latent_risk, time, features });
+    records.push(TxnRecord {
+        buyer,
+        pmt,
+        email,
+        addr,
+        mechanism,
+        latent_risk,
+        time,
+        features,
+    });
 }
 
 /// Generates the synthetic transaction log.
@@ -103,8 +112,9 @@ pub fn generate_log(cfg: &WorldConfig) -> World {
     // parcel lockers): they tie benign buyers into larger communities, so
     // benign traffic survives the Appendix-B small-neighbourhood filter just
     // like real data does.
-    let shared_addr_pool: Vec<usize> =
-        (0..(cfg.n_buyers / 8).max(1)).map(|_| pools.addr()).collect();
+    let shared_addr_pool: Vec<usize> = (0..(cfg.n_buyers / 8).max(1))
+        .map(|_| pools.addr())
+        .collect();
     let buyers: Vec<BuyerProfile> = (0..cfg.n_buyers)
         .map(|_| {
             pools.buyer();
@@ -153,7 +163,11 @@ pub fn generate_log(cfg: &WorldConfig) -> World {
         let stolen_pmt = buyers[victim].pmts[0];
         // Half the incidents run through a throwaway "fraudster" account,
         // half are guest checkouts on the stolen token.
-        let fraud_buyer = if i % 2 == 0 { Some(pools.buyer()) } else { None };
+        let fraud_buyer = if i % 2 == 0 {
+            Some(pools.buyer())
+        } else {
+            None
+        };
         let drop_email = pools.email();
         let drop_addr = pools.addr();
         // The thief bursts within a couple of days of the theft.
@@ -182,7 +196,11 @@ pub fn generate_log(cfg: &WorldConfig) -> World {
         for _ in 0..cfg.warehouse_frauds {
             // Each fraud gets a cheap fresh identity but ships to the shared
             // warehouse — the linkage the explainer should surface.
-            let buyer = if rng.gen_bool(0.5) { Some(pools.buyer()) } else { None };
+            let buyer = if rng.gen_bool(0.5) {
+                Some(pools.buyer())
+            } else {
+                None
+            };
             let pmt = pools.pmt();
             let email = pools.email();
             let category = rng.gen_range(0..8);
@@ -203,8 +221,7 @@ pub fn generate_log(cfg: &WorldConfig) -> World {
         for _ in 0..cfg.warehouse_benign {
             // Legit pickup-point users muddy the signal.
             let b = rng.gen_range(0..buyers.len());
-            let (pmt, email, category) =
-                (buyers[b].pmts[0], buyers[b].email, buyers[b].category);
+            let (pmt, email, category) = (buyers[b].pmts[0], buyers[b].email, buyers[b].category);
             let time = rng.gen_range(0.0..1.0);
             push_txn(
                 &mut records,
@@ -360,7 +377,9 @@ mod tests {
             .collect();
         assert!(!stolen.is_empty());
         let any_shared = stolen.iter().any(|&p| {
-            w.records.iter().any(|r| r.mechanism == FraudMechanism::Benign && r.pmt == p)
+            w.records
+                .iter()
+                .any(|r| r.mechanism == FraudMechanism::Benign && r.pmt == p)
         });
         assert!(any_shared, "no stolen token is shared with benign traffic");
     }

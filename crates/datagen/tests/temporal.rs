@@ -24,13 +24,21 @@ fn stolen_card_bursts_are_temporally_tight() {
     for (email, mut times) in by_incident {
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let span = times.last().unwrap() - times.first().unwrap();
-        assert!(span <= 0.031, "incident via email {email} spans {span} (burst must be tight)");
+        assert!(
+            span <= 0.031,
+            "incident via email {email} spans {span} (burst must be tight)"
+        );
     }
 }
 
 #[test]
 fn ring_bursts_happen_after_cultivation() {
-    let cfg = WorldConfig { n_rings: 5, ring_cultivation: 3, ring_burst: 4, ..Default::default() };
+    let cfg = WorldConfig {
+        n_rings: 5,
+        ring_cultivation: 3,
+        ring_burst: 4,
+        ..Default::default()
+    };
     let w = generate_log(&cfg);
     // Ring frauds share a ring address; cultivation purchases by the same
     // accounts use their own addresses. Compare per-buyer times.
@@ -40,9 +48,7 @@ fn ring_bursts_happen_after_cultivation() {
         if let Some(buyer) = r.buyer {
             match r.mechanism {
                 FraudMechanism::Ring => burst.entry(buyer).or_default().push(r.time),
-                FraudMechanism::Benign => {
-                    cultivation.entry(buyer).or_default().push(r.time)
-                }
+                FraudMechanism::Benign => cultivation.entry(buyer).or_default().push(r.time),
                 _ => {}
             }
         }
@@ -59,7 +65,10 @@ fn ring_bursts_happen_after_cultivation() {
             checked += 1;
         }
     }
-    assert!(checked >= 3, "too few ring accounts with both phases ({checked})");
+    assert!(
+        checked >= 3,
+        "too few ring accounts with both phases ({checked})"
+    );
 }
 
 #[test]
@@ -105,5 +114,8 @@ fn fraud_concentrates_later_in_some_windows() {
     }
     let max = rates.iter().cloned().fold(f64::MIN, f64::max);
     let min = rates.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(max > min, "fraud rate is perfectly flat across windows: {rates:?}");
+    assert!(
+        max > min,
+        "fraud rate is perfectly flat across windows: {rates:?}"
+    );
 }

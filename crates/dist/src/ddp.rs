@@ -1,11 +1,10 @@
-use std::collections::HashMap;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use xfraud_gnn::{grad_step, Model, Sampler, Trainer, TrainConfig};
+use xfraud_gnn::{average_grads, grad_step, Model, Sampler, TrainConfig, Trainer};
 use xfraud_hetgraph::{HetGraph, NodeId};
 use xfraud_metrics::roc_auc;
 use xfraud_nn::AdamW;
@@ -66,12 +65,12 @@ struct Worker<M> {
 /// Thread-based DDP: one replica per worker, synchronous gradient
 /// averaging, identical AdamW updates — weights stay bit-identical across
 /// replicas, which [`DdpTrainer::max_replica_divergence`] lets tests check.
-pub struct DdpTrainer<M: Model + Send> {
+pub struct DdpTrainer<M: Model + Send + Sync> {
     pub cfg: DdpConfig,
     workers: Vec<Worker<M>>,
 }
 
-impl<M: Model + Send> DdpTrainer<M> {
+impl<M: Model + Send + Sync> DdpTrainer<M> {
     /// Partitions `g` (PIC → κ groups) and instantiates one replica per
     /// worker via `make_model` (all replicas must be built identically —
     /// same seed — exactly like DDP's initial broadcast).
@@ -83,8 +82,7 @@ impl<M: Model + Send> DdpTrainer<M> {
     ) -> Self {
         let parts = crate::pic::pic_partition(g, cfg.n_partitions, cfg.seed);
         let groups = if cfg.ratio_aware {
-            let fraud: Vec<bool> =
-                (0..g.n_nodes()).map(|v| g.label(v) == Some(true)).collect();
+            let fraud: Vec<bool> = (0..g.n_nodes()).map(|v| g.label(v) == Some(true)).collect();
             crate::partition::group_partitions_ratio_aware(&parts, cfg.n_workers, &fraud)
         } else {
             crate::partition::group_partitions(&parts, cfg.n_workers)
@@ -103,8 +101,9 @@ impl<M: Model + Send> DdpTrainer<M> {
         let mut workers = Vec::with_capacity(cfg.n_workers);
         for (w, (group, model)) in groups.iter().zip(models).enumerate() {
             let owned: std::collections::HashSet<usize> = group.iter().copied().collect();
-            let nodes: Vec<NodeId> =
-                (0..g.n_nodes()).filter(|&v| owned.contains(&parts[v])).collect();
+            let nodes: Vec<NodeId> = (0..g.n_nodes())
+                .filter(|&v| owned.contains(&parts[v]))
+                .collect();
             let (sub, map) = g.induced_subgraph(&nodes);
             let train_local: Vec<NodeId> = nodes
                 .iter()
@@ -160,48 +159,50 @@ impl<M: Model + Send> DdpTrainer<M> {
                 let mut nodes = w.train_local.clone();
                 nodes.shuffle(&mut w.rng);
                 schedules.push(
-                    nodes.chunks(self.cfg.batch_size).map(<[NodeId]>::to_vec).collect(),
+                    nodes
+                        .chunks(self.cfg.batch_size)
+                        .map(<[NodeId]>::to_vec)
+                        .collect(),
                 );
             }
             let steps = schedules.iter().map(Vec::len).max().unwrap_or(0);
             let mut losses = Vec::new();
             for step in 0..steps {
                 // Each worker computes local gradients in parallel.
-                let results: Vec<Option<(f32, Vec<(xfraud_nn::ParamId, Tensor)>)>> =
-                    crossbeam::scope(|scope| {
-                        let handles: Vec<_> = self
-                            .workers
-                            .iter_mut()
-                            .zip(&schedules)
-                            .map(|(w, sched)| {
-                                scope.spawn(move |_| {
-                                    if sched.is_empty() {
-                                        return None;
-                                    }
-                                    let chunk = &sched[step % sched.len()];
-                                    let batch = sampler.sample(&w.graph, chunk, &mut w.rng);
-                                    Some(grad_step(&w.model, &batch, &mut w.rng))
-                                })
+                type StepResult = Option<(f32, Vec<(xfraud_nn::ParamId, Tensor)>)>;
+                let results: Vec<StepResult> = crossbeam::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .workers
+                        .iter_mut()
+                        .zip(&schedules)
+                        .map(|(w, sched)| {
+                            scope.spawn(move |_| {
+                                if sched.is_empty() {
+                                    return None;
+                                }
+                                let chunk = &sched[step % sched.len()];
+                                let batch = sampler.sample(&w.graph, chunk, &mut w.rng);
+                                Some(grad_step(&w.model, &batch, &mut w.rng))
                             })
-                            .collect();
-                        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                    })
-                    .expect("scope");
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                })
+                .expect("scope");
 
                 // All-reduce: average gradients by parameter index.
-                let n_active = results.iter().flatten().count().max(1) as f32;
-                let mut avg: HashMap<usize, Tensor> = HashMap::new();
-                for r in results.iter().flatten() {
-                    losses.push(r.0);
-                    for (id, gt) in &r.1 {
-                        avg.entry(id.index())
-                            .and_modify(|t| t.add_assign(gt).expect("same shape"))
-                            .or_insert_with(|| gt.clone());
-                    }
-                }
-                for t in avg.values_mut() {
-                    t.scale_assign(1.0 / n_active);
-                }
+                let sets: Vec<Vec<(xfraud_nn::ParamId, Tensor)>> = results
+                    .into_iter()
+                    .flatten()
+                    .map(|(loss, grads)| {
+                        losses.push(loss);
+                        grads
+                    })
+                    .collect();
+                let avg = average_grads(&sets);
                 // Identical update on every replica.
                 for w in &mut self.workers {
                     let grads: Vec<_> = w
@@ -218,9 +219,13 @@ impl<M: Model + Send> DdpTrainer<M> {
                 "replicas diverged — DDP invariant broken"
             );
             let mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
-            let mut eval_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xe5a1);
-            let (scores, labels) =
-                eval.evaluate(&self.workers[0].model, full_graph, sampler, val_nodes, &mut eval_rng);
+            let (scores, labels) = eval.evaluate(
+                &self.workers[0].model,
+                full_graph,
+                sampler,
+                val_nodes,
+                self.cfg.seed ^ 0xe5a1,
+            );
             let val_auc = roc_auc(&scores, &labels);
             history.push(DdpEpoch {
                 epoch,
@@ -253,7 +258,12 @@ mod tests {
     #[test]
     fn replicas_stay_identical_through_training() {
         let (g, train, test) = setup();
-        let cfg = DdpConfig { n_workers: 4, n_partitions: 16, epochs: 1, ..Default::default() };
+        let cfg = DdpConfig {
+            n_workers: 4,
+            n_partitions: 16,
+            epochs: 1,
+            ..Default::default()
+        };
         let feature_dim = g.feature_dim();
         let mut trainer = DdpTrainer::new(
             &g,
@@ -270,7 +280,12 @@ mod tests {
     #[test]
     fn every_worker_gets_training_data() {
         let (g, train, _) = setup();
-        let cfg = DdpConfig { n_workers: 4, n_partitions: 16, epochs: 1, ..Default::default() };
+        let cfg = DdpConfig {
+            n_workers: 4,
+            n_partitions: 16,
+            epochs: 1,
+            ..Default::default()
+        };
         let feature_dim = g.feature_dim();
         let trainer = DdpTrainer::new(
             &g,
@@ -286,7 +301,12 @@ mod tests {
     #[test]
     fn ddp_training_learns_the_signal() {
         let (g, train, test) = setup();
-        let cfg = DdpConfig { n_workers: 2, n_partitions: 8, epochs: 3, ..Default::default() };
+        let cfg = DdpConfig {
+            n_workers: 2,
+            n_partitions: 8,
+            epochs: 3,
+            ..Default::default()
+        };
         let feature_dim = g.feature_dim();
         let mut trainer = DdpTrainer::new(
             &g,

@@ -44,7 +44,9 @@ pub fn group_partitions(assignment: &[usize], k: usize) -> Vec<Vec<usize>> {
     // rebalance by moving the largest partitions out of overfull groups.
     for g in 0..k {
         if groups[g].is_empty() {
-            if let Some(donor) = (0..k).filter(|&d| groups[d].len() > 1).max_by_key(|&d| fills[d])
+            if let Some(donor) = (0..k)
+                .filter(|&d| groups[d].len() > 1)
+                .max_by_key(|&d| fills[d])
             {
                 let moved = groups[donor].pop().expect("donor has >1 partitions");
                 fills[donor] -= sizes[moved];
@@ -191,7 +193,7 @@ mod tests {
     fn no_group_left_empty_when_enough_partitions() {
         // Skewed sizes: one giant partition plus small ones.
         let mut assignment = vec![0usize; 500];
-        assignment.extend((1..8).flat_map(|p| std::iter::repeat(p).take(10)));
+        assignment.extend((1..8).flat_map(|p| std::iter::repeat_n(p, 10)));
         let groups = group_partitions(&assignment, 4);
         assert!(groups.iter().all(|g| !g.is_empty()), "{groups:?}");
     }

@@ -12,7 +12,11 @@ use rand::{Rng, SeedableRng};
 
 use xfraud_hetgraph::HetGraph;
 
-/// The 1-D PIC embedding: truncated power iteration of `W = D⁻¹A`.
+/// The 1-D PIC embedding: truncated power iteration of the *lazy* walk
+/// `W = (I + D⁻¹A)/2`. The lazy step matters on transaction graphs: they
+/// are bipartite (txn ↔ entity), and the plain `D⁻¹A` iteration oscillates
+/// with period 2 on bipartite components instead of converging to a
+/// per-component constant, which breaks the k-means split downstream.
 pub fn pic_embedding(g: &HetGraph, iterations: usize, seed: u64) -> Vec<f64> {
     let n = g.n_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -28,7 +32,7 @@ pub fn pic_embedding(g: &HetGraph, iterations: usize, seed: u64) -> Vec<f64> {
                 continue;
             }
             let sum: f64 = g.neighbors(u).map(|w| v[w]).sum();
-            *slot = sum / deg as f64;
+            *slot = 0.5 * v[u] + 0.5 * (sum / deg as f64);
         }
         std::mem::swap(&mut v, &mut next);
         normalize_l1(&mut v);
@@ -55,8 +59,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, iterations: usize, seed: u64) -> Vec<
     // k-means++-ish init: spread quantiles of the sorted values.
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let mut centers: Vec<f64> =
-        (0..k).map(|i| sorted[(i * (n - 1)) / k.max(1)]).collect();
+    let mut centers: Vec<f64> = (0..k).map(|i| sorted[(i * (n - 1)) / k.max(1)]).collect();
     let mut assign = vec![0usize; n];
     for _ in 0..iterations {
         // Assign.

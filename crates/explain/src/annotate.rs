@@ -62,7 +62,11 @@ impl Default for AnnotationConfig {
         // average count of edges sharing the *largest* importance is 20.9
         // of 81.6 — Appendix E), and the top-k machinery breaks those ties
         // by averaging random draws.
-        AnnotationConfig { n_annotators: 5, noise: 0.16, seed: 17 }
+        AnnotationConfig {
+            n_annotators: 5,
+            noise: 0.16,
+            seed: 17,
+        }
     }
 }
 
@@ -105,13 +109,13 @@ pub fn true_importance_for_seed(
     // attention regardless of label — they are the evidence one checks
     // (compare Fig. 11's "generic shipping address" discussion). Extreme
     // hubs are rated as important as risky nodes.
-    for v in 0..g.n_nodes() {
+    for (v, tv) in t.iter_mut().enumerate() {
         if g.node_type(v).is_entity() {
             let deg = g.degree(v);
             if deg >= 8 {
-                t[v] = 2;
+                *tv = 2;
             } else if deg >= 4 {
-                t[v] = t[v].max(1);
+                *tv = (*tv).max(1);
             }
         }
     }
@@ -173,7 +177,9 @@ pub fn node_scores(annotations: &[Vec<u8>]) -> Vec<f64> {
             *s += v as f64;
         }
     }
-    scores.iter_mut().for_each(|s| *s /= annotations.len() as f64);
+    scores
+        .iter_mut()
+        .for_each(|s| *s /= annotations.len() as f64);
     scores
 }
 
@@ -240,7 +246,10 @@ mod tests {
 
     #[test]
     fn kappa_of_random_annotators_is_near_zero() {
-        let cfg = AnnotationConfig { seed: 5, ..AnnotationConfig::default() };
+        let cfg = AnnotationConfig {
+            seed: 5,
+            ..AnnotationConfig::default()
+        };
         let anns = random_annotations(3000, &cfg);
         let iaa = mean_pairwise_iaa(&anns);
         assert!(iaa.abs() < 0.05, "random IAA = {iaa} (paper: -0.006)");
@@ -249,11 +258,23 @@ mod tests {
     #[test]
     fn simulated_iaa_lands_near_the_papers_value() {
         // A realistic bucket mix: mostly unimportant nodes.
-        let truth: Vec<u8> =
-            (0..2000).map(|i| if i % 10 == 0 { 2 } else if i % 5 == 0 { 1 } else { 0 }).collect();
+        let truth: Vec<u8> = (0..2000)
+            .map(|i| {
+                if i % 10 == 0 {
+                    2
+                } else if i % 5 == 0 {
+                    1
+                } else {
+                    0
+                }
+            })
+            .collect();
         let anns = simulate_annotations(&truth, &AnnotationConfig::default());
         let iaa = mean_pairwise_iaa(&anns);
-        assert!((0.35..0.7).contains(&iaa), "IAA = {iaa}, paper reports 0.532");
+        assert!(
+            (0.35..0.7).contains(&iaa),
+            "IAA = {iaa}, paper reports 0.532"
+        );
     }
 
     #[test]
@@ -282,6 +303,9 @@ mod tests {
     fn annotations_are_deterministic_per_seed() {
         let truth = vec![1u8; 50];
         let cfg = AnnotationConfig::default();
-        assert_eq!(simulate_annotations(&truth, &cfg), simulate_annotations(&truth, &cfg));
+        assert_eq!(
+            simulate_annotations(&truth, &cfg),
+            simulate_annotations(&truth, &cfg)
+        );
     }
 }

@@ -30,7 +30,9 @@ pub struct SimpleGraph {
 
 impl SimpleGraph {
     pub fn new(n: usize) -> Self {
-        SimpleGraph { adj: vec![Vec::new(); n] }
+        SimpleGraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     pub fn add_edge(&mut self, u: usize, v: usize) {
@@ -126,7 +128,12 @@ impl SimpleGraph {
                 }
             }
         }
-        Bfs { dist, sigma, preds, order }
+        Bfs {
+            dist,
+            sigma,
+            preds,
+            order,
+        }
     }
 }
 
@@ -172,8 +179,9 @@ pub fn closeness(g: &SimpleGraph) -> Vec<f64> {
     (0..n)
         .map(|u| {
             let bfs = g.bfs(u);
-            let reach: Vec<usize> =
-                (0..n).filter(|&v| v != u && bfs.dist[v] != usize::MAX).collect();
+            let reach: Vec<usize> = (0..n)
+                .filter(|&v| v != u && bfs.dist[v] != usize::MAX)
+                .collect();
             let total: usize = reach.iter().map(|&v| bfs.dist[v]).sum();
             if reach.is_empty() || total == 0 {
                 0.0
@@ -241,7 +249,11 @@ pub fn edge_betweenness(g: &SimpleGraph) -> Vec<((usize, usize), f64)> {
         }
     }
     let scale = edge_pair_scale(n);
-    edges.into_iter().zip(eb).map(|(e, b)| (e, b * scale)).collect()
+    edges
+        .into_iter()
+        .zip(eb)
+        .map(|(e, b)| (e, b * scale))
+        .collect()
 }
 
 /// Goh-style load centrality: a unit of "flow" from every source to every
@@ -304,7 +316,11 @@ pub fn edge_load(g: &SimpleGraph) -> Vec<((usize, usize), f64)> {
         }
     }
     let scale = edge_pair_scale(n);
-    edges.into_iter().zip(el).map(|(e, l)| (e, l * scale)).collect()
+    edges
+        .into_iter()
+        .zip(el)
+        .map(|(e, l)| (e, l * scale))
+        .collect()
 }
 
 /// Eigenvector centrality by power iteration on the adjacency matrix.
@@ -457,9 +473,7 @@ pub fn current_flow_closeness(g: &SimpleGraph) -> Vec<f64> {
         .map(|v| {
             let total: f64 = (0..n)
                 .filter(|&u| u != v)
-                .map(|u| {
-                    (gamma.get(v, v) + gamma.get(u, u) - 2.0 * gamma.get(u, v)) as f64
-                })
+                .map(|u| (gamma.get(v, v) + gamma.get(u, u) - 2.0 * gamma.get(u, v)) as f64)
                 .sum();
             if total <= 0.0 {
                 0.0
@@ -652,7 +666,10 @@ mod tests {
         let b = betweenness(&g);
         let l = load(&g);
         let same = b.iter().zip(&l).all(|(x, y)| (x - y).abs() < 1e-9);
-        assert!(!same, "load must differ from betweenness here: {b:?} vs {l:?}");
+        assert!(
+            !same,
+            "load must differ from betweenness here: {b:?} vs {l:?}"
+        );
     }
 
     #[test]
@@ -674,8 +691,8 @@ mod tests {
     fn eigenvector_star_centre_dominates() {
         let e = eigenvector(&star5());
         assert!(e[0] > e[1]);
-        // networkx: centre ≈ 0.7071, leaves ≈ 0.3536.
-        assert!((e[0] - 0.7071).abs() < 1e-3);
+        // networkx: centre ≈ 1/√2, leaves ≈ 0.3536.
+        assert!((e[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
         assert!((e[1] - 0.3536).abs() < 1e-3);
     }
 
@@ -756,7 +773,11 @@ mod tests {
         for m in ALL_MEASURES {
             let w = community_edge_weights(&g, m, &mut rng);
             assert_eq!(w.len(), n_links, "{} returned wrong arity", m.name());
-            assert!(w.iter().all(|x| x.is_finite()), "{} emitted non-finite weight", m.name());
+            assert!(
+                w.iter().all(|x| x.is_finite()),
+                "{} emitted non-finite weight",
+                m.name()
+            );
         }
     }
 }

@@ -52,7 +52,11 @@ impl FeatureImportance {
             return 0.0;
         }
         let top = self.ranked();
-        let hits = top.iter().take(k).filter(|d| informative.contains(d)).count();
+        let hits = top
+            .iter()
+            .take(k)
+            .filter(|d| informative.contains(d))
+            .count();
         hits as f64 / k.min(self.mean.len()) as f64
     }
 }
@@ -70,7 +74,13 @@ mod tests {
         assert!((fi.mean[1] - 0.15).abs() < 1e-6);
         assert_eq!(fi.ranked()[0], 0);
         assert_eq!(fi.ranked()[2], 1);
-        assert_eq!(fi.seed_row, vec![0.9 as f64, 0.1, 0.5].iter().map(|&x| x as f32 as f64).collect::<Vec<_>>());
+        assert_eq!(
+            fi.seed_row,
+            [0.9f64, 0.1, 0.5]
+                .iter()
+                .map(|&x| x as f32 as f64)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
         //    mutual-information view of GNNExplainer).
         let (predicted_label, predicted_score) = {
             let mut sess = Session::new();
-            let logits = self.model.forward(&mut sess, batch, false, &mut rng, &Masks::none());
+            let logits = self
+                .model
+                .forward(&mut sess, batch, false, &mut rng, &Masks::none());
             let probs = softmax_rows(sess.tape.value(logits));
             let score = probs.get(0, 1);
             (usize::from(score >= 0.5), score)
@@ -110,11 +112,15 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
         // Small random init: ±0.1 keeps the pre-training ranking noise floor
         // well below the learned signal (±0.5 drowned low-gradient edges).
         let mut masks = ParamStore::new();
-        let edge_logits =
-            masks.register("edge_mask", Tensor::rand_uniform(e.max(1), 1, -0.1, 0.1, &mut rng));
+        let edge_logits = masks.register(
+            "edge_mask",
+            Tensor::rand_uniform(e.max(1), 1, -0.1, 0.1, &mut rng),
+        );
         let feat_logits =
             masks.register("feat_mask", Tensor::rand_uniform(n, f, -0.1, 0.1, &mut rng));
-        let mut opt = AdamW::new(self.cfg.lr).with_weight_decay(0.0).with_clip(None);
+        let mut opt = AdamW::new(self.cfg.lr)
+            .with_weight_decay(0.0)
+            .with_clip(None);
 
         for _ in 0..self.cfg.epochs {
             let mut sess = Session::new();
@@ -128,7 +134,10 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
                 batch,
                 false,
                 &mut rng,
-                &Masks { edge_mask: Some(edge_mask), feature_mask: Some(feat_mask) },
+                &Masks {
+                    edge_mask: Some(edge_mask),
+                    feature_mask: Some(feat_mask),
+                },
             );
             // eq. 11: detector loss on the explained node.
             let pred_loss = sess.tape.softmax_cross_entropy(logits, Rc::clone(&labels));
@@ -152,14 +161,20 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
 
             let grads = sess.backward(loss);
             // Freeze the detector: only mask parameters are stepped.
-            let mask_grads: Vec<_> =
-                grads.into_iter().filter(|(id, _)| masks.owns(*id)).collect();
+            let mask_grads: Vec<_> = grads
+                .into_iter()
+                .filter(|(id, _)| masks.owns(*id))
+                .collect();
             opt.step(&mut masks, &mask_grads);
         }
 
         // 3. Read out the masks.
-        let directed_edge_mask: Vec<f32> =
-            masks.value(edge_logits).data().iter().map(|&x| sigmoid(x)).collect();
+        let directed_edge_mask: Vec<f32> = masks
+            .value(edge_logits)
+            .data()
+            .iter()
+            .map(|&x| sigmoid(x))
+            .collect();
         let feature_mask = masks.value(feat_logits).map(sigmoid);
 
         // Collapse directions by max (footnote 4).
@@ -193,8 +208,7 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
     /// outside the receptive field get weight 0.
     pub fn explain_community(&self, community: &Community) -> (Explanation, EdgeWeights) {
         let g = &community.graph;
-        let hood =
-            xfraud_hetgraph::khop_neighborhood(g, community.seed, self.cfg.hops, usize::MAX);
+        let hood = xfraud_hetgraph::khop_neighborhood(g, community.seed, self.cfg.hops, usize::MAX);
         let batch = SubgraphBatch::from_nodes(g, &hood, &[community.seed]);
         let explanation = self.explain(&batch);
         // Map batch-local link weights back to community node ids.
@@ -285,7 +299,13 @@ mod tests {
         let g = planted_graph();
         let det = trained_detector(&g);
         let community = community_of(&g, 3, usize::MAX).unwrap();
-        let explainer = GnnExplainer::new(&det, ExplainerConfig { epochs: 30, ..Default::default() });
+        let explainer = GnnExplainer::new(
+            &det,
+            ExplainerConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         let (expl, aligned) = explainer.explain_community(&community);
         assert_eq!(aligned.len(), community.graph.n_links());
         assert!(expl.edge_weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
@@ -314,20 +334,30 @@ mod tests {
                 nb += 1;
             }
         }
-        assert!(f_avg / nf as f32 > b_avg / nb as f32 + 0.2, "detector failed to learn");
+        assert!(
+            f_avg / nf as f32 > b_avg / nb as f32 + 0.2,
+            "detector failed to learn"
+        );
 
         // Explain a fraud seed; its edge to the bad pmt should outweigh its
         // edge to the shared (uninformative) address.
         let seed = 3; // first fraud txn node id
         let community = community_of(&g, seed, usize::MAX).unwrap();
-        let explainer =
-            GnnExplainer::new(&det, ExplainerConfig { epochs: 120, ..Default::default() });
+        let explainer = GnnExplainer::new(
+            &det,
+            ExplainerConfig {
+                epochs: 120,
+                ..Default::default()
+            },
+        );
         let (_, weights) = explainer.explain_community(&community);
         let links = community.graph.undirected_links();
         let local_seed = community.seed;
         let bad_pmt_local = (0..community.graph.n_nodes())
-            .find(|&v| community.graph.node_type(v) == NodeType::Pmt
-                && community.graph.neighbors(local_seed).any(|u| u == v))
+            .find(|&v| {
+                community.graph.node_type(v) == NodeType::Pmt
+                    && community.graph.neighbors(local_seed).any(|u| u == v)
+            })
             .unwrap();
         let addr_local = (0..community.graph.n_nodes())
             .find(|&v| community.graph.node_type(v) == NodeType::Addr)
@@ -353,8 +383,13 @@ mod tests {
         let g = planted_graph();
         let det = trained_detector(&g);
         let community = community_of(&g, 3, usize::MAX).unwrap();
-        let cfg = ExplainerConfig { epochs: 10, ..Default::default() };
-        let a = GnnExplainer::new(&det, cfg.clone()).explain_community(&community).1;
+        let cfg = ExplainerConfig {
+            epochs: 10,
+            ..Default::default()
+        };
+        let a = GnnExplainer::new(&det, cfg.clone())
+            .explain_community(&community)
+            .1;
         let b = GnnExplainer::new(&det, cfg).explain_community(&community).1;
         assert_eq!(a, b);
     }

@@ -15,7 +15,10 @@ use rand::Rng;
 fn topk_deterministic(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(a.cmp(&b))
     });
     idx.truncate(k.min(scores.len()));
     idx

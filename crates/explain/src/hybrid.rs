@@ -53,8 +53,14 @@ pub fn best_polynomial_degree(
             .iter()
             .map(|cw| CommunityWeights {
                 human: cw.human.clone(),
-                centrality: minmax(&cw.centrality).iter().map(|x| x.powi(d as i32)).collect(),
-                explainer: minmax(&cw.explainer).iter().map(|x| x.powi(d as i32)).collect(),
+                centrality: minmax(&cw.centrality)
+                    .iter()
+                    .map(|x| x.powi(d as i32))
+                    .collect(),
+                explainer: minmax(&cw.explainer)
+                    .iter()
+                    .map(|x| x.powi(d as i32))
+                    .collect(),
             })
             .collect();
         let fit = HybridExplainer::fit_grid(&powered, k, draws, rng);
@@ -94,7 +100,10 @@ impl HybridExplainer {
     pub fn combine(&self, centrality: &[f64], explainer: &[f64]) -> Vec<f64> {
         let c = minmax(centrality);
         let e = minmax(explainer);
-        c.iter().zip(&e).map(|(&cw, &ew)| self.a * cw + self.b * ew).collect()
+        c.iter()
+            .zip(&e)
+            .map(|(&cw, &ew)| self.a * cw + self.b * ew)
+            .collect()
     }
 
     /// Mean expected top-k hit rate of this hybrid over communities.
@@ -121,11 +130,19 @@ impl HybridExplainer {
         draws: usize,
         rng: &mut StdRng,
     ) -> HybridExplainer {
-        let mut best = HybridExplainer { a: 0.0, b: 1.0, fit: HybridFit::Grid };
+        let mut best = HybridExplainer {
+            a: 0.0,
+            b: 1.0,
+            fit: HybridFit::Grid,
+        };
         let mut best_h = f64::NEG_INFINITY;
         for step in 0..=100 {
             let a = step as f64 / 100.0;
-            let cand = HybridExplainer { a, b: 1.0 - a, fit: HybridFit::Grid };
+            let cand = HybridExplainer {
+                a,
+                b: 1.0 - a,
+                fit: HybridFit::Grid,
+            };
             let h = cand.mean_hit_rate(train, k, draws, rng);
             if h > best_h {
                 best_h = h;
@@ -148,7 +165,11 @@ impl HybridExplainer {
         for step in 1..100 {
             let alpha = step as f64 / 100.0;
             let (a, b) = ridge_coeffs(train, alpha);
-            let cand = HybridExplainer { a, b, fit: HybridFit::Ridge { alpha } };
+            let cand = HybridExplainer {
+                a,
+                b,
+                fit: HybridFit::Ridge { alpha },
+            };
             let mean: f64 = ks
                 .iter()
                 .map(|&k| cand.mean_hit_rate(train, k, draws, rng))
@@ -217,7 +238,11 @@ mod tests {
             .map(|i| {
                 let c: Vec<f64> = (0..20).map(|j| ((i * 7 + j * 3) % 13) as f64).collect();
                 let e: Vec<f64> = (0..20).map(|j| ((i + j * 11) % 17) as f64).collect();
-                CommunityWeights { human: c.clone(), centrality: c, explainer: e }
+                CommunityWeights {
+                    human: c.clone(),
+                    centrality: c,
+                    explainer: e,
+                }
             })
             .collect()
     }
@@ -249,11 +274,19 @@ mod tests {
 
     #[test]
     fn combine_interpolates_between_sources() {
-        let hx = HybridExplainer { a: 1.0, b: 0.0, fit: HybridFit::Grid };
+        let hx = HybridExplainer {
+            a: 1.0,
+            b: 0.0,
+            fit: HybridFit::Grid,
+        };
         let c = vec![0.0, 1.0];
         let e = vec![1.0, 0.0];
         assert_eq!(hx.combine(&c, &e), minmax(&c));
-        let hx = HybridExplainer { a: 0.0, b: 1.0, fit: HybridFit::Grid };
+        let hx = HybridExplainer {
+            a: 0.0,
+            b: 1.0,
+            fit: HybridFit::Grid,
+        };
         assert_eq!(hx.combine(&c, &e), minmax(&e));
     }
 
@@ -282,15 +315,27 @@ mod tests {
             } else {
                 (noise.clone(), truth.clone())
             };
-            train.push(CommunityWeights { human: truth, centrality: c, explainer: e });
+            train.push(CommunityWeights {
+                human: truth,
+                centrality: c,
+                explainer: e,
+            });
         }
         let k = 8;
         let fit = HybridExplainer::fit_grid(&train, k, 30, &mut rng());
         let hybrid_h = fit.mean_hit_rate(&train, k, 30, &mut rng());
-        let only_c = HybridExplainer { a: 1.0, b: 0.0, fit: HybridFit::Grid }
-            .mean_hit_rate(&train, k, 30, &mut rng());
-        let only_e = HybridExplainer { a: 0.0, b: 1.0, fit: HybridFit::Grid }
-            .mean_hit_rate(&train, k, 30, &mut rng());
+        let only_c = HybridExplainer {
+            a: 1.0,
+            b: 0.0,
+            fit: HybridFit::Grid,
+        }
+        .mean_hit_rate(&train, k, 30, &mut rng());
+        let only_e = HybridExplainer {
+            a: 0.0,
+            b: 1.0,
+            fit: HybridFit::Grid,
+        }
+        .mean_hit_rate(&train, k, 30, &mut rng());
         assert!(
             hybrid_h >= only_c.max(only_e) - 0.02,
             "hybrid {hybrid_h} vs c {only_c} / e {only_e}"

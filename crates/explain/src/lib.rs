@@ -35,6 +35,4 @@ pub mod viz;
 pub use featmask::FeatureImportance;
 pub use gnnexplainer::{EdgeWeights, ExplainerConfig, Explanation, GnnExplainer};
 pub use hitrate::{topk_hit_rate, topk_hit_rate_expected};
-pub use hybrid::{
-    best_polynomial_degree, minmax, CommunityWeights, HybridExplainer, HybridFit,
-};
+pub use hybrid::{best_polynomial_degree, minmax, CommunityWeights, HybridExplainer, HybridFit};

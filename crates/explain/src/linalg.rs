@@ -7,6 +7,7 @@ use xfraud_tensor::Tensor;
 
 /// Solves `A x = b` for square `A` by Gaussian elimination with partial
 /// pivoting. Returns `None` if `A` is (numerically) singular.
+#[allow(clippy::needless_range_loop)] // elimination reads two rows of `m` at once
 pub fn solve(a: &Tensor, b: &[f64]) -> Option<Vec<f64>> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
@@ -86,7 +87,11 @@ pub fn matrix_exp(a: &Tensor) -> Tensor {
     let norm = (0..n)
         .map(|c| (0..n).map(|r| a.get(r, c).abs()).sum::<f32>())
         .fold(0.0f32, f32::max);
-    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
     let scale = 1.0 / (2.0f32).powi(s as i32);
     let scaled = a.map(|v| v * scale);
 
@@ -134,11 +139,7 @@ mod tests {
     #[test]
     fn laplacian_pinv_satisfies_l_pinv_l_eq_l() {
         // Path graph 0-1-2.
-        let lap = Tensor::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ]);
+        let lap = Tensor::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
         let pinv = laplacian_pinv(&lap).unwrap();
         let lpl = lap.matmul(&pinv).unwrap().matmul(&lap).unwrap();
         assert!(lpl.max_abs_diff(&lap) < 1e-3);

@@ -14,7 +14,11 @@ use xfraud_hetgraph::{Community, NodeType};
 pub fn community_dot(community: &Community, edge_weights: &[f64], title: &str) -> String {
     let g = &community.graph;
     let links = g.undirected_links();
-    assert_eq!(links.len(), edge_weights.len(), "weights must align with undirected links");
+    assert_eq!(
+        links.len(),
+        edge_weights.len(),
+        "weights must align with undirected links"
+    );
 
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &w in edge_weights {
@@ -29,7 +33,11 @@ pub fn community_dot(community: &Community, edge_weights: &[f64], title: &str) -
     let _ = writeln!(out, "  layout=neato; overlap=false;");
     for v in 0..g.n_nodes() {
         let ty = g.node_type(v);
-        let seed_mark = if v == community.seed { ", peripheries=2" } else { "" };
+        let seed_mark = if v == community.seed {
+            ", peripheries=2"
+        } else {
+            ""
+        };
         match ty {
             NodeType::Txn => {
                 let color = match g.label(v) {

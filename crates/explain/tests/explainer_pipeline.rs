@@ -61,7 +61,9 @@ fn centrality_tops_exactly_the_hub_incident_edges() {
     let mut rng = StdRng::seed_from_u64(3);
     let centrality = community_edge_weights(g, Measure::Degree, &mut rng);
     let links = g.undirected_links();
-    let hub = (0..g.n_nodes()).find(|&v| g.degree(v) >= 8).expect("hub exists");
+    let hub = (0..g.n_nodes())
+        .find(|&v| g.degree(v) >= 8)
+        .expect("hub exists");
     // Every hub-incident link must outrank every non-hub link — the
     // structural property that lets centrality agree with annotators who
     // flag the warehouse pattern (Fig. 11).
@@ -81,9 +83,18 @@ fn centrality_tops_exactly_the_hub_incident_edges() {
     // floor (k²/n): with 20 links and k=5 the floor is 0.25.
     let (c2, risk) = warehouse_community();
     let truth = true_importance_for_seed(&risk, &c2.graph, c2.seed);
-    let anns =
-        simulate_annotations(&truth, &AnnotationConfig { noise: 0.05, ..Default::default() });
-    let human = edge_scores(&node_scores(&anns), &c2.graph.undirected_links(), EdgeAgg::Avg);
+    let anns = simulate_annotations(
+        &truth,
+        &AnnotationConfig {
+            noise: 0.05,
+            ..Default::default()
+        },
+    );
+    let human = edge_scores(
+        &node_scores(&anns),
+        &c2.graph.undirected_links(),
+        EdgeAgg::Avg,
+    );
     let h = topk_hit_rate_expected(&human, &centrality, 5, 300, &mut rng);
     assert!(h >= 0.2, "agreement collapsed below the random floor: {h}");
 }
@@ -110,9 +121,16 @@ fn hybrid_ridge_and_grid_interpolate_sanely() {
         let c: Vec<f64> = (0..30).map(|j| ((i * 3 + j * 7) % 23) as f64).collect();
         let e: Vec<f64> = (0..30).map(|j| ((i * 5 + j * 11) % 19) as f64).collect();
         let (cn, en) = (minmax(&c), minmax(&e));
-        let human: Vec<f64> =
-            cn.iter().zip(&en).map(|(&a, &b)| 0.7 * a + 0.3 * b).collect();
-        comms.push(CommunityWeights { human, centrality: c, explainer: e });
+        let human: Vec<f64> = cn
+            .iter()
+            .zip(&en)
+            .map(|(&a, &b)| 0.7 * a + 0.3 * b)
+            .collect();
+        comms.push(CommunityWeights {
+            human,
+            centrality: c,
+            explainer: e,
+        });
     }
     let mut rng = StdRng::seed_from_u64(5);
     let grid = HybridExplainer::fit_grid(&comms, 8, 60, &mut rng);

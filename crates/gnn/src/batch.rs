@@ -90,14 +90,15 @@ impl SubgraphBatch {
         if self.features.rows() != n || self.global_ids.len() != n {
             return false;
         }
-        if self.edge_src.len() != self.edge_dst.len() || self.edge_src.len() != self.edge_ty.len()
-        {
+        if self.edge_src.len() != self.edge_dst.len() || self.edge_src.len() != self.edge_ty.len() {
             return false;
         }
         if self.edge_src.iter().any(|&v| v >= n) || self.edge_dst.iter().any(|&v| v >= n) {
             return false;
         }
-        self.targets.iter().all(|&t| t < n && self.node_types[t] == NodeType::Txn)
+        self.targets
+            .iter()
+            .all(|&t| t < n && self.node_types[t] == NodeType::Txn)
             && self.labels.len() == self.targets.len()
     }
 }
@@ -135,7 +136,11 @@ mod tests {
         let g = toy();
         let batch = SubgraphBatch::from_nodes(&g, &[0, 1], &[0]);
         assert!(batch.validate());
-        assert_eq!(batch.n_edges(), 0, "both links go through the excluded pmt node");
+        assert_eq!(
+            batch.n_edges(),
+            0,
+            "both links go through the excluded pmt node"
+        );
     }
 
     #[test]

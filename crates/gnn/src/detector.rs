@@ -62,15 +62,15 @@ impl DetectorConfig {
 /// Architecture, following the paper step by step:
 ///
 /// 1. input = transaction features (zero for entities) + **node-type
-///   embeddings** (zero-initialised, eq. 2/4/6), linearly projected to the
-///   hidden width;
+///    embeddings** (zero-initialised, eq. 2/4/6), linearly projected to the
+///    hidden width;
 /// 2. `L` heterogeneous convolution layers ([`HetConvLayer`]) with
-///   per-target softmax attention, attention dropout and ReLU between
-///   layers; edge-type embeddings enter at layer 1 only;
+///    per-target softmax attention, attention dropout and ReLU between
+///    layers; edge-type embeddings enter at layer 1 only;
 /// 3. a `tanh` over the final GNN representation of each target transaction,
-///   **concatenated with its original features**, into a feed-forward head
-///   with two hidden layers (dropout → layer norm → ReLU) emitting class
-///   logits; the loss is softmax cross-entropy (eq. 11).
+///    **concatenated with its original features**, into a feed-forward head
+///    with two hidden layers (dropout → layer norm → ReLU) emitting class
+///    logits; the loss is softmax cross-entropy (eq. 11).
 ///
 /// Whether this instance behaves as *detector* (HGT) or *detector+* depends
 /// only on which [`crate::Sampler`] feeds it (§3.2.3).
@@ -88,10 +88,20 @@ impl XFraudDetector {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
         // "(1) the node type embeddings ... with zero weights" (§3.2.2).
-        let type_emb =
-            Embedding::zeros(&mut store, "type_emb", ALL_NODE_TYPES.len(), cfg.feature_dim);
-        let input_proj =
-            Linear::new(&mut store, "input_proj", cfg.feature_dim, cfg.hidden, true, &mut rng);
+        let type_emb = Embedding::zeros(
+            &mut store,
+            "type_emb",
+            ALL_NODE_TYPES.len(),
+            cfg.feature_dim,
+        );
+        let input_proj = Linear::new(
+            &mut store,
+            "input_proj",
+            cfg.feature_dim,
+            cfg.hidden,
+            true,
+            &mut rng,
+        );
         let convs = (0..cfg.layers)
             .map(|l| {
                 HetConvLayer::with_projections(
@@ -117,7 +127,14 @@ impl XFraudDetector {
             cfg.dropout,
             &mut rng,
         );
-        XFraudDetector { cfg, store, type_emb, input_proj, convs, head }
+        XFraudDetector {
+            cfg,
+            store,
+            type_emb,
+            input_proj,
+            convs,
+            head,
+        }
     }
 }
 
@@ -218,7 +235,10 @@ mod tests {
             "loss should at least halve: {first_loss} → {last}"
         );
         let scores = predict_scores(&det, &batch, &mut rng);
-        assert!(scores[0] > scores[2], "fraud must outscore benign: {scores:?}");
+        assert!(
+            scores[0] > scores[2],
+            "fraud must outscore benign: {scores:?}"
+        );
         assert!(scores[1] > scores[3]);
     }
 
@@ -241,7 +261,10 @@ mod tests {
         for _ in 0..60 {
             last = train_step(&mut per_type, &batch, &mut opt, &mut rng);
         }
-        assert!(last < first * 0.6, "per-type variant failed to train: {first} → {last}");
+        assert!(
+            last < first * 0.6,
+            "per-type variant failed to train: {first} → {last}"
+        );
     }
 
     #[test]

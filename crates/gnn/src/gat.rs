@@ -37,11 +37,24 @@ impl GatModel {
     pub fn new(cfg: DetectorConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let input_proj =
-            Linear::new(&mut store, "input_proj", cfg.feature_dim, cfg.hidden, true, &mut rng);
+        let input_proj = Linear::new(
+            &mut store,
+            "input_proj",
+            cfg.feature_dim,
+            cfg.hidden,
+            true,
+            &mut rng,
+        );
         let layers = (0..cfg.layers)
             .map(|l| GatLayer {
-                w: Linear::new(&mut store, &format!("gat{l}.w"), cfg.hidden, cfg.hidden, false, &mut rng),
+                w: Linear::new(
+                    &mut store,
+                    &format!("gat{l}.w"),
+                    cfg.hidden,
+                    cfg.hidden,
+                    false,
+                    &mut rng,
+                ),
                 att_src: store.register(
                     format!("gat{l}.att_src"),
                     Tensor::rand_uniform(1, cfg.hidden, -0.1, 0.1, &mut rng),
@@ -64,7 +77,13 @@ impl GatModel {
             cfg.dropout,
             &mut rng,
         );
-        GatModel { cfg, store, input_proj, layers, head }
+        GatModel {
+            cfg,
+            store,
+            input_proj,
+            layers,
+            head,
+        }
     }
 }
 
@@ -80,6 +99,7 @@ impl GatLayer {
         ind
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &self,
         sess: &mut Session,

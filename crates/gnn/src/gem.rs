@@ -39,11 +39,24 @@ impl GemModel {
     pub fn new(cfg: DetectorConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let input_proj =
-            Linear::new(&mut store, "input_proj", cfg.feature_dim, cfg.hidden, true, &mut rng);
+        let input_proj = Linear::new(
+            &mut store,
+            "input_proj",
+            cfg.feature_dim,
+            cfg.hidden,
+            true,
+            &mut rng,
+        );
         let layers = (0..cfg.layers)
             .map(|l| GemLayer {
-                w_self: Linear::new(&mut store, &format!("gem{l}.self"), cfg.hidden, cfg.hidden, false, &mut rng),
+                w_self: Linear::new(
+                    &mut store,
+                    &format!("gem{l}.self"),
+                    cfg.hidden,
+                    cfg.hidden,
+                    false,
+                    &mut rng,
+                ),
                 per_type: ALL_EDGE_TYPES
                     .iter()
                     .map(|t| {
@@ -69,7 +82,13 @@ impl GemModel {
             cfg.dropout,
             &mut rng,
         );
-        GemModel { cfg, store, input_proj, layers, head }
+        GemModel {
+            cfg,
+            store,
+            input_proj,
+            layers,
+            head,
+        }
     }
 }
 
@@ -99,8 +118,10 @@ impl GemLayer {
             for &d in dsts.iter() {
                 counts[d] += 1.0;
             }
-            let recip: Vec<f32> =
-                counts.iter().map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 }).collect();
+            let recip: Vec<f32> = counts
+                .iter()
+                .map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 })
+                .collect();
             let recip = sess.constant(Tensor::from_vec(n, 1, recip).expect("n x 1"));
 
             let mut msg = sess.tape.gather_rows(h, Rc::new(srcs));

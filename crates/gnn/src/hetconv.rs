@@ -72,7 +72,14 @@ impl Projection {
                 ALL_NODE_TYPES
                     .iter()
                     .map(|t| {
-                        Linear::new(store, &format!("{name}.{}", t.label()), d_in, d_out, false, rng)
+                        Linear::new(
+                            store,
+                            &format!("{name}.{}", t.label()),
+                            d_in,
+                            d_out,
+                            false,
+                            rng,
+                        )
                     })
                     .collect(),
             )
@@ -103,8 +110,7 @@ impl Projection {
                         .iter()
                         .map(|t| if t.index() == ti { 1.0 } else { 0.0 })
                         .collect();
-                    let mask =
-                        sess.constant(Tensor::from_vec(n, 1, mask).expect("n x 1 mask"));
+                    let mask = sess.constant(Tensor::from_vec(n, 1, mask).expect("n x 1 mask"));
                     let projected = lin.forward(sess, store, h);
                     let masked = sess.tape.mul_col(projected, mask);
                     acc = Some(match acc {
@@ -121,6 +127,7 @@ impl Projection {
 impl HetConvLayer {
     /// `first_layer` controls the edge-type embedding (eq. 4/6 add `φ(e)` on
     /// layer 1 only) and whether a residual is possible (`d_in == d_out`).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         name: &str,
@@ -131,7 +138,17 @@ impl HetConvLayer {
         first_layer: bool,
         rng: &mut StdRng,
     ) -> Self {
-        Self::with_projections(store, name, d_in, d_out, heads, dropout, first_layer, false, rng)
+        Self::with_projections(
+            store,
+            name,
+            d_in,
+            d_out,
+            heads,
+            dropout,
+            first_layer,
+            false,
+            rng,
+        )
     }
 
     /// Like [`HetConvLayer::new`] but optionally with HGT-style per-node-
@@ -159,10 +176,14 @@ impl HetConvLayer {
             a_lin: Linear::new(store, &format!("{name}.a"), d_out, d_out, false, rng),
             // eq. 8's attention weights: "random weights subject to uniform
             // distributions".
-            w_att_src: store
-                .register(format!("{name}.att_src"), Tensor::rand_uniform(n_nt, d_out, -0.1, 0.1, rng)),
-            w_att_tgt: store
-                .register(format!("{name}.att_tgt"), Tensor::rand_uniform(n_nt, d_out, -0.1, 0.1, rng)),
+            w_att_src: store.register(
+                format!("{name}.att_src"),
+                Tensor::rand_uniform(n_nt, d_out, -0.1, 0.1, rng),
+            ),
+            w_att_tgt: store.register(
+                format!("{name}.att_tgt"),
+                Tensor::rand_uniform(n_nt, d_out, -0.1, 0.1, rng),
+            ),
             edge_emb: first_layer
                 .then(|| Embedding::zeros(store, &format!("{name}.edge_emb"), n_et, d_in)),
             heads,
@@ -186,6 +207,7 @@ impl HetConvLayer {
     }
 
     /// Forward pass: `h` is `[n, d_in]`; returns `[n, d_out]`.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward(
         &self,
         sess: &mut Session,
@@ -208,8 +230,11 @@ impl HetConvLayer {
             h_src = sess.tape.add(h_src, e_rows);
         }
 
-        let src_types: Vec<xfraud_hetgraph::NodeType> =
-            batch.edge_src.iter().map(|&s| batch.node_types[s]).collect();
+        let src_types: Vec<xfraud_hetgraph::NodeType> = batch
+            .edge_src
+            .iter()
+            .map(|&s| batch.node_types[s])
+            .collect();
         let k = self.k_lin.forward(sess, store, h_src, &src_types); // [E, d]
         let v = self.v_lin.forward(sess, store, h_src, &src_types); // [E, d]
         let q_nodes = self.q_lin.forward(sess, store, h, &batch.node_types); // [n, d]
@@ -357,6 +382,11 @@ mod tests {
         let loss = sess.tape.sum_all(sq);
         let grads = sess.backward(loss);
         // k/q/v/a linears + two attention tables + edge emb = 7 params.
-        assert_eq!(grads.len(), 7, "params missing gradients: got {}", grads.len());
+        assert_eq!(
+            grads.len(),
+            7,
+            "params missing gradients: got {}",
+            grads.len()
+        );
     }
 }

@@ -60,11 +60,7 @@ pub struct WindowReport {
 }
 
 /// Labelled transactions bucketed into `n_windows` by event time.
-pub fn time_windows(
-    g: &HetGraph,
-    node_time: &[f32],
-    n_windows: usize,
-) -> Vec<Vec<NodeId>> {
+pub fn time_windows(g: &HetGraph, node_time: &[f32], n_windows: usize) -> Vec<Vec<NodeId>> {
     assert!(n_windows > 0);
     let mut windows = vec![Vec::new(); n_windows];
     for (v, _) in g.labeled_txns() {
@@ -77,7 +73,7 @@ pub fn time_windows(
 
 /// Runs the static-vs-incremental comparison. `make_model` must construct
 /// identically-seeded models so the two arms share their initialisation.
-pub fn incremental_study<M: Model, S: Sampler>(
+pub fn incremental_study<M: Model + Sync, S: Sampler + Sync>(
     g: &HetGraph,
     node_time: &[f32],
     sampler: &S,
@@ -97,7 +93,9 @@ pub fn incremental_study<M: Model, S: Sampler>(
 
     // Incremental arm starts as a copy of the fitted static model.
     let mut incremental_model = make_model();
-    incremental_model.store_mut().copy_values_from(static_model.store());
+    incremental_model
+        .store_mut()
+        .copy_values_from(static_model.store());
     let mut opt = AdamW::new(cfg.train.lr);
 
     let mut reports = Vec::new();
@@ -107,16 +105,17 @@ pub fn incremental_study<M: Model, S: Sampler>(
             continue;
         }
         // Evaluate both arms on the incoming window *before* training on
-        // it — from identical RNG states, so both see the same sampled
+        // it — with the same evaluation seed, so both see the same sampled
         // neighbourhoods and equal weights imply equal scores.
-        let mut eval_rng = StdRng::seed_from_u64(cfg.train.seed ^ ((w as u64) << 8));
-        let (s_scores, labels) =
-            trainer.evaluate(&static_model, g, sampler, window, &mut eval_rng.clone());
-        let (i_scores, _) =
-            trainer.evaluate(&incremental_model, g, sampler, window, &mut eval_rng);
+        let eval_seed = cfg.train.seed ^ ((w as u64) << 8);
+        let (s_scores, labels) = trainer.evaluate(&static_model, g, sampler, window, eval_seed);
+        let (i_scores, _) = trainer.evaluate(&incremental_model, g, sampler, window, eval_seed);
         let fraud = labels.iter().filter(|&&y| y).count();
-        let ensemble: Vec<f32> =
-            s_scores.iter().zip(&i_scores).map(|(a, b)| (a + b) / 2.0).collect();
+        let ensemble: Vec<f32> = s_scores
+            .iter()
+            .zip(&i_scores)
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
         reports.push(WindowReport {
             window: w,
             n_eval: window.len(),
@@ -132,7 +131,8 @@ pub fn incremental_study<M: Model, S: Sampler>(
             nodes.shuffle(&mut rng);
             for chunk in nodes.chunks(cfg.train.batch_size) {
                 let batch = sampler.sample(g, chunk, &mut rng);
-                let _ = crate::model::train_step(&mut incremental_model, &batch, &mut opt, &mut rng);
+                let _ =
+                    crate::model::train_step(&mut incremental_model, &batch, &mut opt, &mut rng);
             }
         }
     }
@@ -152,11 +152,13 @@ mod tests {
         let windows = time_windows(&ds.graph, &ds.node_time, 5);
         let total: usize = windows.iter().map(Vec::len).sum();
         assert_eq!(total, ds.graph.labeled_txns().len());
-        assert!(windows.iter().all(|w| !w.is_empty()), "a time window is empty");
+        assert!(
+            windows.iter().all(|w| !w.is_empty()),
+            "a time window is empty"
+        );
         // Times are actually increasing across windows.
-        let mean_t = |w: &[usize]| {
-            w.iter().map(|&v| ds.node_time[v] as f64).sum::<f64>() / w.len() as f64
-        };
+        let mean_t =
+            |w: &[usize]| w.iter().map(|&v| ds.node_time[v] as f64).sum::<f64>() / w.len() as f64;
         assert!(mean_t(&windows[4]) > mean_t(&windows[0]));
     }
 
@@ -185,6 +187,9 @@ mod tests {
         // Across later windows the incremental arm must not fall behind.
         let s: f64 = reports[1..].iter().map(|r| r.auc_static).sum();
         let i: f64 = reports[1..].iter().map(|r| r.auc_incremental).sum();
-        assert!(i >= s - 0.05, "incremental {i:.3} vs static {s:.3} (summed)");
+        assert!(
+            i >= s - 0.05,
+            "incremental {i:.3} vs static {s:.3} (summed)"
+        );
     }
 }

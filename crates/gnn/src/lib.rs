@@ -21,6 +21,7 @@
 
 mod batch;
 mod detector;
+mod engine;
 mod gat;
 mod gem;
 mod hetconv;
@@ -31,10 +32,11 @@ mod train;
 
 pub use batch::SubgraphBatch;
 pub use detector::{DetectorConfig, XFraudDetector};
+pub use engine::{batch_rng, default_num_workers, mix_seed, streams, BatchEngine};
 pub use gat::GatModel;
 pub use gem::GemModel;
 pub use hetconv::HetConvLayer;
 pub use incremental::{incremental_study, time_windows, IncrementalConfig, WindowReport};
-pub use model::{grad_step, predict_scores, train_step, Masks, Model};
+pub use model::{average_grads, grad_step, predict_scores, train_step, Masks, Model};
 pub use sampler::{FullGraphSampler, HgSampler, SageSampler, Sampler};
 pub use train::{train_test_split, EpochStats, TrainConfig, Trainer};

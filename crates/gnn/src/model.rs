@@ -56,7 +56,9 @@ pub fn train_step<M: Model>(
     debug_assert!(!batch.targets.is_empty(), "train_step on an empty batch");
     let mut sess = Session::new();
     let logits = model.forward(&mut sess, batch, true, rng, &Masks::none());
-    let loss = sess.tape.softmax_cross_entropy(logits, Rc::new(batch.labels.clone()));
+    let loss = sess
+        .tape
+        .softmax_cross_entropy(logits, Rc::new(batch.labels.clone()));
     let loss_value = sess.tape.value(loss).item();
     let grads = sess.backward(loss);
     opt.step(model.store_mut(), &grads);
@@ -72,10 +74,36 @@ pub fn grad_step<M: Model>(
 ) -> (f32, Vec<(xfraud_nn::ParamId, xfraud_tensor::Tensor)>) {
     let mut sess = Session::new();
     let logits = model.forward(&mut sess, batch, true, rng, &Masks::none());
-    let loss = sess.tape.softmax_cross_entropy(logits, Rc::new(batch.labels.clone()));
+    let loss = sess
+        .tape
+        .softmax_cross_entropy(logits, Rc::new(batch.labels.clone()));
     let loss_value = sess.tape.value(loss).item();
     let grads = sess.backward(loss);
     (loss_value, grads)
+}
+
+/// All-reduce of synchronous data parallelism: element-wise average of the
+/// per-worker gradient sets, keyed by parameter index. Parameters missing
+/// from some workers (inactive replicas) are averaged over the *active*
+/// count, matching the behaviour of averaging only over workers that
+/// produced a gradient this step.
+pub fn average_grads(
+    sets: &[Vec<(xfraud_nn::ParamId, xfraud_tensor::Tensor)>],
+) -> std::collections::HashMap<usize, xfraud_tensor::Tensor> {
+    let n = sets.len().max(1) as f32;
+    let mut avg: std::collections::HashMap<usize, xfraud_tensor::Tensor> =
+        std::collections::HashMap::new();
+    for set in sets {
+        for (id, gt) in set {
+            avg.entry(id.index())
+                .and_modify(|t| t.add_assign(gt).expect("same shape"))
+                .or_insert_with(|| gt.clone());
+        }
+    }
+    for t in avg.values_mut() {
+        t.scale_assign(1.0 / n);
+    }
+    avg
 }
 
 /// Fraud probabilities for the batch targets (softmax column 1), eval mode.

@@ -49,6 +49,10 @@ impl Sampler for SageSampler {
             for &v in &frontier {
                 scratch.clear();
                 scratch.extend(g.neighbors(v).filter(|&u| !in_set[u]));
+                // The candidate list must hold each neighbour once or the
+                // draw is biased towards parallel-edge neighbours; CSR
+                // adjacency is not sorted, so dedup alone is not enough.
+                scratch.sort_unstable();
                 scratch.dedup();
                 // Uniform choice of up to per_hop new neighbours.
                 let take = self.per_hop.min(scratch.len());
@@ -96,15 +100,13 @@ pub struct HgSampler {
 
 impl HgSampler {
     pub fn new(steps: usize, width_per_seed: usize) -> Self {
-        HgSampler { steps, width_per_seed }
+        HgSampler {
+            steps,
+            width_per_seed,
+        }
     }
 
-    fn add_budget(
-        g: &HetGraph,
-        v: NodeId,
-        in_set: &[bool],
-        budget: &mut [f32],
-    ) {
+    fn add_budget(g: &HetGraph, v: NodeId, in_set: &[bool], budget: &mut [f32]) {
         let deg = g.degree(v).max(1) as f32;
         for u in g.neighbors(v) {
             if !in_set[u] {
@@ -200,14 +202,19 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use xfraud_datagen::{Dataset, DatasetPreset};
-    use xfraud_hetgraph::NodeType;
+    use xfraud_hetgraph::{GraphBuilder, NodeType};
 
     fn graph() -> HetGraph {
         Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph
     }
 
     fn fraud_seeds(g: &HetGraph, n: usize) -> Vec<NodeId> {
-        g.labeled_txns().into_iter().filter(|&(_, y)| y).map(|(v, _)| v).take(n).collect()
+        g.labeled_txns()
+            .into_iter()
+            .filter(|&(_, y)| y)
+            .map(|(v, _)| v)
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -223,7 +230,10 @@ mod tests {
         }
         // 8 seeds, ≤ 4 new per node over 2 hops → hard cap 8 + 8*4 + 40*4.
         assert!(batch.n_nodes() <= 8 + 8 * 4 + 40 * 4);
-        assert!(batch.n_nodes() > seeds.len(), "sampling must expand beyond the seeds");
+        assert!(
+            batch.n_nodes() > seeds.len(),
+            "sampling must expand beyond the seeds"
+        );
     }
 
     #[test]
@@ -259,6 +269,39 @@ mod tests {
         let a = SageSampler::new(2, 4).sample(&g, &seeds, &mut StdRng::seed_from_u64(7));
         let b = SageSampler::new(2, 4).sample(&g, &seeds, &mut StdRng::seed_from_u64(7));
         assert_eq!(a.global_ids, b.global_ids);
+    }
+
+    /// Regression: with parallel edges in the adjacency (a multigraph), the
+    /// candidate list used to keep duplicates (`dedup` on an unsorted list
+    /// is a no-op), so `per_hop` slots could be wasted on copies of one
+    /// neighbour. With 4 distinct neighbours and `per_hop = 4`, every seed
+    /// must always reach all 4, whatever the RNG does.
+    #[test]
+    fn sage_sampler_is_unbiased_on_parallel_edges() {
+        let mut b = GraphBuilder::new(1);
+        let t = b.add_txn([0.0], Some(false));
+        let hub = b.add_entity(NodeType::Pmt);
+        for _ in 0..5 {
+            b.link(t, hub).unwrap(); // parallel edges t—hub
+        }
+        let others: Vec<NodeId> = [NodeType::Email, NodeType::Addr, NodeType::Buyer]
+            .into_iter()
+            .map(|ty| {
+                let e = b.add_entity(ty);
+                b.link(t, e).unwrap();
+                e
+            })
+            .collect();
+        let g = b.finish().unwrap();
+        let s = SageSampler::new(1, 4);
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let batch = s.sample(&g, &[t], &mut rng);
+            assert_eq!(batch.n_nodes(), 5, "seed {seed}: {:?}", batch.global_ids);
+            for &e in others.iter().chain(std::iter::once(&hub)) {
+                assert!(batch.global_ids.contains(&e), "seed {seed} missed node {e}");
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@ use xfraud_hetgraph::{HetGraph, NodeId};
 use xfraud_metrics::roc_auc;
 use xfraud_nn::AdamW;
 
+use crate::engine::{batch_rng, default_num_workers, mix_seed, streams, BatchEngine};
 use crate::model::{predict_scores, train_step, Model};
 use crate::sampler::Sampler;
 
@@ -23,6 +24,12 @@ pub struct TrainConfig {
     pub eval_batch_size: usize,
     pub lr: f32,
     pub seed: u64,
+    /// Sampling threads of the [`BatchEngine`]. Every per-batch RNG is
+    /// derived from `(seed, stream, epoch, batch)` rather than threaded
+    /// through the loop, so losses, AUCs and scores are bit-identical for
+    /// *any* value here — this knob only trades wall-clock for cores.
+    /// `0`/`1` sample inline on the training thread.
+    pub num_workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -34,6 +41,7 @@ impl Default for TrainConfig {
             eval_batch_size: 640,
             lr: 2e-3,
             seed: 0,
+            num_workers: default_num_workers(),
         }
     }
 }
@@ -48,11 +56,7 @@ pub struct EpochStats {
 }
 
 /// Splits the labelled transactions into train/test node lists.
-pub fn train_test_split(
-    g: &HetGraph,
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<NodeId>, Vec<NodeId>) {
+pub fn train_test_split(g: &HetGraph, test_fraction: f64, seed: u64) -> (Vec<NodeId>, Vec<NodeId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut labeled: Vec<NodeId> = g.labeled_txns().into_iter().map(|(v, _)| v).collect();
     labeled.shuffle(&mut rng);
@@ -73,7 +77,13 @@ impl Trainer {
 
     /// Trains `model` on `train_nodes`, evaluating AUC on `val_nodes` after
     /// every epoch; stops early after `patience` epochs without improvement.
-    pub fn fit<M: Model, S: Sampler>(
+    ///
+    /// Batch sampling runs on the [`BatchEngine`]: `cfg.num_workers` threads
+    /// pre-sample upcoming batches while the training thread runs
+    /// forward/backward on the current one. Every batch's sampling and
+    /// dropout RNGs are derived from `(seed, stream, epoch, batch index)`,
+    /// so the result is bit-identical whatever `num_workers` is.
+    pub fn fit<M: Model + Sync, S: Sampler + Sync>(
         &self,
         model: &mut M,
         g: &HetGraph,
@@ -81,7 +91,7 @@ impl Trainer {
         train_nodes: &[NodeId],
         val_nodes: &[NodeId],
     ) -> Vec<EpochStats> {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let engine = BatchEngine::new(self.cfg.num_workers);
         let mut opt = AdamW::new(self.cfg.lr);
         let mut stats = Vec::with_capacity(self.cfg.epochs);
         let mut nodes = train_nodes.to_vec();
@@ -89,16 +99,30 @@ impl Trainer {
         let mut since_best = 0usize;
         for epoch in 0..self.cfg.epochs {
             let start = Instant::now();
-            nodes.shuffle(&mut rng);
-            let mut losses = Vec::new();
-            for chunk in nodes.chunks(self.cfg.batch_size) {
-                let batch = sampler.sample(g, chunk, &mut rng);
-                losses.push(train_step(model, &batch, &mut opt, &mut rng));
-            }
+            let e = epoch as u64;
+            nodes.shuffle(&mut batch_rng(self.cfg.seed, streams::SHUFFLE, e, 0));
+            let chunks: Vec<&[NodeId]> = nodes.chunks(self.cfg.batch_size).collect();
+            let mut losses = Vec::with_capacity(chunks.len());
+            engine.sample_ordered(
+                g,
+                sampler,
+                &chunks,
+                |i| batch_rng(self.cfg.seed, streams::SAMPLE, e, i as u64),
+                |i, batch| {
+                    let mut step_rng = batch_rng(self.cfg.seed, streams::STEP, e, i as u64);
+                    losses.push(train_step(model, &batch, &mut opt, &mut step_rng));
+                },
+            );
             let mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
-            let (scores, labels) = self.evaluate(model, g, sampler, val_nodes, &mut rng);
+            let (scores, labels) =
+                self.evaluate(model, g, sampler, val_nodes, mix_seed(self.cfg.seed, e));
             let val_auc = roc_auc(&scores, &labels);
-            stats.push(EpochStats { epoch, mean_loss, val_auc, secs: start.elapsed().as_secs_f64() });
+            stats.push(EpochStats {
+                epoch,
+                mean_loss,
+                val_auc,
+                secs: start.elapsed().as_secs_f64(),
+            });
             if val_auc > best_auc {
                 best_auc = val_auc;
                 since_best = 0;
@@ -113,45 +137,55 @@ impl Trainer {
     }
 
     /// Scores `nodes` in inference batches; returns `(scores, labels)`.
-    pub fn evaluate<M: Model, S: Sampler>(
+    ///
+    /// Runs on the [`BatchEngine`]: with `cfg.num_workers > 1`, workers
+    /// sample *and* forward whole batches in parallel (the model is
+    /// immutable here). `seed` keys the per-batch RNGs, so equal seeds give
+    /// bit-identical scores at any worker count.
+    pub fn evaluate<M: Model + Sync, S: Sampler + Sync>(
         &self,
         model: &M,
         g: &HetGraph,
         sampler: &S,
         nodes: &[NodeId],
-        rng: &mut StdRng,
+        seed: u64,
     ) -> (Vec<f32>, Vec<bool>) {
-        let mut scores = Vec::with_capacity(nodes.len());
-        let mut labels = Vec::with_capacity(nodes.len());
-        for chunk in nodes.chunks(self.cfg.eval_batch_size) {
-            let batch = sampler.sample(g, chunk, rng);
-            scores.extend(predict_scores(model, &batch, rng));
-            labels.extend(chunk.iter().map(|&v| g.label(v) == Some(true)));
-        }
+        let engine = BatchEngine::new(self.cfg.num_workers);
+        let chunks: Vec<&[NodeId]> = nodes.chunks(self.cfg.eval_batch_size).collect();
+        let scores = engine.score_ordered(model, g, sampler, &chunks, |i| {
+            batch_rng(seed, streams::EVAL, 0, i as u64)
+        });
+        let labels = nodes.iter().map(|&v| g.label(v) == Some(true)).collect();
         (scores, labels)
     }
 
     /// Times inference per batch (sampling + forward), returning
     /// `(mean_secs, std_secs, total_secs)` — the quantities of Table 3 and
-    /// Fig. 10.
+    /// Fig. 10. Deliberately sequential: per-batch latency is the measured
+    /// quantity, so overlapping batches would corrupt it. The per-batch
+    /// RNGs match [`Trainer::evaluate`] with the same `seed`.
     pub fn time_inference<M: Model, S: Sampler>(
         &self,
         model: &M,
         g: &HetGraph,
         sampler: &S,
         nodes: &[NodeId],
-        rng: &mut StdRng,
+        seed: u64,
     ) -> (f64, f64, f64) {
         let mut durations = Vec::new();
-        for chunk in nodes.chunks(self.cfg.eval_batch_size) {
+        for (i, chunk) in nodes.chunks(self.cfg.eval_batch_size).enumerate() {
             let start = Instant::now();
-            let batch = sampler.sample(g, chunk, rng);
-            let _ = predict_scores(model, &batch, rng);
+            let mut rng = batch_rng(seed, streams::EVAL, 0, i as u64);
+            let batch = sampler.sample(g, chunk, &mut rng);
+            let _ = predict_scores(model, &batch, &mut rng);
             durations.push(start.elapsed().as_secs_f64());
         }
         let total: f64 = durations.iter().sum();
         let mean = total / durations.len().max(1) as f64;
-        let var = durations.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+        let var = durations
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
             / durations.len().max(1) as f64;
         (mean, var.sqrt(), total)
     }
@@ -189,6 +223,71 @@ mod tests {
         assert_ne!(a.0, c.0);
     }
 
+    #[test]
+    fn split_handles_extreme_fractions() {
+        let g = Dataset::generate(DatasetPreset::EbaySmallSim, 1).graph;
+        let total = g.labeled_txns().len();
+        let (train, test) = train_test_split(&g, 0.0, 42);
+        assert_eq!((train.len(), test.len()), (total, 0));
+        let (train, test) = train_test_split(&g, 1.0, 42);
+        assert_eq!((train.len(), test.len()), (0, total));
+    }
+
+    #[test]
+    fn split_handles_tiny_label_sets() {
+        use xfraud_hetgraph::{GraphBuilder, NodeType};
+        // One labelled transaction: every fraction must keep it somewhere.
+        let mut b = GraphBuilder::new(1);
+        let t = b.add_txn([0.0], Some(true));
+        let p = b.add_entity(NodeType::Pmt);
+        b.link(t, p).unwrap();
+        let g = b.finish().unwrap();
+        for frac in [0.0, 0.3, 0.5, 0.7, 1.0] {
+            let (train, test) = train_test_split(&g, frac, 9);
+            assert_eq!(train.len() + test.len(), 1, "fraction {frac}");
+        }
+        // No labels at all: both sides empty, no panic.
+        let mut b = GraphBuilder::new(1);
+        let t = b.add_txn([0.0], None);
+        let p = b.add_entity(NodeType::Pmt);
+        b.link(t, p).unwrap();
+        let g = b.finish().unwrap();
+        let (train, test) = train_test_split(&g, 0.5, 9);
+        assert!(train.is_empty() && test.is_empty());
+    }
+
+    /// The headline engine guarantee at the trainer level: worker count
+    /// must not leak into any result — weights, losses or AUCs.
+    #[test]
+    fn fit_is_bit_identical_across_worker_counts() {
+        let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 5);
+        let (train, test) = train_test_split(&ds.graph, 0.3, 0);
+        let sampler = SageSampler::new(2, 8);
+        let run = |workers: usize| {
+            let mut model = XFraudDetector::new(DetectorConfig::small(ds.graph.feature_dim(), 1));
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 2,
+                num_workers: workers,
+                ..TrainConfig::default()
+            });
+            let stats = trainer.fit(&mut model, &ds.graph, &sampler, &train, &test);
+            (model, stats)
+        };
+        let (m1, s1) = run(1);
+        for workers in [2, 4] {
+            let (m, s) = run(workers);
+            assert_eq!(
+                m1.store().max_param_diff(m.store()),
+                0.0,
+                "{workers} workers"
+            );
+            for (a, b) in s1.iter().zip(&s) {
+                assert_eq!(a.mean_loss, b.mean_loss, "{workers} workers");
+                assert_eq!(a.val_auc, b.val_auc, "{workers} workers");
+            }
+        }
+    }
+
     /// End-to-end: a short training run must lift AUC well above chance.
     #[test]
     fn detector_learns_planted_fraud_signal() {
@@ -196,7 +295,10 @@ mod tests {
         let (train, test) = train_test_split(&ds.graph, 0.3, 0);
         let mut model = XFraudDetector::new(DetectorConfig::small(ds.graph.feature_dim(), 1));
         let sampler = SageSampler::new(2, 8);
-        let trainer = Trainer::new(TrainConfig { epochs: 4, ..TrainConfig::default() });
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        });
         let stats = trainer.fit(&mut model, &ds.graph, &sampler, &train, &test);
         let final_auc = stats.last().unwrap().val_auc;
         // The simulated task is calibrated to the paper's eBay-small regime

@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xfraud_datagen::{Dataset, DatasetPreset};
 use xfraud_gnn::{
-    predict_scores, train_step, DetectorConfig, FullGraphSampler, GatModel, GemModel, Masks,
-    Model, SageSampler, Sampler, SubgraphBatch, XFraudDetector,
+    predict_scores, train_step, DetectorConfig, FullGraphSampler, GatModel, GemModel, Masks, Model,
+    SageSampler, Sampler, SubgraphBatch, XFraudDetector,
 };
 use xfraud_nn::{AdamW, Session};
 use xfraud_tensor::{softmax_rows, Tensor};
@@ -39,7 +39,10 @@ fn zero_edge_mask_equals_edge_removal() {
         &batch,
         false,
         &mut rng,
-        &Masks { edge_mask: Some(mask), feature_mask: None },
+        &Masks {
+            edge_mask: Some(mask),
+            feature_mask: None,
+        },
     );
     let masked = softmax_rows(sess.tape.value(masked_logits));
 
@@ -69,7 +72,10 @@ fn unit_edge_mask_is_identity() {
         &batch,
         false,
         &mut rng,
-        &Masks { edge_mask: Some(mask), feature_mask: None },
+        &Masks {
+            edge_mask: Some(mask),
+            feature_mask: None,
+        },
     );
     let with_mask = sess.tape.value(l1).clone();
 
@@ -96,7 +102,10 @@ fn feature_mask_semantics() {
         &batch,
         false,
         &mut rng,
-        &Masks { edge_mask: None, feature_mask: Some(ones) },
+        &Masks {
+            edge_mask: None,
+            feature_mask: Some(ones),
+        },
     );
     let masked = sess.tape.value(l1).clone();
     let mut sess2 = Session::new();
@@ -124,14 +133,41 @@ fn all_models_train_on_the_same_batch() {
     }
 
     for (name, result) in [
-        ("xfraud", drive(XFraudDetector::new(DetectorConfig::small(fd, 6)), &batch, &mut rng)),
-        ("gat", drive(GatModel::new(DetectorConfig::small(fd, 6)), &batch, &mut rng)),
-        ("gem", drive(GemModel::new(DetectorConfig::small(fd, 6)), &batch, &mut rng)),
+        (
+            "xfraud",
+            drive(
+                XFraudDetector::new(DetectorConfig::small(fd, 6)),
+                &batch,
+                &mut rng,
+            ),
+        ),
+        (
+            "gat",
+            drive(
+                GatModel::new(DetectorConfig::small(fd, 6)),
+                &batch,
+                &mut rng,
+            ),
+        ),
+        (
+            "gem",
+            drive(
+                GemModel::new(DetectorConfig::small(fd, 6)),
+                &batch,
+                &mut rng,
+            ),
+        ),
     ] {
         let (first, last, scores) = result;
-        assert!(last < first, "{name}: loss did not improve ({first} → {last})");
+        assert!(
+            last < first,
+            "{name}: loss did not improve ({first} → {last})"
+        );
         assert_eq!(scores.len(), batch.targets.len());
-        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)), "{name} scores out of range");
+        assert!(
+            scores.iter().all(|s| (0.0..=1.0).contains(s)),
+            "{name} scores out of range"
+        );
     }
 }
 

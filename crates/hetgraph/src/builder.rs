@@ -121,10 +121,12 @@ impl GraphBuilder {
     pub fn finish(self) -> Result<HetGraph> {
         let n = self.node_types.len();
         let n_txn = self.txn_nodes.len();
-        let features = Tensor::from_vec(n_txn, self.feature_dim, self.feature_rows)
-            .map_err(|_| GraphError::FeatureRowMismatch {
-                txn_nodes: n_txn,
-                feature_rows: usize::MAX,
+        let features =
+            Tensor::from_vec(n_txn, self.feature_dim, self.feature_rows).map_err(|_| {
+                GraphError::FeatureRowMismatch {
+                    txn_nodes: n_txn,
+                    feature_rows: usize::MAX,
+                }
             })?;
         let (in_offsets, in_edge_ids) = build_csr(n, &self.edge_dst);
         let (out_offsets, out_edge_ids) = build_csr(n, &self.edge_src);
@@ -156,7 +158,10 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         let p = b.add_entity(NodeType::Pmt);
         let e = b.add_entity(NodeType::Email);
-        assert!(matches!(b.link(p, e), Err(GraphError::InvalidRelation(_, _))));
+        assert!(matches!(
+            b.link(p, e),
+            Err(GraphError::InvalidRelation(_, _))
+        ));
     }
 
     #[test]

@@ -39,7 +39,12 @@ pub fn community_of(g: &HetGraph, seed: NodeId, max_nodes: usize) -> Result<Comm
     let nodes = bfs_collect(g, seed, usize::MAX, max_nodes);
     let (sub, map) = g.induced_subgraph(&nodes);
     let new_seed = map[seed].expect("seed is in its own community");
-    Ok(Community { graph: sub, seed: new_seed, original_ids: nodes, seed_label: g.label(seed) })
+    Ok(Community {
+        graph: sub,
+        seed: new_seed,
+        original_ids: nodes,
+        seed_label: g.label(seed),
+    })
 }
 
 /// The k-hop neighbourhood of `seed`, keeping at most `per_hop` *new*

@@ -11,7 +11,10 @@ pub enum GraphError {
     /// (both endpoints entities, or both transactions).
     InvalidRelation(NodeType, NodeType),
     /// The feature matrix row count disagrees with the number of txn nodes.
-    FeatureRowMismatch { txn_nodes: usize, feature_rows: usize },
+    FeatureRowMismatch {
+        txn_nodes: usize,
+        feature_rows: usize,
+    },
     /// A label was supplied for a non-transaction node.
     LabelOnEntity(usize),
 }
@@ -23,7 +26,10 @@ impl fmt::Display for GraphError {
             GraphError::InvalidRelation(a, b) => {
                 write!(f, "no relation allowed between node types {a} and {b}")
             }
-            GraphError::FeatureRowMismatch { txn_nodes, feature_rows } => write!(
+            GraphError::FeatureRowMismatch {
+                txn_nodes,
+                feature_rows,
+            } => write!(
                 f,
                 "feature matrix has {feature_rows} rows but the graph has {txn_nodes} txn nodes"
             ),

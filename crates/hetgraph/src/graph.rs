@@ -68,7 +68,12 @@ impl HetGraph {
     }
 
     pub fn edge(&self, id: usize) -> EdgeRef {
-        EdgeRef { id, src: self.edge_src[id], dst: self.edge_dst[id], ty: self.edge_types[id] }
+        EdgeRef {
+            id,
+            src: self.edge_src[id],
+            dst: self.edge_dst[id],
+            ty: self.edge_types[id],
+        }
     }
 
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
@@ -189,7 +194,9 @@ impl HetGraph {
         }
         let mut features = Tensor::zeros(rows.len(), self.features.cols());
         for (dst, &src) in rows.iter().enumerate() {
-            features.row_mut(dst).copy_from_slice(self.features.row(src));
+            features
+                .row_mut(dst)
+                .copy_from_slice(self.features.row(src));
         }
 
         let (in_offsets, in_edge_ids) = build_csr(keep.len(), &edge_dst);

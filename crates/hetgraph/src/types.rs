@@ -20,8 +20,13 @@ pub enum NodeType {
 }
 
 /// All node types, in the order used for one-hot type encodings.
-pub const ALL_NODE_TYPES: [NodeType; 5] =
-    [NodeType::Txn, NodeType::Pmt, NodeType::Email, NodeType::Addr, NodeType::Buyer];
+pub const ALL_NODE_TYPES: [NodeType; 5] = [
+    NodeType::Txn,
+    NodeType::Pmt,
+    NodeType::Email,
+    NodeType::Addr,
+    NodeType::Buyer,
+];
 
 impl NodeType {
     /// Stable dense index into `ALL_NODE_TYPES` (used for type embeddings).
@@ -176,6 +181,9 @@ mod tests {
     fn between_rejects_entity_entity_and_txn_txn() {
         assert_eq!(EdgeType::between(NodeType::Pmt, NodeType::Email), None);
         assert_eq!(EdgeType::between(NodeType::Txn, NodeType::Txn), None);
-        assert_eq!(EdgeType::between(NodeType::Txn, NodeType::Buyer), Some(EdgeType::TxnBuyer));
+        assert_eq!(
+            EdgeType::between(NodeType::Txn, NodeType::Buyer),
+            Some(EdgeType::TxnBuyer)
+        );
     }
 }

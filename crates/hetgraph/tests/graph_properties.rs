@@ -6,16 +6,20 @@ use xfraud_hetgraph::{
 };
 
 /// Builds a random bipartite txn↔entity graph from a proptest recipe.
-fn build(
-    n_txn: usize,
-    n_entities: usize,
-    links: &[(usize, usize)],
-) -> xfraud_hetgraph::HetGraph {
+fn build(n_txn: usize, n_entities: usize, links: &[(usize, usize)]) -> xfraud_hetgraph::HetGraph {
     let mut b = GraphBuilder::new(2);
-    let txns: Vec<usize> =
-        (0..n_txn).map(|i| b.add_txn([i as f32, 0.0], Some(i % 3 == 0))).collect();
-    let kinds = [NodeType::Pmt, NodeType::Email, NodeType::Addr, NodeType::Buyer];
-    let ents: Vec<usize> = (0..n_entities).map(|i| b.add_entity(kinds[i % 4])).collect();
+    let txns: Vec<usize> = (0..n_txn)
+        .map(|i| b.add_txn([i as f32, 0.0], Some(i % 3 == 0)))
+        .collect();
+    let kinds = [
+        NodeType::Pmt,
+        NodeType::Email,
+        NodeType::Addr,
+        NodeType::Buyer,
+    ];
+    let ents: Vec<usize> = (0..n_entities)
+        .map(|i| b.add_entity(kinds[i % 4]))
+        .collect();
     // Dedupe: §3.1's relation is binary ("if a transaction has relation
     // with another node, we put an edge"), so a pair links at most once —
     // matching the builder's documented simple-graph contract.

@@ -8,6 +8,9 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::stores::KvStore;
 
+/// One shard of the lock-striped index: key → `(offset, len)` in the log.
+type IndexShard = RwLock<std::collections::HashMap<Vec<u8>, (u64, u32)>>;
+
 /// Append-only log with an in-memory index — the durability-shaped store.
 ///
 /// * Writes: a single appender lock serialises `(key_len, key, val_len,
@@ -19,7 +22,7 @@ use crate::stores::KvStore;
 pub struct LogStore {
     file: File,
     appender: Mutex<AppendState>,
-    index: Vec<RwLock<std::collections::HashMap<Vec<u8>, (u64, u32)>>>,
+    index: Vec<IndexShard>,
 }
 
 struct AppendState {
@@ -39,7 +42,10 @@ impl LogStore {
         let file = File::open(path)?;
         Ok(LogStore {
             file,
-            appender: Mutex::new(AppendState { write_handle, offset: 0 }),
+            appender: Mutex::new(AppendState {
+                write_handle,
+                offset: 0,
+            }),
             index: (0..n_shards)
                 .map(|_| RwLock::new(std::collections::HashMap::new()))
                 .collect(),
@@ -136,7 +142,10 @@ mod tests {
                 scope.spawn(move |_| {
                     for i in 0..500u64 {
                         let expected = format!("payload-{i}");
-                        assert_eq!(store.get(&i.to_be_bytes()).as_deref(), Some(expected.as_bytes()));
+                        assert_eq!(
+                            store.get(&i.to_be_bytes()).as_deref(),
+                            Some(expected.as_bytes())
+                        );
                     }
                 });
             }

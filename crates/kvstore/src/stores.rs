@@ -53,7 +53,8 @@ impl SingleLockStore {
 
 impl KvStore for SingleLockStore {
     fn put(&self, key: &[u8], value: &[u8]) {
-        self.acquire().insert(key.to_vec(), Bytes::copy_from_slice(value));
+        self.acquire()
+            .insert(key.to_vec(), Bytes::copy_from_slice(value));
     }
 
     fn get(&self, key: &[u8]) -> Option<Bytes> {

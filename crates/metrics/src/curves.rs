@@ -14,7 +14,11 @@ pub struct CurvePoint {
 pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<CurvePoint> {
     assert_eq!(scores.len(), labels.len());
     let n_pos = labels.iter().filter(|&&y| y).count();
-    let mut points = vec![CurvePoint { x: 0.0, y: 1.0, threshold: f32::INFINITY }];
+    let mut points = vec![CurvePoint {
+        x: 0.0,
+        y: 1.0,
+        threshold: f32::INFINITY,
+    }];
     if n_pos == 0 {
         return points;
     }
@@ -48,7 +52,11 @@ pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<CurvePoint> {
     assert_eq!(scores.len(), labels.len());
     let n_pos = labels.iter().filter(|&&y| y).count();
     let n_neg = labels.len() - n_pos;
-    let mut points = vec![CurvePoint { x: 0.0, y: 0.0, threshold: f32::INFINITY }];
+    let mut points = vec![CurvePoint {
+        x: 0.0,
+        y: 0.0,
+        threshold: f32::INFINITY,
+    }];
     if n_pos == 0 || n_neg == 0 {
         return points;
     }
@@ -112,7 +120,10 @@ mod tests {
         let curve = pr_curve(&scores, &labels);
         assert_eq!(curve[0].x, 0.0);
         assert_eq!(curve[0].y, 1.0);
-        assert!((curve.last().unwrap().x - 1.0).abs() < 1e-12, "final recall = 1");
+        assert!(
+            (curve.last().unwrap().x - 1.0).abs() < 1e-12,
+            "final recall = 1"
+        );
         for w in curve.windows(2) {
             assert!(w[1].x >= w[0].x, "recall must not decrease");
         }

@@ -40,7 +40,12 @@ fn ratio(num: usize, den: usize) -> f64 {
 /// Confusion counts with decision rule `score >= threshold → fraud`.
 pub fn confusion_at(scores: &[f32], labels: &[bool], threshold: f32) -> Confusion {
     assert_eq!(scores.len(), labels.len());
-    let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+    let mut c = Confusion {
+        tp: 0,
+        fp: 0,
+        tn: 0,
+        fn_: 0,
+    };
     for (&s, &y) in scores.iter().zip(labels) {
         match (s >= threshold, y) {
             (true, true) => c.tp += 1,
@@ -68,7 +73,10 @@ impl ThresholdReport {
             .iter()
             .map(|&t| (max_score >= t).then(|| confusion_at(scores, labels, t)))
             .collect();
-        ThresholdReport { thresholds: thresholds.to_vec(), cells }
+        ThresholdReport {
+            thresholds: thresholds.to_vec(),
+            cells,
+        }
     }
 
     /// The three standard grids of the paper's appendix tables.
@@ -103,7 +111,15 @@ mod tests {
     #[test]
     fn confusion_counts_are_exact() {
         let c = confusion_at(&SCORES, &LABELS, 0.5);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 2, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 2,
+                fn_: 1
+            }
+        );
         assert!((c.tpr() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.fpr() - 1.0 / 3.0).abs() < 1e-12);
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);

@@ -89,7 +89,12 @@ proptest! {
 
 #[test]
 fn confusion_struct_is_plain_data() {
-    let c = Confusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
+    let c = Confusion {
+        tp: 1,
+        fp: 2,
+        tn: 3,
+        fn_: 4,
+    };
     assert_eq!(c.tpr(), 0.2);
     assert_eq!(c.fpr(), 0.4);
 }

@@ -26,7 +26,10 @@ impl Linear {
         bias: bool,
         rng: &mut StdRng,
     ) -> Self {
-        let w = store.register(format!("{name}.w"), Tensor::glorot_uniform(d_in, d_out, rng));
+        let w = store.register(
+            format!("{name}.w"),
+            Tensor::glorot_uniform(d_in, d_out, rng),
+        );
         let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(1, d_out)));
         Linear { w, b }
     }
@@ -85,12 +88,22 @@ pub struct Embedding {
 impl Embedding {
     /// Zero-initialised table (the paper's choice for type embeddings).
     pub fn zeros(store: &mut ParamStore, name: &str, n: usize, dim: usize) -> Self {
-        Embedding { table: store.register(name, Tensor::zeros(n, dim)) }
+        Embedding {
+            table: store.register(name, Tensor::zeros(n, dim)),
+        }
     }
 
     /// Glorot-initialised table (for ablations).
-    pub fn glorot(store: &mut ParamStore, name: &str, n: usize, dim: usize, rng: &mut StdRng) -> Self {
-        Embedding { table: store.register(name, Tensor::glorot_uniform(n, dim, rng)) }
+    pub fn glorot(
+        store: &mut ParamStore,
+        name: &str,
+        n: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Embedding {
+            table: store.register(name, Tensor::glorot_uniform(n, dim, rng)),
+        }
     }
 
     /// Gathers embedding rows for the given indices.
@@ -111,6 +124,7 @@ pub struct Ffn {
 }
 
 impl Ffn {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         name: &str,
@@ -130,7 +144,11 @@ impl Ffn {
             d = d_hidden;
         }
         let out = Linear::new(store, &format!("{name}.out"), d, d_out, true, rng);
-        Ffn { hidden, out, dropout }
+        Ffn {
+            hidden,
+            out,
+            dropout,
+        }
     }
 
     /// Forward pass; `rng`/`train` control dropout.

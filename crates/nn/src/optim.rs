@@ -95,7 +95,11 @@ mod tests {
     fn adamw_minimises_a_quadratic() {
         let mut store = ParamStore::new();
         let w = store.register("w", Tensor::scalar(0.0));
-        let mut opt = AdamW { weight_decay: 0.0, clip: None, ..AdamW::new(0.1) };
+        let mut opt = AdamW {
+            weight_decay: 0.0,
+            clip: None,
+            ..AdamW::new(0.1)
+        };
         for _ in 0..400 {
             let mut sess = Session::new();
             let wv = sess.param(&store, w);
@@ -114,7 +118,12 @@ mod tests {
     fn clipping_bounds_the_applied_update() {
         let mut store = ParamStore::new();
         let w = store.register("w", Tensor::scalar(0.0));
-        let mut opt = AdamW { weight_decay: 0.0, clip: Some(0.25), lr: 1.0, ..AdamW::new(1.0) };
+        let mut opt = AdamW {
+            weight_decay: 0.0,
+            clip: Some(0.25),
+            lr: 1.0,
+            ..AdamW::new(1.0)
+        };
         // Huge gradient; the first Adam step magnitude is bounded by lr
         // regardless, so compare the *moment* to the clipped gradient.
         let grads = vec![(w, Tensor::scalar(1000.0))];
@@ -137,7 +146,11 @@ mod tests {
     fn weight_decay_shrinks_weights_without_gradient() {
         let mut store = ParamStore::new();
         let w = store.register("w", Tensor::scalar(10.0));
-        let mut opt = AdamW { weight_decay: 0.1, clip: None, ..AdamW::new(0.01) };
+        let mut opt = AdamW {
+            weight_decay: 0.1,
+            clip: None,
+            ..AdamW::new(0.01)
+        };
         let grads = vec![(w, Tensor::scalar(0.0))];
         opt.step(&mut store, &grads);
         let v = store.value(w).item();

@@ -50,7 +50,10 @@ impl Default for ParamStore {
 
 impl ParamStore {
     pub fn new() -> Self {
-        ParamStore { uid: STORE_COUNTER.fetch_add(1, Ordering::Relaxed), entries: Vec::new() }
+        ParamStore {
+            uid: STORE_COUNTER.fetch_add(1, Ordering::Relaxed),
+            entries: Vec::new(),
+        }
     }
 
     /// `true` if `id` was issued by this store.
@@ -59,7 +62,10 @@ impl ParamStore {
     }
 
     fn check(&self, id: ParamId) -> usize {
-        assert!(self.owns(id), "ParamId used against a store that did not issue it");
+        assert!(
+            self.owns(id),
+            "ParamId used against a store that did not issue it"
+        );
         id.index
     }
 
@@ -72,7 +78,10 @@ impl ParamStore {
             m: Tensor::zeros(r, c),
             v: Tensor::zeros(r, c),
         });
-        ParamId { store: self.uid, index: self.entries.len() - 1 }
+        ParamId {
+            store: self.uid,
+            index: self.entries.len() - 1,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -143,7 +152,10 @@ pub struct Session {
 
 impl Session {
     pub fn new() -> Self {
-        Session { tape: Tape::new(), bound: Vec::new() }
+        Session {
+            tape: Tape::new(),
+            bound: Vec::new(),
+        }
     }
 
     /// Binds a parameter onto the tape (idempotent per session: repeated

@@ -49,7 +49,10 @@ fn layer_norm_then_linear_backprop_is_finite() {
     let loss = sess.tape.sum_all(sq);
     let grads = sess.backward(loss);
     for (_, g) in grads {
-        assert!(g.data().iter().all(|v| v.is_finite()), "non-finite gradient");
+        assert!(
+            g.data().iter().all(|v| v.is_finite()),
+            "non-finite gradient"
+        );
     }
 }
 
@@ -108,7 +111,10 @@ fn ffn_with_dropout_still_converges_in_train_mode() {
         let grads = sess.backward(loss);
         opt.step(&mut store, &grads);
     }
-    assert!(final_loss < 0.4, "dropout-trained FFN stuck at {final_loss}");
+    assert!(
+        final_loss < 0.4,
+        "dropout-trained FFN stuck at {final_loss}"
+    );
 }
 
 #[test]

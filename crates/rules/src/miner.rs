@@ -63,8 +63,16 @@ impl RuleMiner {
             for q in 1..=self.cfg.n_thresholds {
                 let idx = q * (values.len() - 1) / (self.cfg.n_thresholds + 1);
                 let threshold = values[idx];
-                literals.push(Literal { feature, op: Op::Ge, threshold });
-                literals.push(Literal { feature, op: Op::Le, threshold });
+                literals.push(Literal {
+                    feature,
+                    op: Op::Ge,
+                    threshold,
+                });
+                literals.push(Literal {
+                    feature,
+                    op: Op::Le,
+                    threshold,
+                });
             }
         }
 
@@ -97,8 +105,7 @@ impl RuleMiner {
 
         // 2. Keep the best single literals, then grow depth-2 conjunctions
         //    from the beam.
-        let mut singles: Vec<Rule> =
-            literals.iter().filter_map(|&l| score(&[l])).collect();
+        let mut singles: Vec<Rule> = literals.iter().filter_map(|&l| score(&[l])).collect();
         singles.sort_by(|a, b| {
             (b.precision * b.recall)
                 .partial_cmp(&(a.precision * a.recall))
@@ -178,7 +185,10 @@ mod tests {
     fn miner_recovers_planted_rules() {
         let (rows, labels) = planted(2000, 1);
         let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-        let miner = RuleMiner::new(MinerConfig { min_precision: 0.8, ..Default::default() });
+        let miner = RuleMiner::new(MinerConfig {
+            min_precision: 0.8,
+            ..Default::default()
+        });
         let rs = miner.mine(&refs, &labels);
         assert!(!rs.rules.is_empty());
         let (p, r) = rs.evaluate(&refs, &labels);
@@ -199,8 +209,7 @@ mod tests {
         let rs = RuleMiner::new(MinerConfig::default()).mine(&refs, &labels);
         let (risky, low) = rs.filter(&refs);
         assert!(!risky.is_empty() && !low.is_empty());
-        let fraud_in_low =
-            low.iter().filter(|&&i| labels[i]).count() as f64 / low.len() as f64;
+        let fraud_in_low = low.iter().filter(|&&i| labels[i]).count() as f64 / low.len() as f64;
         let fraud_in_risky =
             risky.iter().filter(|&&i| labels[i]).count() as f64 / risky.len() as f64;
         assert!(
@@ -221,8 +230,11 @@ mod tests {
     fn support_floor_is_respected() {
         let (rows, labels) = planted(300, 3);
         let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-        let rs = RuleMiner::new(MinerConfig { min_support: 25, ..Default::default() })
-            .mine(&refs, &labels);
+        let rs = RuleMiner::new(MinerConfig {
+            min_support: 25,
+            ..Default::default()
+        })
+        .mine(&refs, &labels);
         for r in &rs.rules {
             assert!(r.support >= 25, "{r}");
         }

@@ -107,8 +107,16 @@ impl RuleSet {
                 _ => {}
             }
         }
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         (precision, recall)
     }
 }
@@ -119,7 +127,11 @@ mod tests {
 
     fn rule(feature: usize, op: Op, threshold: f32) -> Rule {
         Rule {
-            literals: vec![Literal { feature, op, threshold }],
+            literals: vec![Literal {
+                feature,
+                op,
+                threshold,
+            }],
             precision: 1.0,
             recall: 1.0,
             support: 1,
@@ -128,11 +140,19 @@ mod tests {
 
     #[test]
     fn literal_matching_is_inclusive() {
-        let l = Literal { feature: 0, op: Op::Ge, threshold: 1.0 };
+        let l = Literal {
+            feature: 0,
+            op: Op::Ge,
+            threshold: 1.0,
+        };
         assert!(l.matches(&[1.0]));
         assert!(l.matches(&[2.0]));
         assert!(!l.matches(&[0.9]));
-        let l = Literal { feature: 0, op: Op::Le, threshold: 1.0 };
+        let l = Literal {
+            feature: 0,
+            op: Op::Le,
+            threshold: 1.0,
+        };
         assert!(l.matches(&[1.0]));
         assert!(!l.matches(&[1.1]));
     }
@@ -141,8 +161,16 @@ mod tests {
     fn conjunction_requires_all_literals() {
         let r = Rule {
             literals: vec![
-                Literal { feature: 0, op: Op::Ge, threshold: 1.0 },
-                Literal { feature: 1, op: Op::Le, threshold: 0.0 },
+                Literal {
+                    feature: 0,
+                    op: Op::Ge,
+                    threshold: 1.0,
+                },
+                Literal {
+                    feature: 1,
+                    op: Op::Le,
+                    threshold: 0.0,
+                },
             ],
             precision: 1.0,
             recall: 1.0,
@@ -155,7 +183,9 @@ mod tests {
 
     #[test]
     fn ruleset_filter_partitions_rows() {
-        let rs = RuleSet { rules: vec![rule(0, Op::Ge, 0.5)] };
+        let rs = RuleSet {
+            rules: vec![rule(0, Op::Ge, 0.5)],
+        };
         let rows: Vec<&[f32]> = vec![&[0.9], &[0.1], &[0.6]];
         let (risky, low) = rs.filter(&rows);
         assert_eq!(risky, vec![0, 2]);
@@ -164,7 +194,9 @@ mod tests {
 
     #[test]
     fn evaluate_computes_precision_recall() {
-        let rs = RuleSet { rules: vec![rule(0, Op::Ge, 0.5)] };
+        let rs = RuleSet {
+            rules: vec![rule(0, Op::Ge, 0.5)],
+        };
         let rows: Vec<&[f32]> = vec![&[0.9], &[0.9], &[0.1], &[0.1]];
         let labels = [true, false, true, false];
         let (p, r) = rs.evaluate(&rows, &labels);

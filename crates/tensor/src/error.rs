@@ -14,15 +14,9 @@ pub enum TensorError {
         rhs: (usize, usize),
     },
     /// The provided buffer length does not match `rows * cols`.
-    BadBuffer {
-        expected: usize,
-        actual: usize,
-    },
+    BadBuffer { expected: usize, actual: usize },
     /// An index was out of bounds.
-    OutOfBounds {
-        index: usize,
-        len: usize,
-    },
+    OutOfBounds { index: usize, len: usize },
 }
 
 impl fmt::Display for TensorError {
@@ -34,7 +28,10 @@ impl fmt::Display for TensorError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             TensorError::BadBuffer { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} expected)"
+                )
             }
             TensorError::OutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for length {len}")

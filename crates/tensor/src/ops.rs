@@ -42,7 +42,12 @@ pub(crate) fn sigmoid(x: f32) -> f32 {
 
 pub(crate) fn ew_binary(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     debug_assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch");
-    let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
     Tensor::from_vec(a.rows(), a.cols(), data).expect("shape preserved")
 }
 
@@ -201,13 +206,22 @@ pub(crate) fn backward_step(tape: &mut Tape, i: usize) {
         }
         Op::Relu(a) => {
             let a = *a;
-            let da = ew_binary(&g, &tape.nodes[a.0].value, |gg, x| if x > 0.0 { gg } else { 0.0 });
+            let da = ew_binary(
+                &g,
+                &tape.nodes[a.0].value,
+                |gg, x| if x > 0.0 { gg } else { 0.0 },
+            );
             tape.accumulate_grad(a, da);
         }
         Op::LeakyRelu(a, slope) => {
             let (a, slope) = (*a, *slope);
-            let da =
-                ew_binary(&g, &tape.nodes[a.0].value, |gg, x| if x > 0.0 { gg } else { slope * gg });
+            let da = ew_binary(&g, &tape.nodes[a.0].value, |gg, x| {
+                if x > 0.0 {
+                    gg
+                } else {
+                    slope * gg
+                }
+            });
             tape.accumulate_grad(a, da);
         }
         Op::Tanh(a) => {
@@ -277,9 +291,8 @@ pub(crate) fn backward_step(tape: &mut Tape, i: usize) {
             }
             let mut da = Tensor::zeros(g.rows(), g.cols());
             for (r, &s) in seg.iter().enumerate() {
-                let dots = seg_dot.row(s);
-                for c in 0..g.cols() {
-                    da.set(r, c, y.get(r, c) * (g.get(r, c) - dots[c]));
+                for (c, &dot) in seg_dot.row(s).iter().enumerate() {
+                    da.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
                 }
             }
             tape.accumulate_grad(a, da);
@@ -299,8 +312,7 @@ pub(crate) fn backward_step(tape: &mut Tape, i: usize) {
                 let inv_std = 1.0 / (var + eps).sqrt();
                 // xhat and dxhat for this row.
                 let xhat: Vec<f32> = row.iter().map(|&v| (v - mu) * inv_std).collect();
-                let dxhat: Vec<f32> =
-                    (0..row.len()).map(|c| g.get(r, c) * vg.get(0, c)).collect();
+                let dxhat: Vec<f32> = (0..row.len()).map(|c| g.get(r, c) * vg.get(0, c)).collect();
                 let sum_dxhat: f32 = dxhat.iter().sum();
                 let sum_dxhat_xhat: f32 = dxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum();
                 for c in 0..row.len() {

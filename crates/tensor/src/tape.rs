@@ -45,7 +45,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -150,7 +154,9 @@ impl Tape {
 
     /// Leaky ReLU with the given negative slope (GAT uses 0.2).
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let out = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let out = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         self.push(out, Op::LeakyRelu(a, slope))
     }
 
@@ -184,7 +190,13 @@ impl Tape {
         let va = &self.nodes[a.0].value;
         let mask: Rc<Vec<f32>> = Rc::new(
             (0..va.len())
-                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
         );
         let mut out = va.clone();
@@ -283,7 +295,10 @@ impl Tape {
         let vl = &self.nodes[logits.0].value;
         debug_assert_eq!(vl.rows(), labels.len());
         let loss = ops::cross_entropy_forward(vl, &labels);
-        self.push(Tensor::scalar(loss), Op::SoftmaxCrossEntropy(logits, labels))
+        self.push(
+            Tensor::scalar(loss),
+            Op::SoftmaxCrossEntropy(logits, labels),
+        )
     }
 
     // ---- backward -----------------------------------------------------------

@@ -19,12 +19,20 @@ pub struct Tensor {
 impl Tensor {
     /// A `rows x cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A `1 x 1` tensor holding a single scalar.
@@ -35,7 +43,10 @@ impl Tensor {
     /// Builds a tensor from a row-major buffer, validating the length.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(TensorError::BadBuffer { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::BadBuffer {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { rows, cols, data })
     }
@@ -52,7 +63,11 @@ impl Tensor {
             assert_eq!(row.len(), c, "ragged rows passed to Tensor::from_rows");
             data.extend_from_slice(row);
         }
-        Tensor { rows: r, cols: c, data }
+        Tensor {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Uniform random tensor in `[lo, hi)`.
@@ -316,7 +331,10 @@ mod tests {
     fn matmul_shape_mismatch_is_an_error() {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -9,10 +9,20 @@ use xfraud_tensor::{softmax_rows, Tape, Tensor, TensorError};
 
 #[test]
 fn error_display_messages_are_actionable() {
-    let e = TensorError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+    let e = TensorError::ShapeMismatch {
+        op: "matmul",
+        lhs: (2, 3),
+        rhs: (4, 5),
+    };
     let s = e.to_string();
-    assert!(s.contains("matmul") && s.contains("2x3") && s.contains("4x5"), "{s}");
-    let e = TensorError::BadBuffer { expected: 6, actual: 5 };
+    assert!(
+        s.contains("matmul") && s.contains("2x3") && s.contains("4x5"),
+        "{s}"
+    );
+    let e = TensorError::BadBuffer {
+        expected: 6,
+        actual: 5,
+    };
     assert!(e.to_string().contains("6"), "{e}");
     let e = TensorError::OutOfBounds { index: 9, len: 3 };
     assert!(e.to_string().contains("9"), "{e}");
@@ -138,5 +148,8 @@ fn dropout_keeps_expectation() {
     let x = tape.leaf(Tensor::full(1, 4000, 1.0), false);
     let y = tape.dropout(x, 0.25, &mut rng);
     let mean = tape.value(y).mean();
-    assert!((mean - 1.0).abs() < 0.05, "inverted dropout must preserve E[x]: {mean}");
+    assert!(
+        (mean - 1.0).abs() < 0.05,
+        "inverted dropout must preserve E[x]: {mean}"
+    );
 }

@@ -45,16 +45,29 @@ fn main() {
     let sampler = SageSampler::new(2, 8);
     let fd = g.feature_dim();
     for workers in [2usize, 8] {
-        let cfg = DdpConfig { n_workers: workers, n_partitions: 128, epochs: 5, seed: 1, ..Default::default() };
-        let mut trainer =
-            DdpTrainer::new(g, &train, || XFraudDetector::new(DetectorConfig::small(fd, 9)), cfg);
+        let cfg = DdpConfig {
+            n_workers: workers,
+            n_partitions: 128,
+            epochs: 5,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut trainer = DdpTrainer::new(
+            g,
+            &train,
+            || XFraudDetector::new(DetectorConfig::small(fd, 9)),
+            cfg,
+        );
         println!(
             "\n{workers} workers (labelled txns per worker: {:?})",
             trainer.worker_train_counts()
         );
         let hist = trainer.fit(g, &test, &sampler);
         for e in &hist {
-            println!("  epoch {:>2}  loss {:.4}  AUC {:.4}  {:.1}s", e.epoch, e.mean_loss, e.val_auc, e.secs);
+            println!(
+                "  epoch {:>2}  loss {:.4}  AUC {:.4}  {:.1}s",
+                e.epoch, e.mean_loss, e.val_auc, e.secs
+            );
         }
         println!(
             "  replica divergence after training: {} (must be 0 — DDP invariant)",

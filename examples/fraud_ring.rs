@@ -47,10 +47,12 @@ fn main() {
     let (train, test) = train_test_split(g, 0.3, 1);
     let mut det = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 2));
     let sampler = SageSampler::new(2, 8);
-    let trainer = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 6,
+        ..TrainConfig::default()
+    });
     trainer.fit(&mut det, g, &sampler, &train, &test);
-    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
-    let (scores, labels) = trainer.evaluate(&det, g, &sampler, &test, &mut rng);
+    let (scores, labels) = trainer.evaluate(&det, g, &sampler, &test, 3);
     println!("test AUC = {:.4}", roc_auc(&scores, &labels));
 
     // Pick the fraud seed whose community looks most ring-like: several
@@ -64,13 +66,12 @@ fn main() {
             let buyers = (0..c.graph.n_nodes())
                 .filter(|&u| c.graph.node_type(u) == NodeType::Buyer)
                 .count();
-            let frauds = c
-                .graph
-                .labeled_txns()
-                .iter()
-                .filter(|&&(_, y)| y)
-                .count();
-            if buyers >= 3 { frauds * 10 + buyers } else { 0 }
+            let frauds = c.graph.labeled_txns().iter().filter(|&&(_, y)| y).count();
+            if buyers >= 3 {
+                frauds * 10 + buyers
+            } else {
+                0
+            }
         })
         .map(|(v, _)| v)
         .expect("a ring community exists");
@@ -94,12 +95,17 @@ fn main() {
         .filter(|&v| community.graph.label(v).is_some())
         .collect();
     let batch = xfraud::gnn::SubgraphBatch::from_nodes(&community.graph, &nodes, &txns);
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
     let s = predict_scores(&det, &batch, &mut rng);
     println!("community transaction scores (label → score):");
     for (&t, &sc) in txns.iter().zip(&s) {
         println!(
             "  txn {t:>3} {} → {sc:.3}",
-            if community.graph.label(t) == Some(true) { "FRAUD" } else { "legit" }
+            if community.graph.label(t) == Some(true) {
+                "FRAUD"
+            } else {
+                "legit"
+            }
         );
     }
 

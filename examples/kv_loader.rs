@@ -32,13 +32,20 @@ fn main() {
 
     // The ids every epoch's loaders fetch (simulating per-batch feature
     // gathers across the labelled transactions, several passes).
-    let ids: Vec<usize> = (0..g.txn_nodes().len()).cycle().take(g.txn_nodes().len() * 6).collect();
+    let ids: Vec<usize> = (0..g.txn_nodes().len())
+        .cycle()
+        .take(g.txn_nodes().len() * 6)
+        .collect();
 
     for store in stores {
         let fs = FeatureStore::new(store, dim);
         // Ingest the feature matrix.
         fs.put_matrix(0, g.features());
-        println!("{} store ({} rows ingested):", fs.store_name(), g.features().rows());
+        println!(
+            "{} store ({} rows ingested):",
+            fs.store_name(),
+            g.features().rows()
+        );
         let mut base = 0.0;
         for threads in [1usize, 2, 4, 8] {
             let (_, secs, tput) = fs.load_parallel(&ids, threads);

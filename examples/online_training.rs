@@ -7,16 +7,21 @@
 
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::gnn::{
-    incremental_study, time_windows, DetectorConfig, IncrementalConfig, SageSampler,
-    XFraudDetector,
+    incremental_study, time_windows, DetectorConfig, IncrementalConfig, SageSampler, XFraudDetector,
 };
 
 fn main() {
     let ds = Dataset::generate(DatasetPreset::EbaySmallSim, 7);
     let g = &ds.graph;
     let cfg = IncrementalConfig::default();
-    println!("timeline ({} windows over the observation period):", cfg.n_windows);
-    for (w, win) in time_windows(g, &ds.node_time, cfg.n_windows).iter().enumerate() {
+    println!(
+        "timeline ({} windows over the observation period):",
+        cfg.n_windows
+    );
+    for (w, win) in time_windows(g, &ds.node_time, cfg.n_windows)
+        .iter()
+        .enumerate()
+    {
         let fraud = win.iter().filter(|&&v| g.label(v) == Some(true)).count();
         println!(
             "  window {w}: {:>5} labelled txns, {:>5.2}% fraud",

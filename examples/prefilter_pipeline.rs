@@ -18,7 +18,10 @@ use xfraud::{Pipeline, PipelineConfig};
 fn main() {
     println!("training detector+ ...");
     let pipeline = Pipeline::run(PipelineConfig {
-        train: TrainConfig { epochs: 6, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     });
     let g = &pipeline.dataset.graph;
@@ -26,10 +29,12 @@ fn main() {
     // Stage 1: mine the platform rules on the training stream.
     let row_of = |v: usize| g.features().row(g.feature_row_of(v).expect("txn"));
     let train_rows: Vec<&[f32]> = pipeline.train_nodes.iter().map(|&v| row_of(v)).collect();
-    let train_labels: Vec<bool> =
-        pipeline.train_nodes.iter().map(|&v| g.label(v) == Some(true)).collect();
-    let base_rate =
-        train_labels.iter().filter(|&&y| y).count() as f64 / train_labels.len() as f64;
+    let train_labels: Vec<bool> = pipeline
+        .train_nodes
+        .iter()
+        .map(|&v| g.label(v) == Some(true))
+        .collect();
+    let base_rate = train_labels.iter().filter(|&&y| y).count() as f64 / train_labels.len() as f64;
     let ruleset = RuleMiner::new(MinerConfig {
         min_precision: 1.5 * base_rate,
         min_support: 20,
@@ -53,10 +58,11 @@ fn main() {
 
     // Stage 3: GNN only on the survivors.
     let trainer = xfraud::gnn::Trainer::new(TrainConfig::default());
-    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
-    let (scores, labels) =
-        trainer.evaluate(&pipeline.detector, g, &pipeline.sampler, &kept, &mut rng);
-    println!("stage 3: detector+ AUC on the filtered stream = {:.4}", roc_auc(&scores, &labels));
+    let (scores, labels) = trainer.evaluate(&pipeline.detector, g, &pipeline.sampler, &kept, 3);
+    println!(
+        "stage 3: detector+ AUC on the filtered stream = {:.4}",
+        roc_auc(&scores, &labels)
+    );
 
     // Stage 4: composed precision/recall. Fraud missed by the filter can
     // never be recalled downstream.
@@ -69,7 +75,10 @@ fn main() {
         let kept_fraud = labels.iter().filter(|&&y| y).count();
         kept_fraud as f64 / total_fraud.max(1) as f64
     };
-    println!("\n{:>9} {:>10} {:>14} {:>16}", "threshold", "precision", "pipeline recall", "prec@0.043% raw");
+    println!(
+        "\n{:>9} {:>10} {:>14} {:>16}",
+        "threshold", "precision", "pipeline recall", "prec@0.043% raw"
+    );
     for t in [0.5f32, 0.8, 0.9, 0.95] {
         let c = confusion_at(&scores, &labels, t);
         if c.tp + c.fp == 0 {

@@ -15,11 +15,17 @@ fn main() {
     // 1 + 2: dataset, split and training are one call.
     println!("training xFraud detector+ on ebay-small-sim ...");
     let pipeline = Pipeline::run(PipelineConfig {
-        train: TrainConfig { epochs: 6, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     });
     for e in &pipeline.history {
-        println!("  epoch {:>2}  loss {:.4}  val AUC {:.4}  ({:.1}s)", e.epoch, e.mean_loss, e.val_auc, e.secs);
+        println!(
+            "  epoch {:>2}  loss {:.4}  val AUC {:.4}  ({:.1}s)",
+            e.epoch, e.mean_loss, e.val_auc, e.secs
+        );
     }
 
     // 3: held-out metrics.
@@ -46,7 +52,11 @@ fn main() {
         "community: {} nodes, {} links; detector says {} (p = {:.3})",
         community.n_nodes(),
         community.n_links(),
-        if explanation.predicted_label == 1 { "FRAUD" } else { "legit" },
+        if explanation.predicted_label == 1 {
+            "FRAUD"
+        } else {
+            "legit"
+        },
         explanation.predicted_score
     );
     // Top-5 most influential edges.

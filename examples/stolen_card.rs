@@ -36,17 +36,22 @@ fn main() {
         .iter()
         .filter(|r| r.mechanism == FraudMechanism::StolenCard)
         .count();
-    println!("world: {} transactions, {stolen} on stolen cards", world.records.len());
+    println!(
+        "world: {} transactions, {stolen} on stolen cards",
+        world.records.len()
+    );
     let ds = build_dataset(&world, &cfg);
     let g = &ds.graph;
 
     let (train, test) = train_test_split(g, 0.3, 2);
     let mut det = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 4));
     let sampler = SageSampler::new(2, 8);
-    let trainer = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 6,
+        ..TrainConfig::default()
+    });
     trainer.fit(&mut det, g, &sampler, &train, &test);
-    let mut rng = StdRng::seed_from_u64(5);
-    let (scores, labels) = trainer.evaluate(&det, g, &sampler, &test, &mut rng);
+    let (scores, labels) = trainer.evaluate(&det, g, &sampler, &test, 5);
     println!("test AUC = {:.4}\n", roc_auc(&scores, &labels));
 
     // Find the payment token with the strongest stolen-card signature:
@@ -82,13 +87,17 @@ fn main() {
         .collect();
     let nodes: Vec<usize> = (0..community.graph.n_nodes()).collect();
     let batch = SubgraphBatch::from_nodes(&community.graph, &nodes, &token_txns);
+    let mut rng = StdRng::seed_from_u64(5);
     let s = predict_scores(&det, &batch, &mut rng);
 
     let mut fraud_scores = Vec::new();
     let mut legit_scores = Vec::new();
     for (&t, &sc) in token_txns.iter().zip(&s) {
         let is_fraud = community.graph.label(t) == Some(true);
-        println!("  txn {t:>3} {} → {sc:.3}", if is_fraud { "FRAUD" } else { "legit" });
+        println!(
+            "  txn {t:>3} {} → {sc:.3}",
+            if is_fraud { "FRAUD" } else { "legit" }
+        );
         if is_fraud {
             fraud_scores.push(sc);
         } else {

@@ -1,0 +1,91 @@
+//! Offline stand-in for `bytes 1.x`: an immutable, cheaply-cloneable byte
+//! buffer backed by `Arc<[u8]>`. Covers exactly what the KV stores use —
+//! `Bytes::from(Vec<u8>)`, `Bytes::copy_from_slice`, deref to `[u8]`,
+//! cloning — without the zero-copy slicing machinery of the real crate.
+
+use std::sync::Arc;
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{:?}", &self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn roundtrips_and_derefs() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        let c = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(b, c);
+        let opt = Some(b.clone());
+        assert_eq!(opt.as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert!(Bytes::new().is_empty());
+    }
+}

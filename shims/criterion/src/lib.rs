@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion 0.5`: enough of the API to compile and
+//! run this workspace's `harness = false` benches. Each `bench_function`
+//! warms up for `warm_up_time`, then measures whole-iteration wall time for
+//! `measurement_time` (at least `sample_size` iterations when the workload
+//! allows) and prints `name  time: [min mean max]` in a criterion-like
+//! format. There is no statistical regression machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    /// Per-iteration wall-clock durations of the measurement phase.
+    samples: Vec<Duration>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    min_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        // Measurement: record per-iteration durations until the time budget
+        // and the minimum sample count are both satisfied.
+        let measure_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() >= self.measurement_time
+                && self.samples.len() >= self.min_samples
+            {
+                break;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench(
+    id: &str,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    min_samples: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        warm_up_time,
+        measurement_time,
+        min_samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} time: [no samples]");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("non-empty");
+    let max = *b.samples.iter().max().expect("non-empty");
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        b.samples.len(),
+    );
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(
+            id,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Upstream parses CLI args here; the shim ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(
+            &full,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; both upstream forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = quick();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_all_functions() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut hits = 0u64;
+        group.bench_function("one", |b| b.iter(|| hits += 1));
+        group.bench_function("two", |b| b.iter(|| hits += 1));
+        group.finish();
+        assert!(hits >= 6);
+    }
+}

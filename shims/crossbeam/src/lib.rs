@@ -1,0 +1,142 @@
+//! Offline stand-in for the `crossbeam 0.8` API surface this workspace
+//! uses: `crossbeam::scope` (scoped threads) and `crossbeam::channel`'s
+//! bounded MPSC channel. Both are thin wrappers over `std` — `std::thread::
+//! scope` and `std::sync::mpsc::sync_channel` — so behaviour matches the
+//! std guarantees, not upstream crossbeam's (e.g. the receiver here is
+//! single-consumer, which is all the batch engine needs).
+
+use std::any::Any;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Scope mirroring `crossbeam::thread::Scope`; `spawn` hands the closure a
+/// `&Scope` so nested spawns keep working.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// `crossbeam::scope`: runs `f` with a scope that joins all spawned threads
+/// before returning. Unlike upstream, an unjoined panicking child aborts via
+/// `std::thread::scope`'s panic instead of surfacing through the `Result`;
+/// every caller in this workspace joins its handles explicitly.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! Bounded MPSC channel (subset of `crossbeam::channel`).
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Cloneable producer half.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full; errors once the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Single-consumer half (upstream crossbeam receivers are cloneable;
+    /// nothing in this workspace relies on that).
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; errors once all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Iterates until every sender disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap` (>= 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap.max(1));
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns_values() {
+        let data = [1, 2, 3, 4];
+        let sum = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_passed_scope_works() {
+        let v = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn bounded_channel_delivers_in_order_per_sender() {
+        let (tx, rx) = super::channel::bounded(2);
+        let got = super::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            rx.iter().collect::<Vec<i32>>()
+        })
+        .unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

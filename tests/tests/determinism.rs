@@ -22,7 +22,10 @@ fn datasets_are_bit_identical_per_seed() {
 #[test]
 fn trained_pipelines_are_reproducible() {
     let cfg = || PipelineConfig {
-        train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     };
     let p1 = Pipeline::run(cfg());
@@ -40,13 +43,23 @@ fn trained_pipelines_are_reproducible() {
 #[test]
 fn explanations_are_reproducible() {
     let p = Pipeline::run(PipelineConfig {
-        train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     });
     let comms = p.sample_communities(1, 8, 200, 9);
     let community = &comms[0];
-    let cfg = ExplainerConfig { epochs: 15, ..Default::default() };
-    let w1 = GnnExplainer::new(&p.detector, cfg.clone()).explain_community(community).1;
-    let w2 = GnnExplainer::new(&p.detector, cfg).explain_community(community).1;
+    let cfg = ExplainerConfig {
+        epochs: 15,
+        ..Default::default()
+    };
+    let w1 = GnnExplainer::new(&p.detector, cfg.clone())
+        .explain_community(community)
+        .1;
+    let w2 = GnnExplainer::new(&p.detector, cfg)
+        .explain_community(community)
+        .1;
     assert_eq!(w1, w2);
 }

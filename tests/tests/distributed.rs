@@ -18,8 +18,10 @@ fn pic_plus_grouping_covers_every_node_once() {
     all.dedup();
     assert_eq!(all.len(), sizes.iter().filter(|&&s| s > 0).count());
     // Balance: no group more than 3x the smallest non-empty group.
-    let fills: Vec<usize> =
-        groups.iter().map(|g| g.iter().map(|&p| sizes[p]).sum()).collect();
+    let fills: Vec<usize> = groups
+        .iter()
+        .map(|g| g.iter().map(|&p| sizes[p]).sum())
+        .collect();
     let max = *fills.iter().max().unwrap();
     let min = *fills.iter().filter(|&&f| f > 0).min().unwrap();
     assert!(max <= min * 3, "imbalanced groups: {fills:?}");
@@ -33,9 +35,18 @@ fn ddp_eight_workers_trains_with_identical_replicas() {
     let fd = g.feature_dim();
     // 8 workers on the small graph leave each replica only ~190 labelled
     // txns — give it a few epochs to clear chance level.
-    let cfg = DdpConfig { n_workers: 8, n_partitions: 64, epochs: 5, ..Default::default() };
-    let mut trainer =
-        DdpTrainer::new(g, &train, || XFraudDetector::new(DetectorConfig::small(fd, 3)), cfg);
+    let cfg = DdpConfig {
+        n_workers: 8,
+        n_partitions: 64,
+        epochs: 5,
+        ..Default::default()
+    };
+    let mut trainer = DdpTrainer::new(
+        g,
+        &train,
+        || XFraudDetector::new(DetectorConfig::small(fd, 3)),
+        cfg,
+    );
     let hist = trainer.fit(g, &test, &SageSampler::new(2, 6));
     assert_eq!(trainer.max_replica_divergence(), 0.0);
     assert_eq!(hist.len(), 5);
@@ -55,10 +66,24 @@ fn more_workers_do_not_converge_faster_per_epoch() {
     let (train, test) = train_test_split(g, 0.3, 1);
     let fd = g.feature_dim();
     let auc_for = |workers: usize| {
-        let cfg = DdpConfig { n_workers: workers, n_partitions: 64, epochs: 3, seed: 5, ..Default::default() };
-        let mut trainer =
-            DdpTrainer::new(g, &train, || XFraudDetector::new(DetectorConfig::small(fd, 3)), cfg);
-        trainer.fit(g, &test, &SageSampler::new(2, 6)).last().unwrap().val_auc
+        let cfg = DdpConfig {
+            n_workers: workers,
+            n_partitions: 64,
+            epochs: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut trainer = DdpTrainer::new(
+            g,
+            &train,
+            || XFraudDetector::new(DetectorConfig::small(fd, 3)),
+            cfg,
+        );
+        trainer
+            .fit(g, &test, &SageSampler::new(2, 6))
+            .last()
+            .unwrap()
+            .val_auc
     };
     let few = auc_for(2);
     let many = auc_for(16);

@@ -1,0 +1,47 @@
+//! The batch engine's headline guarantee, asserted end-to-end: the
+//! `num_workers` knob trades wall-clock for cores and *nothing else*.
+//! Training history, learned weights, and held-out scores of a full
+//! `Pipeline::run` must be bit-identical whether batches are sampled
+//! inline or by eight background threads.
+
+use xfraud::gnn::{Model, TrainConfig};
+use xfraud::{Pipeline, PipelineConfig};
+
+#[test]
+fn pipeline_is_bit_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        Pipeline::run(PipelineConfig {
+            train: TrainConfig {
+                epochs: 2,
+                num_workers: workers,
+                ..TrainConfig::default()
+            },
+            ..PipelineConfig::default()
+        })
+    };
+    let base = run(1);
+    let (base_scores, base_labels) = base.test_scores();
+    for workers in [2usize, 4, 8] {
+        let p = run(workers);
+        assert_eq!(
+            base.detector.store().max_param_diff(p.detector.store()),
+            0.0,
+            "{workers} workers: weights diverged"
+        );
+        assert_eq!(base.history.len(), p.history.len(), "{workers} workers");
+        for (a, b) in base.history.iter().zip(&p.history) {
+            assert_eq!(
+                a.mean_loss, b.mean_loss,
+                "{workers} workers, epoch {}",
+                a.epoch
+            );
+            assert_eq!(a.val_auc, b.val_auc, "{workers} workers, epoch {}", a.epoch);
+        }
+        let (scores, labels) = p.test_scores();
+        assert_eq!(
+            base_scores, scores,
+            "{workers} workers: test scores diverged"
+        );
+        assert_eq!(base_labels, labels, "{workers} workers");
+    }
+}

@@ -12,7 +12,10 @@ use xfraud::{Pipeline, PipelineConfig};
 
 fn quick_pipeline() -> Pipeline {
     Pipeline::run(PipelineConfig {
-        train: TrainConfig { epochs: 5, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
         ..PipelineConfig::default()
     })
 }
@@ -33,7 +36,10 @@ fn explainer_agrees_with_annotations_better_than_random() {
     let p = quick_pipeline();
     let study = CommunityStudy::build(
         &p,
-        StudyConfig { n_communities: 24, ..StudyConfig::default() },
+        StudyConfig {
+            n_communities: 24,
+            ..StudyConfig::default()
+        },
     );
     assert!(study.communities.len() >= 12, "need enough communities");
     let mut rng = StdRng::seed_from_u64(5);
@@ -63,17 +69,28 @@ fn hybrid_explainer_is_competitive_with_both_arms_on_train() {
     let p = quick_pipeline();
     let study = CommunityStudy::build(
         &p,
-        StudyConfig { n_communities: 8, ..StudyConfig::default() },
+        StudyConfig {
+            n_communities: 8,
+            ..StudyConfig::default()
+        },
     );
     let all = study.to_community_weights(Measure::EdgeBetweenness);
     let mut rng = StdRng::seed_from_u64(6);
     let k = 10;
     let grid = HybridExplainer::fit_grid(&all, k, 30, &mut rng);
     let h_hybrid = grid.mean_hit_rate(&all, k, 50, &mut rng);
-    let only_c = HybridExplainer { a: 1.0, b: 0.0, fit: grid.fit }
-        .mean_hit_rate(&all, k, 50, &mut rng);
-    let only_e = HybridExplainer { a: 0.0, b: 1.0, fit: grid.fit }
-        .mean_hit_rate(&all, k, 50, &mut rng);
+    let only_c = HybridExplainer {
+        a: 1.0,
+        b: 0.0,
+        fit: grid.fit,
+    }
+    .mean_hit_rate(&all, k, 50, &mut rng);
+    let only_e = HybridExplainer {
+        a: 0.0,
+        b: 1.0,
+        fit: grid.fit,
+    }
+    .mean_hit_rate(&all, k, 50, &mut rng);
     assert!(
         h_hybrid >= only_c.max(only_e) - 0.03,
         "hybrid {h_hybrid:.3} vs c {only_c:.3} / e {only_e:.3}"
@@ -85,7 +102,10 @@ fn centrality_measures_all_produce_aligned_weights() {
     let p = quick_pipeline();
     let study = CommunityStudy::build(
         &p,
-        StudyConfig { n_communities: 4, ..StudyConfig::default() },
+        StudyConfig {
+            n_communities: 4,
+            ..StudyConfig::default()
+        },
     );
     for m in xfraud::explain::centrality::ALL_MEASURES {
         let per_comm = study.centrality_weights(m);
@@ -109,5 +129,9 @@ fn study_statistics_resemble_the_papers_sample() {
     // Mixed seed labels, like the paper's 18/23 split.
     assert!(fraud >= 1, "no fraud-seeded communities");
     assert!(legit >= 1, "no legit-seeded communities");
-    assert!(study.mean_links() >= 12.0, "communities too small: {}", study.mean_links());
+    assert!(
+        study.mean_links() >= 12.0,
+        "communities too small: {}",
+        study.mean_links()
+    );
 }

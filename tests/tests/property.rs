@@ -6,11 +6,45 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::explain::topk_hit_rate;
-use xfraud::hetgraph::{GraphBuilder, NodeType};
+use xfraud::gnn::{HgSampler, SageSampler, Sampler, SubgraphBatch};
+use xfraud::hetgraph::{GraphBuilder, HetGraph, NodeType};
 use xfraud::kvstore::{KvStore, ShardedStore, SingleLockStore};
 use xfraud::metrics::{roc_auc, roc_curve, trapezoid_area};
 use xfraud::tensor::{Tape, Tensor};
+
+/// One shared graph for the sampler properties — dataset generation is far
+/// more expensive than a sampler call, so building it per case would
+/// dominate the suite.
+fn sampler_graph() -> &'static HetGraph {
+    static G: std::sync::OnceLock<HetGraph> = std::sync::OnceLock::new();
+    G.get_or_init(|| Dataset::generate(DatasetPreset::EbaySmallSim, 4).graph)
+}
+
+/// The invariants any sampled batch must satisfy, whatever the sampler:
+/// every seed is a target (in order), nodes appear at most once, and every
+/// batch edge is the image of a real graph edge between in-batch nodes.
+fn assert_batch_invariants(g: &HetGraph, seeds: &[usize], batch: &SubgraphBatch) {
+    assert!(batch.validate());
+    assert_eq!(batch.targets.len(), seeds.len());
+    for (i, &s) in seeds.iter().enumerate() {
+        assert_eq!(batch.global_ids[batch.targets[i]], s, "seed {s} lost");
+    }
+    let mut ids = batch.global_ids.clone();
+    ids.sort_unstable();
+    let n_before = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), n_before, "duplicate nodes in batch");
+    for (&ls, &ld) in batch.edge_src.iter().zip(&batch.edge_dst) {
+        assert!(ls < batch.n_nodes() && ld < batch.n_nodes());
+        let (gs, gd) = (batch.global_ids[ls], batch.global_ids[ld]);
+        assert!(
+            g.neighbors(gs).any(|u| u == gd),
+            "batch edge {gs}->{gd} has no graph counterpart"
+        );
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -159,5 +193,62 @@ proptest! {
             prop_assert_eq!(sub.label(new), g.label(old));
         }
         prop_assert!(sub.n_links() <= g.n_links());
+    }
+}
+
+// Sampler invariants get their own block with fewer cases: each case runs
+// two samplers over a realistic graph, which is much heavier than the
+// metric/tensor properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever shape and RNG: every seed stays a target, no node enters a
+    /// batch twice, and every batch edge exists in the underlying graph.
+    #[test]
+    fn sage_sampler_batches_hold_invariants(
+        seed in 0u64..10_000, hops in 1usize..4, per_hop in 1usize..9, n_seeds in 1usize..12
+    ) {
+        let g = sampler_graph();
+        let labeled = g.labeled_txns();
+        let offset = (seed as usize).wrapping_mul(13) % labeled.len().max(1);
+        let seeds: Vec<usize> = labeled
+            .iter()
+            .cycle()
+            .skip(offset)
+            .take(n_seeds)
+            .map(|&(v, _)| v)
+            .collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assume!(dedup.len() == seeds.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = SageSampler::new(hops, per_hop).sample(g, &seeds, &mut rng);
+        assert_batch_invariants(g, &seeds, &batch);
+    }
+
+    /// The same invariants for the HGSampling path of the original
+    /// detector (type-balanced, budget-driven).
+    #[test]
+    fn hg_sampler_batches_hold_invariants(
+        seed in 0u64..10_000, steps in 1usize..3, width in 1usize..5, n_seeds in 1usize..8
+    ) {
+        let g = sampler_graph();
+        let labeled = g.labeled_txns();
+        let offset = (seed as usize).wrapping_mul(17) % labeled.len().max(1);
+        let seeds: Vec<usize> = labeled
+            .iter()
+            .cycle()
+            .skip(offset)
+            .take(n_seeds)
+            .map(|&(v, _)| v)
+            .collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assume!(dedup.len() == seeds.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = HgSampler::new(steps, width).sample(g, &seeds, &mut rng);
+        assert_batch_invariants(g, &seeds, &batch);
     }
 }
