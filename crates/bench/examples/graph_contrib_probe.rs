@@ -21,6 +21,9 @@ impl Sampler for NoEdges {
     fn name(&self) -> &'static str {
         "noedges"
     }
+    fn shape_key(&self) -> u64 {
+        shape_key_of(self.name(), &[self.0.shape_key()])
+    }
 }
 
 fn main() {

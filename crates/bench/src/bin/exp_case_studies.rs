@@ -41,7 +41,9 @@ fn main() {
         let weights = hybrid.combine(&cw.centrality, &cw.explainer);
         let weights = minmax(&weights);
         let seed_global = sc.community.original_ids[sc.community.seed];
-        let score = pipeline.score_transaction(seed_global);
+        let score = pipeline
+            .score_transaction(seed_global)
+            .expect("community seeds are valid transactions");
         let predicted = score >= 0.5;
         let actual = sc.community.seed_label == Some(true);
         let outcome = match (actual, predicted) {

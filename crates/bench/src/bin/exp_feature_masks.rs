@@ -22,7 +22,9 @@ fn main() {
     let informative: Vec<usize> = (0..n_signal).collect();
     println!("feature dim {dim}; generator's signal dims: 0..{n_signal}\n");
 
-    let communities = pipeline.sample_communities(12, 6, 120, 5);
+    let communities = pipeline
+        .sample_communities(12, 6, 120, 5)
+        .expect("sampling from the trained pipeline succeeds");
     let explainer = GnnExplainer::new(&pipeline.detector, ExplainerConfig::default());
     let mut mean_recovery = 0.0;
     let mut dim_totals = vec![0.0f64; dim];

@@ -6,9 +6,6 @@
 //! Published shape: GraphSAGE sampling is 5–7× faster at equal-or-slightly-
 //! better AUC (0.7248→0.7262 small, 0.8683→0.8690 large).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::gnn::{
     train_test_split, DetectorConfig, HgSampler, SageSampler, Sampler, TrainConfig, Trainer,
@@ -43,22 +40,14 @@ fn run(preset: DatasetPreset, epochs: usize) {
     // detector has 6 layers and HGT samples its full receptive field,
     // balancing all node types at every step) — this is precisely the
     // subgraph inflation detector+'s 2-hop uniform sampler removes.
+    // Both samplers run through the one shared `Trainer::evaluate` path as
+    // trait objects — no per-sampler monomorphized inference loop.
     let hg = HgSampler::new(6, 8);
-    let samplers: [&dyn Sampler; 2] = [&hg, &sage];
+    let samplers: [&(dyn Sampler + Sync); 2] = [&hg, &sage];
     let mut results = Vec::new();
     for s in samplers {
-        let mut rng = StdRng::seed_from_u64(99);
         let start = std::time::Instant::now();
-        let (scores, labels) = {
-            let mut scores = Vec::new();
-            let mut labels = Vec::new();
-            for chunk in test.chunks(640) {
-                let batch = s.sample(g, chunk, &mut rng);
-                scores.extend(xfraud::gnn::predict_scores(&model, &batch, &mut rng));
-                labels.extend(chunk.iter().map(|&v| g.label(v) == Some(true)));
-            }
-            (scores, labels)
-        };
+        let (scores, labels) = trainer.evaluate(&model, g, &s, &test, 99);
         let secs = start.elapsed().as_secs_f64();
         let auc = roc_auc(&scores, &labels);
         println!(

@@ -66,17 +66,18 @@ pub const SEEDS: [(char, u64); 2] = [('A', 1), ('B', 2)];
 
 /// A trained pipeline at the given scale/seed — the common setup step.
 pub fn trained_pipeline(scale: Scale, model_seed: u64) -> Pipeline {
-    Pipeline::run(PipelineConfig {
-        preset: scale.preset(),
-        data_seed: 7,
-        model_seed,
-        train: TrainConfig {
+    let cfg = PipelineConfig::builder()
+        .preset(scale.preset())
+        .data_seed(7)
+        .model_seed(model_seed)
+        .train(TrainConfig {
             epochs: scale.epochs(),
             seed: model_seed,
             ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
-    })
+        })
+        .build()
+        .expect("experiment config is in range");
+    Pipeline::run(cfg).expect("experiment pipeline trains")
 }
 
 /// Builds the §5.1 community study on a freshly trained pipeline — the

@@ -1,17 +1,29 @@
 //! `xfraud-cli` — run the pipeline from the command line.
 //!
 //! ```text
-//! xfraud-cli train   [--preset small|large|xlarge] [--epochs N] [--seed S] [--workers W]
-//! xfraud-cli explain [--preset ...] [--epochs N] [--seed S] [--top K] [--workers W]
-//! xfraud-cli stats   [--preset ...]
+//! xfraud-cli train       [--preset small|large|xlarge] [--epochs N] [--seed S] [--workers W]
+//! xfraud-cli explain     [--preset ...] [--epochs N] [--seed S] [--top K] [--workers W]
+//! xfraud-cli stats       [--preset ...]
+//! xfraud-cli serve-bench [--preset ...] [--epochs N] [--seed S] [--callers C]
+//!                        [--requests R] [--batch B] [--no-cache]
 //! ```
 //!
 //! `train` reports held-out metrics; `explain` additionally explains the
-//! highest-scoring held-out fraud; `stats` prints dataset statistics.
+//! highest-scoring held-out fraud; `stats` prints dataset statistics;
+//! `serve-bench` trains a pipeline, freezes it behind a
+//! [`xfraud::serve::ScoringEngine`] and hammers it from `--callers`
+//! concurrent threads, reporting throughput against the sequential
+//! no-engine baseline plus the engine's own metrics snapshot.
+//!
+//! Pipeline failures (bad flags, out-of-range config, unknown ids) print a
+//! one-line diagnostic and exit non-zero — no panics, no backtraces.
+
+use std::time::Instant;
 
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::explain::{ExplainerConfig, GnnExplainer};
 use xfraud::gnn::TrainConfig;
+use xfraud::hetgraph::NodeId;
 use xfraud::{Pipeline, PipelineConfig};
 
 struct Args {
@@ -22,6 +34,14 @@ struct Args {
     top: usize,
     /// Batch-engine sampling threads; results are identical for any value.
     workers: usize,
+    /// serve-bench: concurrent caller threads.
+    callers: usize,
+    /// serve-bench: `score` calls issued per caller.
+    requests: usize,
+    /// serve-bench: transaction ids per `score` call.
+    batch: usize,
+    /// serve-bench: disable both cache tiers (the cold baseline).
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,8 +54,16 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         top: 5,
         workers: xfraud::gnn::default_num_workers(),
+        callers: 8,
+        requests: 40,
+        batch: 8,
+        no_cache: false,
     };
     while let Some(flag) = args.next() {
+        if flag == "--no-cache" {
+            parsed.no_cache = true;
+            continue;
+        }
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
         match flag.as_str() {
             "--preset" => {
@@ -50,6 +78,9 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("{e}"))?,
             "--top" => parsed.top = value()?.parse().map_err(|e| format!("{e}"))?,
             "--workers" => parsed.workers = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--callers" => parsed.callers = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--requests" => parsed.requests = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => parsed.batch = value()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -57,36 +88,122 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: xfraud-cli <train|explain|stats> [--preset small|large|xlarge] \
-     [--epochs N] [--seed S] [--top K] [--workers W]"
+    "usage: xfraud-cli <train|explain|stats|serve-bench> [--preset small|large|xlarge] \
+     [--epochs N] [--seed S] [--top K] [--workers W] \
+     [--callers C] [--requests R] [--batch B] [--no-cache]"
         .to_string()
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
+fn train_pipeline(args: &Args) -> Result<Pipeline, xfraud::Error> {
+    let cfg = PipelineConfig::builder()
+        .preset(args.preset)
+        .data_seed(args.seed)
+        .model_seed(args.seed)
+        .train(TrainConfig {
+            epochs: args.epochs,
+            num_workers: args.workers,
+            ..TrainConfig::default()
+        })
+        .build()?;
+    Pipeline::run(cfg)
+}
+
+/// The request stream of one bench caller: `requests` calls of `batch` ids
+/// cycling through the held-out transactions, offset per caller so the
+/// streams overlap without being identical (realistic duplicate pressure).
+fn caller_requests(
+    pool: &[NodeId],
+    caller: usize,
+    requests: usize,
+    batch: usize,
+) -> Vec<Vec<NodeId>> {
+    (0..requests)
+        .map(|r| {
+            (0..batch)
+                .map(|i| pool[(caller * 3 + r * batch + i) % pool.len()])
+                .collect()
+        })
+        .collect()
+}
+
+fn serve_bench(args: &Args) -> Result<(), xfraud::Error> {
+    let pipeline = train_pipeline(args)?;
+    let pool: Vec<NodeId> = pipeline.test_nodes.clone();
+    let total_txns = args.callers * args.requests * args.batch;
+    println!(
+        "serve-bench: {} callers × {} requests × {} ids  ({} scorings over {} distinct txns, cache {})",
+        args.callers,
+        args.requests,
+        args.batch,
+        total_txns,
+        pool.len().min(total_txns),
+        if args.no_cache { "off" } else { "on" }
+    );
+
+    // Sequential baseline: the exact contract the engine must reproduce,
+    // one transaction at a time, no engine, no cache.
+    let seq_n = pool.len().clamp(1, 256);
+    let started = Instant::now();
+    let mut baseline = Vec::with_capacity(seq_n);
+    for &t in pool.iter().take(seq_n) {
+        baseline.push(pipeline.score_transaction(t)?);
+    }
+    let seq_rate = seq_n as f64 / started.elapsed().as_secs_f64();
+    println!("sequential score_transaction: {seq_rate:.1} txn/s ({seq_n} scored)");
+
+    let mut builder = pipeline.serving_engine().max_batch(args.callers.max(2) * 2);
+    if args.no_cache {
+        builder = builder.no_cache();
+    }
+    let engine = builder.build()?;
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..args.callers {
+            let engine = &engine;
+            let pool = &pool;
+            handles.push(
+                scope.spawn(move || -> Result<(), xfraud::serve::ServeError> {
+                    for ids in caller_requests(pool, c, args.requests, args.batch) {
+                        engine.score(&ids)?;
+                    }
+                    Ok(())
+                }),
+            );
         }
-    };
+        for h in handles {
+            h.join().expect("bench caller thread")?;
+        }
+        Ok::<(), xfraud::serve::ServeError>(())
+    })
+    .map_err(xfraud::Error::from)?;
+    let engine_rate = total_txns as f64 / started.elapsed().as_secs_f64();
+
+    // Spot-check the determinism contract on a handful of ids.
+    for &t in pool.iter().take(8) {
+        let served = engine.score(&[t])?[0];
+        let sequential = pipeline.score_transaction(t)?;
+        assert_eq!(served, sequential, "engine must match score_transaction");
+    }
+
+    println!(
+        "engine: {engine_rate:.1} txn/s  ({:.2}× sequential)",
+        engine_rate / seq_rate
+    );
+    println!("{}", engine.metrics());
+    Ok(())
+}
+
+fn real_main(args: &Args) -> Result<(), xfraud::Error> {
     match args.command.as_str() {
         "stats" => {
             let ds = Dataset::generate(args.preset, args.seed);
             println!("{}:\n{}", ds.name, ds.stats());
         }
+        "serve-bench" => serve_bench(args)?,
         "train" | "explain" => {
-            let pipeline = Pipeline::run(PipelineConfig {
-                preset: args.preset,
-                data_seed: args.seed,
-                model_seed: args.seed,
-                train: TrainConfig {
-                    epochs: args.epochs,
-                    num_workers: args.workers,
-                    ..TrainConfig::default()
-                },
-                ..PipelineConfig::default()
-            });
+            let pipeline = train_pipeline(args)?;
             for e in &pipeline.history {
                 println!(
                     "epoch {:>3}  loss {:.4}  val AUC {:.4}  ({:.1}s)",
@@ -108,8 +225,7 @@ fn main() {
                     std::process::exit(1);
                 };
                 let txn = pipeline.test_nodes[idx];
-                let community = xfraud::hetgraph::community_of(&pipeline.dataset.graph, txn, 400)
-                    .expect("valid node");
+                let community = xfraud::hetgraph::community_of(&pipeline.dataset.graph, txn, 400)?;
                 println!(
                     "\nexplaining txn {txn} (score {score:.3}; community {} nodes / {} links)",
                     community.n_nodes(),
@@ -136,5 +252,20 @@ fn main() {
             eprintln!("{}", usage());
             std::process::exit(2);
         }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = real_main(&args) {
+        eprintln!("xfraud-cli: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,165 @@
+//! Typed errors for the end-to-end pipeline.
+//!
+//! Every failure mode a caller can trigger through the public API —
+//! out-of-range configuration, an id that is not a scoreable transaction,
+//! a split with nothing in it — surfaces as a variant here instead of a
+//! panic, so `xfraud-cli` can print one diagnostic line and exit non-zero.
+
+use std::fmt;
+
+use xfraud_hetgraph::GraphError;
+use xfraud_serve::ServeError;
+
+/// A [`PipelineConfig`](crate::PipelineConfig) setting out of range,
+/// reported by [`PipelineConfigBuilder::build`](crate::PipelineConfigBuilder)
+/// and by [`Pipeline::run`](crate::Pipeline::run) for hand-assembled
+/// configs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `test_fraction` must lie strictly inside `(0, 1)`.
+    TestFraction(f64),
+    /// `sage_hops` must be ≥ 1 (a 0-hop sampler sees only the seed).
+    SageHops(usize),
+    /// `sage_per_hop` must be ≥ 1.
+    SagePerHop(usize),
+    /// `train.epochs` must be ≥ 1.
+    Epochs(usize),
+    /// `train.batch_size` must be ≥ 1.
+    BatchSize(usize),
+    /// An explicit detector config whose input width disagrees with the
+    /// dataset preset's feature dimension.
+    DetectorDim { detector: usize, dataset: usize },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TestFraction(v) => {
+                write!(f, "test_fraction must be in (0, 1), got {v}")
+            }
+            ConfigError::SageHops(v) => write!(f, "sage_hops must be ≥ 1, got {v}"),
+            ConfigError::SagePerHop(v) => write!(f, "sage_per_hop must be ≥ 1, got {v}"),
+            ConfigError::Epochs(v) => write!(f, "train.epochs must be ≥ 1, got {v}"),
+            ConfigError::BatchSize(v) => write!(f, "train.batch_size must be ≥ 1, got {v}"),
+            ConfigError::DetectorDim { detector, dataset } => write!(
+                f,
+                "detector expects {detector} input features but the dataset preset generates {dataset}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any failure of the end-to-end pipeline API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration value was out of range (see [`ConfigError`]).
+    Config(ConfigError),
+    /// A graph construction or query failure bubbled up.
+    Graph(GraphError),
+    /// A serving-engine failure bubbled up.
+    Serve(ServeError),
+    /// The train/test split left one side empty — the dataset is too small
+    /// for the requested `test_fraction`.
+    EmptySplit { n_train: usize, n_test: usize },
+    /// A transaction id that does not exist in the graph.
+    UnknownTransaction(usize),
+    /// A node id that exists but is an entity, not a transaction.
+    NotATransaction(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "invalid pipeline config: {e}"),
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Serve(e) => write!(f, "serving error: {e}"),
+            Error::EmptySplit { n_train, n_test } => write!(
+                f,
+                "train/test split is degenerate ({n_train} train / {n_test} test labeled \
+                 transactions); adjust test_fraction or use a larger preset"
+            ),
+            Error::UnknownTransaction(id) => write!(f, "unknown transaction id {id}"),
+            Error::NotATransaction(id) => {
+                write!(f, "node {id} is not a transaction and cannot be scored")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::UnknownNode(id) => Error::UnknownTransaction(id),
+            other => Error::Graph(other),
+        }
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::UnknownNode(id) => Error::UnknownTransaction(id),
+            ServeError::NotATransaction(id) => Error::NotATransaction(id),
+            other => Error::Serve(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_errors_map_onto_pipeline_errors() {
+        assert_eq!(
+            Error::from(ServeError::UnknownNode(9)),
+            Error::UnknownTransaction(9)
+        );
+        assert_eq!(
+            Error::from(ServeError::NotATransaction(4)),
+            Error::NotATransaction(4)
+        );
+        assert!(matches!(
+            Error::from(ServeError::Shutdown),
+            Error::Serve(ServeError::Shutdown)
+        ));
+        assert_eq!(
+            Error::from(GraphError::UnknownNode(2)),
+            Error::UnknownTransaction(2)
+        );
+    }
+
+    #[test]
+    fn errors_render_single_line_diagnostics() {
+        for e in [
+            Error::Config(ConfigError::TestFraction(1.5)),
+            Error::EmptySplit {
+                n_train: 0,
+                n_test: 12,
+            },
+            Error::UnknownTransaction(3),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty() && !msg.contains('\n'), "{msg:?}");
+        }
+    }
+}

@@ -12,9 +12,17 @@
 //! ```no_run
 //! use xfraud::{Pipeline, PipelineConfig};
 //!
-//! let pipeline = Pipeline::run(PipelineConfig::default());
+//! # fn main() -> Result<(), xfraud::Error> {
+//! let cfg = PipelineConfig::builder().epochs(8).build()?;
+//! let pipeline = Pipeline::run(cfg)?;
 //! let (auc, ap, acc) = pipeline.test_metrics();
 //! println!("test AUC = {auc:.4}, AP = {ap:.4}, accuracy = {acc:.4}");
+//!
+//! // Freeze the detector behind the online scoring engine (micro-batching
+//! // + subgraph/score caches; bit-identical to `score_transaction`).
+//! let engine = pipeline.serving_engine().build()?;
+//! let scores = engine.score(&pipeline.test_nodes[..4])?;
+//! # let _ = scores; Ok(()) }
 //! ```
 //!
 //! Subsystem map (one crate per substrate the paper depends on):
@@ -30,6 +38,7 @@
 //! | [`kvstore`] | `xfraud-kvstore` | §3.3.3 data loading |
 //! | [`dist`] | `xfraud-dist` | §3.3 distributed training |
 //! | [`metrics`] | `xfraud-metrics` | §4 evaluation |
+//! | [`serve`] | `xfraud-serve` | §3.3 online near-real-time scoring |
 
 pub use xfraud_datagen as datagen;
 pub use xfraud_dist as dist;
@@ -40,9 +49,12 @@ pub use xfraud_kvstore as kvstore;
 pub use xfraud_metrics as metrics;
 pub use xfraud_nn as nn;
 pub use xfraud_rules as rules;
+pub use xfraud_serve as serve;
 pub use xfraud_tensor as tensor;
 
+mod error;
 mod pipeline;
 pub mod study;
 
-pub use pipeline::{Pipeline, PipelineConfig};
+pub use error::{ConfigError, Error};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder};

@@ -1,16 +1,29 @@
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use xfraud_datagen::{Dataset, DatasetPreset};
 use xfraud_gnn::{
-    predict_scores, train_test_split, DetectorConfig, EpochStats, FullGraphSampler, SageSampler,
-    TrainConfig, Trainer, XFraudDetector,
+    train_test_split, CommunitySampler, DetectorConfig, EpochStats, FullGraphSampler, SageSampler,
+    Sampler, TrainConfig, Trainer, XFraudDetector,
 };
 use xfraud_hetgraph::{community_of, Community, NodeId};
 use xfraud_metrics::{accuracy, average_precision, roc_auc};
+use xfraud_serve::{score_one, ScoringEngine, ScoringEngineBuilder};
+
+use crate::error::{ConfigError, Error};
+
+/// Node cap of the per-transaction scoring community (matches the paper's
+/// §5.1 explainer communities, which are bounded well below this).
+const SCORING_COMMUNITY_CAP: usize = 4000;
 
 /// End-to-end pipeline settings (Fig. 2: graph constructor → detector →
 /// explainer).
+///
+/// Prefer [`PipelineConfig::builder`], which validates settings at
+/// `build()` time; constructing the struct literally still works for one
+/// deprecation cycle, and [`Pipeline::run`] re-validates either way.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     pub preset: DatasetPreset,
@@ -44,13 +57,126 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Starts a validated builder from the defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
+        }
+    }
+
+    /// Checks every range constraint the builder enforces. [`Pipeline::run`]
+    /// calls this, so hand-assembled configs get the same diagnostics.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.test_fraction > 0.0 && self.test_fraction < 1.0) {
+            return Err(ConfigError::TestFraction(self.test_fraction));
+        }
+        if self.sage_hops == 0 {
+            return Err(ConfigError::SageHops(self.sage_hops));
+        }
+        if self.sage_per_hop == 0 {
+            return Err(ConfigError::SagePerHop(self.sage_per_hop));
+        }
+        if self.train.epochs == 0 {
+            return Err(ConfigError::Epochs(self.train.epochs));
+        }
+        if self.train.batch_size == 0 {
+            return Err(ConfigError::BatchSize(self.train.batch_size));
+        }
+        if let Some(det) = &self.detector {
+            let dataset_dim = self.preset.config(self.data_seed).feature_dim;
+            if det.feature_dim != dataset_dim {
+                return Err(ConfigError::DetectorDim {
+                    detector: det.feature_dim,
+                    dataset: dataset_dim,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed-setter builder for [`PipelineConfig`]; [`build`] validates every
+/// range constraint and reports the first violation as a [`ConfigError`].
+///
+/// [`build`]: PipelineConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Dataset preset to generate (Table 2 scale analogue).
+    pub fn preset(mut self, preset: DatasetPreset) -> Self {
+        self.cfg.preset = preset;
+        self
+    }
+
+    /// Seed of dataset generation and the train/test split.
+    pub fn data_seed(mut self, seed: u64) -> Self {
+        self.cfg.data_seed = seed;
+        self
+    }
+
+    /// Seed of detector initialisation, evaluation and serving streams.
+    pub fn model_seed(mut self, seed: u64) -> Self {
+        self.cfg.model_seed = seed;
+        self
+    }
+
+    /// Explicit detector hyper-parameters; its `feature_dim` must match the
+    /// preset's (validated at `build()`).
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.cfg.detector = Some(detector);
+        self
+    }
+
+    /// Full training configuration (epochs, batch size, lr, workers).
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.cfg.train = train;
+        self
+    }
+
+    /// Training epochs (≥ 1); shorthand for mutating [`Self::train`].
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.train.epochs = epochs;
+        self
+    }
+
+    /// GraphSAGE sampler depth in hops (≥ 1).
+    pub fn sage_hops(mut self, hops: usize) -> Self {
+        self.cfg.sage_hops = hops;
+        self
+    }
+
+    /// GraphSAGE fan-out per hop (≥ 1).
+    pub fn sage_per_hop(mut self, per_hop: usize) -> Self {
+        self.cfg.sage_per_hop = per_hop;
+        self
+    }
+
+    /// Fraction of labeled transactions held out for testing, in `(0, 1)`.
+    pub fn test_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.test_fraction = fraction;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// A trained end-to-end xFraud instance: dataset, detector+, split and
 /// training history.
 pub struct Pipeline {
     pub cfg: PipelineConfig,
     pub dataset: Dataset,
     pub detector: XFraudDetector,
-    pub sampler: SageSampler,
+    /// The training/evaluation sampler, held as a trait object so pipelines
+    /// with different sampler shapes share one concrete `Pipeline` type.
+    pub sampler: Arc<dyn Sampler + Send + Sync>,
     pub train_nodes: Vec<NodeId>,
     pub test_nodes: Vec<NodeId>,
     pub history: Vec<EpochStats>,
@@ -58,16 +184,27 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Generates the dataset, splits it, and trains the detector+.
-    pub fn run(cfg: PipelineConfig) -> Pipeline {
+    ///
+    /// Fails fast on an out-of-range config ([`Error::Config`]) or a split
+    /// that leaves either side empty ([`Error::EmptySplit`]).
+    pub fn run(cfg: PipelineConfig) -> Result<Pipeline, Error> {
+        cfg.validate()?;
         let dataset = Dataset::generate(cfg.preset, cfg.data_seed);
         let (train_nodes, test_nodes) =
             train_test_split(&dataset.graph, cfg.test_fraction, cfg.data_seed ^ 0x5711);
+        if train_nodes.is_empty() || test_nodes.is_empty() {
+            return Err(Error::EmptySplit {
+                n_train: train_nodes.len(),
+                n_test: test_nodes.len(),
+            });
+        }
         let det_cfg = cfg
             .detector
             .clone()
             .unwrap_or_else(|| DetectorConfig::small(dataset.graph.feature_dim(), cfg.model_seed));
         let mut detector = XFraudDetector::new(det_cfg);
-        let sampler = SageSampler::new(cfg.sage_hops, cfg.sage_per_hop);
+        let sampler: Arc<dyn Sampler + Send + Sync> =
+            Arc::new(SageSampler::new(cfg.sage_hops, cfg.sage_per_hop));
         let trainer = Trainer::new(cfg.train.clone());
         let history = trainer.fit(
             &mut detector,
@@ -76,7 +213,7 @@ impl Pipeline {
             &train_nodes,
             &test_nodes,
         );
-        Pipeline {
+        Ok(Pipeline {
             cfg,
             dataset,
             detector,
@@ -84,7 +221,7 @@ impl Pipeline {
             train_nodes,
             test_nodes,
             history,
-        }
+        })
     }
 
     /// Scores the held-out transactions; returns `(scores, labels)`.
@@ -113,15 +250,43 @@ impl Pipeline {
         )
     }
 
-    /// Fraud probability of one transaction node, computed on its full
-    /// connected community (no sampling) like the explainer path does.
-    pub fn score_transaction(&self, txn: NodeId) -> f32 {
-        let community = community_of(&self.dataset.graph, txn, 4000).expect("valid transaction id");
-        let nodes: Vec<NodeId> = (0..community.graph.n_nodes()).collect();
-        let batch =
-            xfraud_gnn::SubgraphBatch::from_nodes(&community.graph, &nodes, &[community.seed]);
-        let mut rng = StdRng::seed_from_u64(0);
-        predict_scores(&self.detector, &batch, &mut rng)[0]
+    /// The sampler the sequential scoring contract and the serving engine
+    /// share: the transaction's connected community, capped like the
+    /// explainer path.
+    fn scoring_sampler(&self) -> CommunitySampler {
+        CommunitySampler::new(SCORING_COMMUNITY_CAP)
+    }
+
+    /// Fraud probability of one transaction node, computed on its
+    /// (capped) connected community like the explainer path does.
+    ///
+    /// This is the sequential reference the serving engine is bit-identical
+    /// to: it delegates to [`xfraud_serve::score_one`] with the same
+    /// sampler, seed and graph version an engine from
+    /// [`Pipeline::serving_engine`] uses.
+    pub fn score_transaction(&self, txn: NodeId) -> Result<f32, Error> {
+        score_one(
+            &self.detector,
+            &self.dataset.graph,
+            &self.scoring_sampler(),
+            self.cfg.model_seed,
+            0,
+            txn,
+        )
+        .map_err(Error::from)
+    }
+
+    /// Starts configuring a [`ScoringEngine`] serving this pipeline's
+    /// frozen detector over its graph: micro-batched, cache-backed, and
+    /// bit-identical to [`Pipeline::score_transaction`] for every batch and
+    /// cache configuration. Finish with `.build()`.
+    pub fn serving_engine(&self) -> ScoringEngineBuilder {
+        ScoringEngine::builder(
+            self.detector.clone(),
+            self.dataset.graph.clone(),
+            Box::new(self.scoring_sampler()),
+        )
+        .seed(self.cfg.model_seed)
     }
 
     /// Draws the §5.1-style community sample: `n` random held-out seed
@@ -135,7 +300,7 @@ impl Pipeline {
         min_links: usize,
         max_nodes: usize,
         seed: u64,
-    ) -> Vec<Community> {
+    ) -> Result<Vec<Community>, Error> {
         use rand::seq::SliceRandom;
         let mut rng = StdRng::seed_from_u64(seed);
         // Stratify towards the paper's 18-fraud / 23-legit mix: interleave
@@ -173,14 +338,14 @@ impl Pipeline {
             if used_nodes.contains(&txn) {
                 continue; // avoid overlapping communities
             }
-            let c = community_of(&self.dataset.graph, txn, max_nodes).expect("test node exists");
+            let c = community_of(&self.dataset.graph, txn, max_nodes)?;
             if c.n_links() < min_links {
                 continue;
             }
             used_nodes.extend(c.original_ids.iter().copied());
             out.push(c);
         }
-        out
+        Ok(out)
     }
 
     /// Risk ground truth for a community's nodes (for annotator simulation).
@@ -204,20 +369,17 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> PipelineConfig {
-        PipelineConfig {
-            train: TrainConfig {
-                epochs: 4,
-                ..TrainConfig::default()
-            },
-            ..PipelineConfig::default()
-        }
+        PipelineConfig::builder()
+            .epochs(4)
+            .build()
+            .expect("default-based config is valid")
     }
 
     #[test]
     fn pipeline_end_to_end_learns() {
         // The simulated small dataset plateaus near the paper's eBay-small
         // AUC (~0.725, Fig. 10); four epochs must be clearly above chance.
-        let p = Pipeline::run(quick_cfg());
+        let p = Pipeline::run(quick_cfg()).unwrap();
         let (auc, ap, acc) = p.test_metrics();
         assert!(auc > 0.65, "AUC {auc}");
         assert!(ap > 0.15, "AP {ap}");
@@ -227,8 +389,8 @@ mod tests {
 
     #[test]
     fn community_sampling_respects_bounds() {
-        let p = Pipeline::run(quick_cfg());
-        let comms = p.sample_communities(6, 5, 300, 3);
+        let p = Pipeline::run(quick_cfg()).unwrap();
+        let comms = p.sample_communities(6, 5, 300, 3).unwrap();
         assert!(!comms.is_empty());
         for c in &comms {
             assert!(c.n_links() >= 5);
@@ -239,10 +401,90 @@ mod tests {
     }
 
     #[test]
-    fn score_transaction_returns_probability() {
-        let p = Pipeline::run(quick_cfg());
+    fn score_transaction_returns_probability_and_typed_errors() {
+        let p = Pipeline::run(quick_cfg()).unwrap();
         let txn = p.test_nodes[0];
-        let s = p.score_transaction(txn);
+        let s = p.score_transaction(txn).unwrap();
         assert!((0.0..=1.0).contains(&s));
+
+        let bogus = p.dataset.graph.n_nodes() + 1;
+        assert_eq!(
+            p.score_transaction(bogus),
+            Err(Error::UnknownTransaction(bogus))
+        );
+        let entity = (0..p.dataset.graph.n_nodes())
+            .find(|&v| p.dataset.graph.node_type(v) != xfraud_hetgraph::NodeType::Txn)
+            .expect("graph has entities");
+        assert_eq!(
+            p.score_transaction(entity),
+            Err(Error::NotATransaction(entity))
+        );
+    }
+
+    #[test]
+    fn builder_validates_every_range_constraint() {
+        assert!(matches!(
+            PipelineConfig::builder().test_fraction(0.0).build(),
+            Err(ConfigError::TestFraction(_))
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().test_fraction(1.0).build(),
+            Err(ConfigError::TestFraction(_))
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().sage_hops(0).build(),
+            Err(ConfigError::SageHops(0))
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().sage_per_hop(0).build(),
+            Err(ConfigError::SagePerHop(0))
+        ));
+        assert!(matches!(
+            PipelineConfig::builder().epochs(0).build(),
+            Err(ConfigError::Epochs(0))
+        ));
+        let bad_train = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            PipelineConfig::builder().train(bad_train).build(),
+            Err(ConfigError::BatchSize(0))
+        ));
+        // Detector width must match the preset's feature dimension.
+        let preset_dim = DatasetPreset::EbaySmallSim.config(7).feature_dim;
+        assert!(matches!(
+            PipelineConfig::builder()
+                .detector(DetectorConfig::small(preset_dim + 1, 0))
+                .build(),
+            Err(ConfigError::DetectorDim { .. })
+        ));
+        let ok = PipelineConfig::builder()
+            .detector(DetectorConfig::small(preset_dim, 0))
+            .build()
+            .unwrap();
+        assert_eq!(ok.detector.unwrap().feature_dim, preset_dim);
+        // Pipeline::run re-validates hand-assembled configs too.
+        let literal = PipelineConfig {
+            test_fraction: -0.25,
+            ..PipelineConfig::default()
+        };
+        assert!(matches!(
+            Pipeline::run(literal),
+            Err(Error::Config(ConfigError::TestFraction(_)))
+        ));
+    }
+
+    #[test]
+    fn serving_engine_matches_score_transaction() {
+        let p = Pipeline::run(quick_cfg()).unwrap();
+        let engine = p.serving_engine().build().unwrap();
+        let ids: Vec<NodeId> = p.test_nodes.iter().copied().take(8).collect();
+        let sequential: Vec<f32> = ids
+            .iter()
+            .map(|&t| p.score_transaction(t).unwrap())
+            .collect();
+        assert_eq!(engine.score(&ids).unwrap(), sequential);
+        assert_eq!(engine.score(&ids).unwrap(), sequential, "warm pass");
     }
 }

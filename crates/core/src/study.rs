@@ -81,8 +81,9 @@ impl CommunityStudy {
     /// simulates annotators from the generator's ground-truth risk, and
     /// runs the GNNExplainer per community against the frozen detector.
     pub fn build(pipeline: &Pipeline, cfg: StudyConfig) -> CommunityStudy {
-        let sampled =
-            pipeline.sample_communities(cfg.n_communities, cfg.min_links, cfg.max_nodes, cfg.seed);
+        let sampled = pipeline
+            .sample_communities(cfg.n_communities, cfg.min_links, cfg.max_nodes, cfg.seed)
+            .expect("study samples from the pipeline's own test split");
         let explainer = GnnExplainer::new(&pipeline.detector, cfg.explainer.clone());
         let mut communities = Vec::with_capacity(sampled.len());
         for (i, community) in sampled.into_iter().enumerate() {

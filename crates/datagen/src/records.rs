@@ -35,9 +35,9 @@ pub struct TxnRecord {
     pub email: usize,
     pub addr: usize,
     pub mechanism: FraudMechanism,
-    /// Latent risk in [0,1] that drives the feature synthesis.
+    /// Latent risk in `[0,1]` that drives the feature synthesis.
     pub latent_risk: f32,
-    /// Event time as a fraction of the observation window [0,1) — the
+    /// Event time as a fraction of the observation window `[0,1)` — the
     /// paper's eBay-xlarge spans seven months; fraud mechanisms cluster in
     /// time (bursts, cultivate-then-attack), benign traffic is uniform.
     pub time: f32,

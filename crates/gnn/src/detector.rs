@@ -74,6 +74,7 @@ impl DetectorConfig {
 ///
 /// Whether this instance behaves as *detector* (HGT) or *detector+* depends
 /// only on which [`crate::Sampler`] feeds it (§3.2.3).
+#[derive(Clone)]
 pub struct XFraudDetector {
     pub cfg: DetectorConfig,
     store: ParamStore,

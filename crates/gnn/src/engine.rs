@@ -40,6 +40,10 @@ pub mod streams {
     pub const STEP: u64 = 0x5354;
     /// Sampling + forward of one inference batch.
     pub const EVAL: u64 = 0x4556;
+    /// Online serving: the ego-subgraph of one scored transaction. The
+    /// per-node RNG is derived from `(seed, SERVE, graph_version, node)`,
+    /// so a cached subgraph and a freshly sampled one are interchangeable.
+    pub const SERVE: u64 = 0x5356;
 }
 
 /// Number of workers to use when the caller does not say: the machine's

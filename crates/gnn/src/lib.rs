@@ -38,5 +38,7 @@ pub use gem::GemModel;
 pub use hetconv::HetConvLayer;
 pub use incremental::{incremental_study, time_windows, IncrementalConfig, WindowReport};
 pub use model::{average_grads, grad_step, predict_scores, train_step, Masks, Model};
-pub use sampler::{FullGraphSampler, HgSampler, SageSampler, Sampler};
+pub use sampler::{
+    shape_key_of, CommunitySampler, FullGraphSampler, HgSampler, SageSampler, Sampler,
+};
 pub use train::{train_test_split, EpochStats, TrainConfig, Trainer};

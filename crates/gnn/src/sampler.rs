@@ -10,12 +10,60 @@ use crate::batch::SubgraphBatch;
 /// seed transactions. The sampler is the *only* difference between xFraud
 /// detector and detector+ (§3.2.3), which is exactly what the Fig. 10
 /// ablation isolates.
+///
+/// The trait is object-safe, and `&S`, `Box<S>` and `Arc<S>` (including
+/// their `dyn Sampler` forms) all implement it, so pipelines and serving
+/// engines can hold a `dyn Sampler` instead of being monomorphised per
+/// sampler type.
 pub trait Sampler {
     fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch;
 
     /// Human-readable name for experiment output.
     fn name(&self) -> &'static str;
+
+    /// Stable identity of this sampler's *shape*: its name folded with every
+    /// parameter that changes which subgraph a seed maps to. Serving-side
+    /// subgraph caches key on it, so two samplers with equal shape keys must
+    /// sample identical subgraphs given equal RNG streams.
+    fn shape_key(&self) -> u64;
 }
+
+/// FNV-1a over a name and parameter list — the [`Sampler::shape_key`]
+/// convention shared by all built-in samplers.
+pub fn shape_key_of(name: &str, params: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in name.bytes() {
+        eat(b);
+    }
+    for &p in params {
+        for b in p.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+macro_rules! deref_sampler {
+    ($($ty:ty),+) => {$(
+        impl<S: Sampler + ?Sized> Sampler for $ty {
+            fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
+                (**self).sample(g, seeds, rng)
+            }
+            fn name(&self) -> &'static str {
+                (**self).name()
+            }
+            fn shape_key(&self) -> u64 {
+                (**self).shape_key()
+            }
+        }
+    )+};
+}
+
+deref_sampler!(&S, Box<S>, std::sync::Arc<S>);
 
 /// GraphSAGE-style uniform sampling (detector+): expand each hop by at most
 /// `per_hop` uniformly-chosen *new* neighbours per node, `k_hops` times.
@@ -75,6 +123,10 @@ impl Sampler for SageSampler {
 
     fn name(&self) -> &'static str {
         "graphsage"
+    }
+
+    fn shape_key(&self) -> u64 {
+        shape_key_of(self.name(), &[self.k_hops as u64, self.per_hop as u64])
     }
 }
 
@@ -179,6 +231,13 @@ impl Sampler for HgSampler {
     fn name(&self) -> &'static str {
         "hgsampling"
     }
+
+    fn shape_key(&self) -> u64 {
+        shape_key_of(
+            self.name(),
+            &[self.steps as u64, self.width_per_seed as u64],
+        )
+    }
 }
 
 /// No sampling at all: the batch is the full graph. Used by the explainer
@@ -194,6 +253,68 @@ impl Sampler for FullGraphSampler {
 
     fn name(&self) -> &'static str {
         "full"
+    }
+
+    fn shape_key(&self) -> u64 {
+        shape_key_of(self.name(), &[])
+    }
+}
+
+/// The serving/explainer subgraph recipe: each seed's entire connected
+/// community in deterministic BFS (edge) order, truncated at `max_nodes`
+/// collected nodes per seed. RNG-free — the same seed always yields the
+/// same subgraph — which is what makes cached ego-subgraphs legal in the
+/// online scoring path: `Pipeline::score_transaction` and the
+/// `ScoringEngine` both run on this sampler, so one cached batch serves
+/// both bit-identically.
+#[derive(Debug, Clone)]
+pub struct CommunitySampler {
+    /// BFS truncation bound per seed (guards against pathological giant
+    /// components, like `community_of`'s cap).
+    pub max_nodes: usize,
+}
+
+impl CommunitySampler {
+    pub fn new(max_nodes: usize) -> Self {
+        CommunitySampler { max_nodes }
+    }
+}
+
+impl Sampler for CommunitySampler {
+    fn sample(&self, g: &HetGraph, seeds: &[NodeId], _rng: &mut StdRng) -> SubgraphBatch {
+        let mut in_set = vec![false; g.n_nodes()];
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            if in_set[s] {
+                continue;
+            }
+            in_set[s] = true;
+            nodes.push(s);
+            let start = nodes.len() - 1;
+            let mut cursor = start;
+            while cursor < nodes.len() && nodes.len() - start < self.max_nodes {
+                let v = nodes[cursor];
+                cursor += 1;
+                for u in g.neighbors(v) {
+                    if !in_set[u] {
+                        in_set[u] = true;
+                        nodes.push(u);
+                        if nodes.len() - start >= self.max_nodes {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        SubgraphBatch::from_nodes(g, &nodes, seeds)
+    }
+
+    fn name(&self) -> &'static str {
+        "community"
+    }
+
+    fn shape_key(&self) -> u64 {
+        shape_key_of(self.name(), &[self.max_nodes as u64])
     }
 }
 
@@ -302,6 +423,55 @@ mod tests {
                 assert!(batch.global_ids.contains(&e), "seed {seed} missed node {e}");
             }
         }
+    }
+
+    #[test]
+    fn community_sampler_is_rng_free_and_bounded() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 3);
+        let a = CommunitySampler::new(64).sample(&g, &seeds, &mut StdRng::seed_from_u64(1));
+        let b = CommunitySampler::new(64).sample(&g, &seeds, &mut StdRng::seed_from_u64(999));
+        assert_eq!(a.global_ids, b.global_ids, "RNG must not matter");
+        assert!(a.validate());
+        assert!(a.n_nodes() <= 64 * seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            assert_eq!(a.global_ids[a.targets[i]], seed);
+        }
+    }
+
+    #[test]
+    fn shape_keys_separate_samplers_and_parameters() {
+        let keys = [
+            SageSampler::new(2, 8).shape_key(),
+            SageSampler::new(2, 4).shape_key(),
+            SageSampler::new(3, 8).shape_key(),
+            HgSampler::new(2, 8).shape_key(),
+            FullGraphSampler.shape_key(),
+            CommunitySampler::new(4000).shape_key(),
+            CommunitySampler::new(400).shape_key(),
+        ];
+        let mut uniq = keys.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "keys collide: {keys:?}");
+        // Equal configuration ⇒ equal key, also through a trait object.
+        let s = SageSampler::new(2, 8);
+        let dy: &dyn Sampler = &s;
+        assert_eq!(dy.shape_key(), SageSampler::new(2, 8).shape_key());
+    }
+
+    #[test]
+    fn samplers_work_as_trait_objects() {
+        let g = graph();
+        let seeds = fraud_seeds(&g, 4);
+        let boxed: Box<dyn Sampler + Send + Sync> = Box::new(SageSampler::new(2, 4));
+        let direct = SageSampler::new(2, 4).sample(&g, &seeds, &mut StdRng::seed_from_u64(5));
+        let via_box = boxed.sample(&g, &seeds, &mut StdRng::seed_from_u64(5));
+        assert_eq!(direct.global_ids, via_box.global_ids);
+        assert_eq!(boxed.name(), "graphsage");
+        let arc: std::sync::Arc<dyn Sampler + Send + Sync> = std::sync::Arc::new(FullGraphSampler);
+        let via_arc = arc.sample(&g, &seeds, &mut StdRng::seed_from_u64(5));
+        assert_eq!(via_arc.n_nodes(), g.n_nodes());
     }
 
     #[test]

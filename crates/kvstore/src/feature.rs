@@ -51,12 +51,23 @@ impl FeatureStore {
     /// Fetches one node's features (zeros if absent — entity nodes are
     /// featureless in the paper's pipeline).
     pub fn get_features(&self, node: usize) -> Vec<f32> {
+        let mut row = vec![0.0; self.dim];
+        self.fill_row(node, &mut row);
+        row
+    }
+
+    /// Overwrites `out` in place with one node's stored features (zeros if
+    /// absent) — the serving path's per-row rehydration, avoiding the
+    /// per-call allocation of [`FeatureStore::get_features`].
+    pub fn fill_row(&self, node: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "feature length mismatch");
         match self.store.get(&Self::key(node)) {
-            Some(bytes) => bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect(),
-            None => vec![0.0; self.dim],
+            Some(bytes) => {
+                for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                }
+            }
+            None => out.fill(0.0),
         }
     }
 
@@ -64,8 +75,7 @@ impl FeatureStore {
     pub fn load_batch(&self, ids: &[usize]) -> Tensor {
         let mut out = Tensor::zeros(ids.len(), self.dim);
         for (r, &id) in ids.iter().enumerate() {
-            let row = self.get_features(id);
-            out.row_mut(r).copy_from_slice(&row);
+            self.fill_row(id, out.row_mut(r));
         }
         out
     }
@@ -115,6 +125,17 @@ mod tests {
         let batch = fs.load_batch(&[12, 10]);
         assert_eq!(batch.row(0), &[5.0, 6.0]);
         assert_eq!(batch.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_row_overwrites_stale_contents() {
+        let fs = FeatureStore::new(Arc::new(ShardedStore::new(2)), 3);
+        fs.put_features(1, &[9.0, 8.0, 7.0]);
+        let mut row = [1.0f32, 2.0, 3.0];
+        fs.fill_row(1, &mut row);
+        assert_eq!(row, [9.0, 8.0, 7.0]);
+        fs.fill_row(2, &mut row); // absent → zeros, not leftovers
+        assert_eq!(row, [0.0, 0.0, 0.0]);
     }
 
     #[test]

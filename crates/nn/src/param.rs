@@ -23,6 +23,7 @@ impl ParamId {
     }
 }
 
+#[derive(Clone)]
 struct Entry {
     name: String,
     value: Tensor,
@@ -37,6 +38,12 @@ struct Entry {
 /// Parameters persist across steps; each step re-binds them onto a fresh
 /// tape through a [`Session`]. This is the "parameters live outside the
 /// tape" design the tensor crate documents.
+///
+/// A clone keeps the original's `uid`, so [`ParamId`]s minted by the
+/// original resolve against the clone — cloning a model yields an
+/// independent, fully functional replica (the serving path freezes such a
+/// replica).
+#[derive(Clone)]
 pub struct ParamStore {
     uid: u64,
     entries: Vec<Entry>,

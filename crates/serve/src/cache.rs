@@ -1,0 +1,309 @@
+//! Sharded LRU cache for serving-side artefacts (sampled ego-subgraphs,
+//! memoised scores).
+//!
+//! Sampling dominates per-transaction scoring cost on sparse transaction
+//! graphs (Fig. 10 — the entire reason detector+ exists), so the serving
+//! engine amortises it: the ego-subgraph of a node is a pure function of
+//! `(node, sampler shape, graph version, serving seed)`, which makes it
+//! safe to cache and share across requests. Keys carry the shape and
+//! version explicitly so a sampler swap or a graph update can never serve a
+//! stale subgraph.
+//!
+//! Each shard is an independent `Mutex<LruShard>` with an O(1)
+//! doubly-linked LRU list over a slab, so concurrent callers touching
+//! different nodes rarely contend — the same lock-striping discipline as
+//! `xfraud_kvstore::ShardedStore`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Identity of one cached artefact: which node, under which sampler shape
+/// (see `Sampler::shape_key`), at which graph version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub node: usize,
+    pub shape: u64,
+    pub version: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot<V> {
+    key: CacheKey,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an O(1) LRU over a slab of slots.
+struct LruShard<V> {
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<V> LruShard<V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, value: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.touch(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "full shard has a tail");
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+        }
+        let slot = Slot {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn remove_where(&mut self, pred: impl Fn(&CacheKey) -> bool) -> usize {
+        let doomed: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for &i in &doomed {
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.free.push(i);
+        }
+        doomed.len()
+    }
+}
+
+/// The sharded cache. `V` is cheap to clone — the engine stores
+/// `Arc<SubgraphBatch>` (subgraph tier) and `f32` (score tier).
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<LruShard<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// `capacity` is the total entry budget, split evenly across `shards`.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// All of one node's entries land in one shard (any shape / version),
+    /// so invalidating a node scans a single shard.
+    fn shard_of(&self, node: usize) -> &Mutex<LruShard<V>> {
+        let mut z = (node as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        &self.shards[(z % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, bumping it to most-recently-used and counting the
+    /// hit/miss.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let mut shard = self.shard_of(key.node).lock();
+        if let Some(&i) = shard.map.get(key) {
+            shard.touch(i);
+            let v = shard.slots[i].value.clone();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(v)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    pub fn insert(&self, key: CacheKey, value: V) {
+        self.shard_of(key.node).lock().insert(key, value);
+    }
+
+    /// Drops every entry for `node`, across all shapes and versions — the
+    /// incremental-update hook for "this node's neighbourhood changed".
+    /// Returns the number of entries removed.
+    pub fn invalidate_node(&self, node: usize) -> usize {
+        self.shard_of(node).lock().remove_where(|k| k.node == node)
+    }
+
+    /// Drops everything — the hook for "the whole graph moved on".
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().remove_where(|_| true);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(node: usize) -> CacheKey {
+        CacheKey {
+            node,
+            shape: 7,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn get_after_insert_roundtrips_and_counts() {
+        let c: ShardedLru<u32> = ShardedLru::new(8, 2);
+        assert_eq!(c.get(&key(1)), None);
+        c.insert(key(1), 10);
+        assert_eq!(c.get(&key(1)), Some(10));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        c.insert(key(1), 11); // overwrite, no growth
+        assert_eq!(c.get(&key(1)), Some(11));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let c: ShardedLru<usize> = ShardedLru::new(3, 1);
+        for n in 0..3 {
+            c.insert(key(n), n);
+        }
+        let _ = c.get(&key(0)); // 0 is now MRU; 1 is LRU
+        c.insert(key(3), 3);
+        assert_eq!(c.get(&key(1)), None, "LRU entry evicted");
+        for n in [0usize, 2, 3] {
+            assert_eq!(c.get(&key(n)), Some(n), "entry {n} survives");
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn eviction_churn_stays_consistent() {
+        let c: ShardedLru<usize> = ShardedLru::new(16, 4);
+        for round in 0..10 {
+            for n in 0..64 {
+                c.insert(key(n), n + round);
+            }
+        }
+        assert!(c.len() <= 16);
+        // Whatever survived must read back with the latest value.
+        for n in 0..64 {
+            if let Some(v) = c.get(&key(n)) {
+                assert_eq!(v, n + 9);
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_node_removes_every_shape_and_version() {
+        let c: ShardedLru<u8> = ShardedLru::new(16, 4);
+        for shape in [1u64, 2] {
+            for version in [0u64, 1] {
+                c.insert(
+                    CacheKey {
+                        node: 5,
+                        shape,
+                        version,
+                    },
+                    1,
+                );
+            }
+        }
+        c.insert(key(6), 2);
+        assert_eq!(c.invalidate_node(5), 4);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(6)), Some(2));
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let c: ShardedLru<u8> = ShardedLru::new(32, 8);
+        for n in 0..20 {
+            c.insert(key(n), 0);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(key(3), 9); // still usable after clear
+        assert_eq!(c.get(&key(3)), Some(9));
+    }
+}

@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Typed serving failures. Every user-controllable input that used to panic
+/// somewhere in the scoring path maps onto one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The engine's worker thread is gone (the engine was dropped while a
+    /// request was in flight).
+    Shutdown,
+    /// A scored id does not exist in the graph.
+    UnknownNode(usize),
+    /// A scored id exists but is an entity, not a transaction.
+    NotATransaction(usize),
+    /// An engine builder setting is out of range.
+    InvalidConfig(String),
+    /// A swapped-in detector does not fit the graph it would serve.
+    DetectorMismatch {
+        detector_dim: usize,
+        graph_dim: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Shutdown => write!(f, "scoring engine is shut down"),
+            ServeError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            ServeError::NotATransaction(id) => {
+                write!(f, "node {id} is not a transaction and cannot be scored")
+            }
+            ServeError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
+            ServeError::DetectorMismatch {
+                detector_dim,
+                graph_dim,
+            } => write!(
+                f,
+                "detector expects {detector_dim} input features but the graph has {graph_dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

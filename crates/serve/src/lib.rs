@@ -1,0 +1,40 @@
+//! # xfraud-serve — the online scoring engine
+//!
+//! The serving half of xFraud's production story: a trained
+//! [`XFraudDetector`](xfraud_gnn::XFraudDetector) frozen behind a
+//! [`ScoringEngine`] that answers concurrent `score(txn_ids)` calls with
+//! micro-batching, duplicate-id coalescing and a two-tier sharded LRU cache
+//! (sampled ego-subgraphs + memoised scores), while staying **bit-identical**
+//! to the sequential reference [`score_one`] — and therefore to
+//! `Pipeline::score_transaction` — for any concurrency, batch size or cache
+//! configuration.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use xfraud_serve::ScoringEngine;
+//! use xfraud_gnn::{CommunitySampler, DetectorConfig, XFraudDetector};
+//! # let graph: xfraud_hetgraph::HetGraph = unimplemented!();
+//! let detector = XFraudDetector::new(DetectorConfig::small(graph.feature_dim(), 0));
+//! let engine = ScoringEngine::builder(detector, graph, Box::new(CommunitySampler::new(4000)))
+//!     .max_batch(64)
+//!     .seed(7)
+//!     .build()?;
+//! let scores = engine.score(&[12, 34])?;
+//! println!("{}", engine.metrics());
+//! # Ok::<(), xfraud_serve::ServeError>(())
+//! ```
+//!
+//! Operational hooks for the incremental path:
+//! [`ScoringEngine::swap_detector`] (weights refreshed, subgraph cache
+//! survives), [`ScoringEngine::invalidate_transaction`] (one neighbourhood
+//! changed) and [`ScoringEngine::bump_graph_version`] (new graph snapshot).
+
+mod cache;
+mod engine;
+mod error;
+mod metrics;
+
+pub use cache::{CacheKey, ShardedLru};
+pub use engine::{preload_features, score_one, ScoringEngine, ScoringEngineBuilder, ServeConfig};
+pub use error::ServeError;
+pub use metrics::{MetricsSnapshot, ServeMetrics};

@@ -15,15 +15,10 @@ use xfraud::metrics::{confusion_at, precision_at_base_rate, roc_auc};
 use xfraud::rules::{MinerConfig, RuleMiner};
 use xfraud::{Pipeline, PipelineConfig};
 
-fn main() {
+fn main() -> Result<(), xfraud::Error> {
     println!("training detector+ ...");
-    let pipeline = Pipeline::run(PipelineConfig {
-        train: TrainConfig {
-            epochs: 6,
-            ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
-    });
+    let cfg = PipelineConfig::builder().epochs(6).build()?;
+    let pipeline = Pipeline::run(cfg)?;
     let g = &pipeline.dataset.graph;
 
     // Stage 1: mine the platform rules on the training stream.
@@ -97,4 +92,5 @@ fn main() {
     println!("\nThe two stages compose exactly like the paper's production pipeline:");
     println!("rules concentrate the stream cheaply, the GNN spends its capacity on the");
     println!("survivors, and Appendix-H.4 maps precision back to the raw fraud rate.");
+    Ok(())
 }

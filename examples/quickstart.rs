@@ -8,19 +8,14 @@
 //! Run: `cargo run --release -p xfraud-examples --bin quickstart`
 
 use xfraud::explain::{ExplainerConfig, GnnExplainer};
-use xfraud::gnn::TrainConfig;
 use xfraud::{Pipeline, PipelineConfig};
 
-fn main() {
-    // 1 + 2: dataset, split and training are one call.
+fn main() -> Result<(), xfraud::Error> {
+    // 1 + 2: dataset, split and training are one call; the builder
+    // validates the settings before anything expensive runs.
     println!("training xFraud detector+ on ebay-small-sim ...");
-    let pipeline = Pipeline::run(PipelineConfig {
-        train: TrainConfig {
-            epochs: 6,
-            ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
-    });
+    let cfg = PipelineConfig::builder().epochs(6).build()?;
+    let pipeline = Pipeline::run(cfg)?;
     for e in &pipeline.history {
         println!(
             "  epoch {:>2}  loss {:.4}  val AUC {:.4}  ({:.1}s)",
@@ -43,8 +38,7 @@ fn main() {
     let txn = pipeline.test_nodes[best_idx];
     println!("\nexplaining transaction {txn} (fraud score {best_score:.3}) ...");
 
-    let community = xfraud::hetgraph::community_of(&pipeline.dataset.graph, txn, 400)
-        .expect("valid transaction");
+    let community = xfraud::hetgraph::community_of(&pipeline.dataset.graph, txn, 400)?;
     let explainer = GnnExplainer::new(&pipeline.detector, ExplainerConfig::default());
     let (explanation, weights) = explainer.explain_community(&community);
 
@@ -75,4 +69,5 @@ fn main() {
             w
         );
     }
+    Ok(())
 }

@@ -4,7 +4,7 @@
 
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::explain::{ExplainerConfig, GnnExplainer};
-use xfraud::gnn::{Model, TrainConfig};
+use xfraud::gnn::Model;
 use xfraud::hetgraph::GraphStats;
 use xfraud::{Pipeline, PipelineConfig};
 
@@ -21,15 +21,14 @@ fn datasets_are_bit_identical_per_seed() {
 
 #[test]
 fn trained_pipelines_are_reproducible() {
-    let cfg = || PipelineConfig {
-        train: TrainConfig {
-            epochs: 2,
-            ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
+    let cfg = || {
+        PipelineConfig::builder()
+            .epochs(2)
+            .build()
+            .expect("valid config")
     };
-    let p1 = Pipeline::run(cfg());
-    let p2 = Pipeline::run(cfg());
+    let p1 = Pipeline::run(cfg()).expect("pipeline trains");
+    let p2 = Pipeline::run(cfg()).expect("pipeline trains");
     assert_eq!(
         p1.detector.store().max_param_diff(p2.detector.store()),
         0.0,
@@ -42,14 +41,14 @@ fn trained_pipelines_are_reproducible() {
 
 #[test]
 fn explanations_are_reproducible() {
-    let p = Pipeline::run(PipelineConfig {
-        train: TrainConfig {
-            epochs: 2,
-            ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
-    });
-    let comms = p.sample_communities(1, 8, 200, 9);
+    let cfg = PipelineConfig::builder()
+        .epochs(2)
+        .build()
+        .expect("valid config");
+    let p = Pipeline::run(cfg).expect("pipeline trains");
+    let comms = p
+        .sample_communities(1, 8, 200, 9)
+        .expect("sampling succeeds");
     let community = &comms[0];
     let cfg = ExplainerConfig {
         epochs: 15,

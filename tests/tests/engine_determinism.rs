@@ -10,14 +10,15 @@ use xfraud::{Pipeline, PipelineConfig};
 #[test]
 fn pipeline_is_bit_identical_across_worker_counts() {
     let run = |workers: usize| {
-        Pipeline::run(PipelineConfig {
-            train: TrainConfig {
+        let cfg = PipelineConfig::builder()
+            .train(TrainConfig {
                 epochs: 2,
                 num_workers: workers,
                 ..TrainConfig::default()
-            },
-            ..PipelineConfig::default()
-        })
+            })
+            .build()
+            .expect("valid config");
+        Pipeline::run(cfg).expect("pipeline trains")
     };
     let base = run(1);
     let (base_scores, base_labels) = base.test_scores();

@@ -11,13 +11,14 @@ use xfraud::study::{CommunityStudy, StudyConfig};
 use xfraud::{Pipeline, PipelineConfig};
 
 fn quick_pipeline() -> Pipeline {
-    Pipeline::run(PipelineConfig {
-        train: TrainConfig {
+    let cfg = PipelineConfig::builder()
+        .train(TrainConfig {
             epochs: 5,
             ..TrainConfig::default()
-        },
-        ..PipelineConfig::default()
-    })
+        })
+        .build()
+        .expect("valid config");
+    Pipeline::run(cfg).expect("pipeline trains")
 }
 
 #[test]

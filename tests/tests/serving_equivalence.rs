@@ -1,0 +1,130 @@
+//! The serving engine's headline guarantee, asserted end-to-end as a
+//! property: **for any number of concurrent callers, any micro-batch size
+//! and any cache configuration, `ScoringEngine::score` returns exactly the
+//! bits of the sequential `Pipeline::score_transaction`.**
+//!
+//! One pipeline is trained once and shared; each generated case builds an
+//! engine with random knobs, hammers it from random concurrent request
+//! streams, and compares every returned score against the sequential
+//! reference.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use xfraud::hetgraph::{NodeId, NodeType};
+use xfraud::serve::ServeError;
+use xfraud::{Error, Pipeline, PipelineConfig};
+
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let cfg = PipelineConfig::builder()
+            .epochs(2)
+            .build()
+            .expect("valid config");
+        Pipeline::run(cfg).expect("pipeline trains")
+    })
+}
+
+/// The hot pool the random streams draw from, with the sequential
+/// reference score of each — computed once.
+fn reference() -> &'static (Vec<NodeId>, HashMap<NodeId, f32>) {
+    static REF: OnceLock<(Vec<NodeId>, HashMap<NodeId, f32>)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let p = pipeline();
+        let pool: Vec<NodeId> = p.test_nodes.iter().copied().take(10).collect();
+        let scores = pool
+            .iter()
+            .map(|&t| (t, p.score_transaction(t).expect("valid txn")))
+            .collect();
+        (pool, scores)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random concurrency × batching × caching ⇒ bit-identical scores.
+    #[test]
+    fn engine_equals_sequential_scoring(
+        callers in 1usize..5,
+        max_batch in 1usize..32,
+        cache_on in any::<bool>(),
+        stream in prop::collection::vec(0usize..10, 1..10),
+    ) {
+        let (pool, expected) = reference();
+        let mut builder = pipeline().serving_engine().max_batch(max_batch);
+        if !cache_on {
+            builder = builder.no_cache();
+        }
+        let engine = builder.build().expect("engine builds");
+
+        std::thread::scope(|scope| {
+            for caller in 0..callers {
+                let engine = &engine;
+                let stream = &stream;
+                scope.spawn(move || {
+                    // Each caller rotates the shared stream differently, so
+                    // streams overlap (duplicate pressure) without being
+                    // identical; two passes exercise hit and miss paths.
+                    let ids: Vec<NodeId> = stream
+                        .iter()
+                        .map(|&i| pool[(i + caller) % pool.len()])
+                        .collect();
+                    for pass in 0..2 {
+                        let got = engine.score(&ids).expect("valid txns");
+                        for (&t, &s) in ids.iter().zip(&got) {
+                            assert_eq!(
+                                s, expected[&t],
+                                "caller {caller} pass {pass} txn {t}: engine diverged \
+                                 (callers={callers} max_batch={max_batch} cache={cache_on})"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn invalidation_and_version_bumps_preserve_equivalence() {
+    let (pool, expected) = reference();
+    let engine = pipeline().serving_engine().build().expect("engine builds");
+    engine.score(pool).expect("warm-up");
+    engine.invalidate_transaction(pool[0]);
+    engine.bump_graph_version();
+    // The community sampler is RNG-free, so a version bump (which re-keys
+    // the sampling streams) still reproduces the same subgraphs — scores
+    // must stay equal to the sequential reference.
+    let rescored = engine.score(pool).expect("valid txns");
+    for (&t, &s) in pool.iter().zip(&rescored) {
+        assert_eq!(s, expected[&t], "txn {t} after invalidation + version bump");
+    }
+}
+
+#[test]
+fn engine_and_pipeline_agree_on_error_cases() {
+    let p = pipeline();
+    let engine = p.serving_engine().build().expect("engine builds");
+    let bogus = p.dataset.graph.n_nodes() + 7;
+    assert_eq!(engine.score(&[bogus]), Err(ServeError::UnknownNode(bogus)));
+    assert_eq!(
+        p.score_transaction(bogus),
+        Err(Error::UnknownTransaction(bogus))
+    );
+
+    let entity = (0..p.dataset.graph.n_nodes())
+        .find(|&v| p.dataset.graph.node_type(v) != NodeType::Txn)
+        .expect("graph has entities");
+    assert_eq!(
+        engine.score(&[entity]),
+        Err(ServeError::NotATransaction(entity))
+    );
+    assert_eq!(
+        p.score_transaction(entity),
+        Err(Error::NotATransaction(entity))
+    );
+}
