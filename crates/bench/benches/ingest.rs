@@ -1,0 +1,182 @@
+//! Criterion: streaming ingestion — WAL append throughput, delta-overlay
+//! event application, and score-on-arrival latency at several overlay
+//! sizes.
+//!
+//! Three questions, one arm each:
+//!
+//! * `wal_append_sync` — how fast can the sharded WAL make a burst of
+//!   [`GraphEvent`]s durable (fresh log per iteration, fsync at the end)?
+//! * `delta_apply` — how fast does [`DeltaGraph`] absorb the same burst
+//!   in memory (fresh overlay over a shared immutable base per iteration)?
+//! * `score_on_arrival/overlay_N` — what does one cache-cold scoring cost
+//!   once the live overlay has grown to N events? The engine runs with
+//!   both cache tiers off, so every score pays the full community sample
+//!   plus forward pass — the honest per-arrival latency, not a cache hit.
+//!   Growth in this number with N is the price of the overlay's hash-map
+//!   adjacency versus the base's CSR, and the reason `compact()` exists.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xfraud::datagen::{event_stream, flatten_events, generate_log};
+use xfraud::hetgraph::{GraphEvent, NodeId};
+use xfraud::ingest::{replay_dir, DeltaGraph, ShardedWal};
+use xfraud::serve::ScoringEngine;
+use xfraud::{Pipeline, PipelineConfig};
+
+/// Overlay sizes (in applied graph events) at which scoring is probed.
+const OVERLAY_SIZES: [usize; 3] = [0, 500, 2000];
+const WAL_SHARDS: usize = 4;
+const SCORE_POOL: usize = 8;
+
+fn unique_wal_dir() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "xfraud-bench-ingest-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Applies arrivals through the engine until at least `target` events have
+/// landed, returning the applied event count and the freshest transaction
+/// ids to score (the arrivals a serving deployment would be asked about).
+fn grow_overlay(
+    engine: &ScoringEngine,
+    arrivals: &[xfraud::datagen::TxnArrival],
+    target: usize,
+) -> (usize, Vec<NodeId>) {
+    let mut applied = 0;
+    let mut txns = Vec::new();
+    for arrival in arrivals {
+        if applied >= target {
+            break;
+        }
+        engine
+            .apply_events(&arrival.events)
+            .expect("stream events apply cleanly");
+        applied += arrival.events.len();
+        txns.push(arrival.txn_node);
+    }
+    assert!(
+        applied >= target,
+        "world too small: {applied} events available, {target} wanted"
+    );
+    let pool = txns.iter().rev().take(SCORE_POOL).copied().collect();
+    (applied, pool)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let cfg = PipelineConfig::builder()
+        .epochs(2)
+        .build()
+        .expect("valid config");
+    let pipeline = Pipeline::run(cfg).expect("pipeline trains");
+    let base_nodes = pipeline.dataset.graph.n_nodes();
+
+    // A second world from a shifted seed plays the role of tomorrow's
+    // traffic arriving on the stream.
+    let wcfg = pipeline
+        .cfg
+        .preset
+        .config(pipeline.cfg.data_seed.wrapping_add(101));
+    let world = generate_log(&wcfg);
+    let arrivals = event_stream(&world, &wcfg, base_nodes);
+    let events: Vec<GraphEvent> = flatten_events(&arrivals);
+    println!(
+        "{} arriving txns ({} graph events) onto a {base_nodes}-node base",
+        arrivals.len(),
+        events.len()
+    );
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+
+    // Durability cost: one fresh sharded log per iteration, every event
+    // appended, then a single fsync pass over all shards.
+    group.bench_function(&format!("wal_append_sync_{}", events.len()), |b| {
+        b.iter(|| {
+            let dir = unique_wal_dir();
+            let wal = ShardedWal::create(&dir, WAL_SHARDS).expect("wal creates");
+            for e in &events {
+                wal.append(e).expect("append succeeds");
+            }
+            wal.sync().expect("sync succeeds");
+            drop(wal);
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        })
+    });
+    // Sanity outside the timed loop: a full replay round-trips the stream.
+    {
+        let dir = unique_wal_dir();
+        let wal = ShardedWal::create(&dir, WAL_SHARDS).expect("wal creates");
+        for e in &events {
+            wal.append(e).expect("append succeeds");
+        }
+        wal.sync().expect("sync succeeds");
+        drop(wal);
+        let replay = replay_dir(&dir, None).expect("replay succeeds");
+        assert_eq!(replay.events, events, "WAL replay must round-trip");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    // Pure in-memory absorption: fresh overlay on the shared base.
+    let base = std::sync::Arc::new(pipeline.dataset.graph.clone());
+    group.bench_function(&format!("delta_apply_{}", events.len()), |b| {
+        b.iter(|| {
+            let mut delta = DeltaGraph::new(std::sync::Arc::clone(&base));
+            for e in &events {
+                criterion::black_box(delta.apply(e).expect("event applies"));
+            }
+            delta
+        })
+    });
+
+    for target in OVERLAY_SIZES {
+        let engine: ScoringEngine = pipeline
+            .serving_engine()
+            .no_cache()
+            .build()
+            .expect("engine builds");
+        let (applied, pool) = if target == 0 {
+            let pool = pipeline
+                .test_nodes
+                .iter()
+                .copied()
+                .take(SCORE_POOL)
+                .collect();
+            (0, pool)
+        } else {
+            grow_overlay(&engine, &arrivals, target)
+        };
+        group.bench_function(&format!("score_on_arrival/overlay_{applied}"), |b| {
+            b.iter(|| {
+                for &t in &pool {
+                    criterion::black_box(engine.score(&[t]).expect("scores"));
+                }
+            })
+        });
+        let (on, oe) = engine.overlay_stats();
+        println!(
+            "overlay_{applied}: {SCORE_POOL} scorings per iteration, \
+             overlay holds {on} nodes / {oe} directed edges"
+        );
+    }
+    group.finish();
+}
+
+/// Short windows: single-core host, per-iteration cost far above timer
+/// resolution (same policy as the serving bench).
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(2000))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -8,7 +8,7 @@ struct NoEdges(SageSampler);
 impl Sampler for NoEdges {
     fn sample(
         &self,
-        g: &xfraud::hetgraph::HetGraph,
+        g: &dyn xfraud::hetgraph::GraphView,
         seeds: &[usize],
         rng: &mut StdRng,
     ) -> SubgraphBatch {

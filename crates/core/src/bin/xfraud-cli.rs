@@ -13,7 +13,12 @@
 //! `serve-bench` trains a pipeline, freezes it behind a
 //! [`xfraud::serve::ScoringEngine`] and hammers it from `--callers`
 //! concurrent threads, reporting throughput against the sequential
-//! no-engine baseline plus the engine's own metrics snapshot.
+//! no-engine baseline plus the engine's own metrics snapshot;
+//! `stream-bench` streams a fresh transaction log into the live engine —
+//! every arrival is WAL-appended, applied as graph events and scored the
+//! moment it lands — reporting WAL/ingest throughput (events/s) and
+//! score-on-arrival p50/p99 latency, then verifies compaction leaves
+//! scores bit-identical.
 //!
 //! Pipeline failures (bad flags, out-of-range config, unknown ids) print a
 //! one-line diagnostic and exit non-zero — no panics, no backtraces.
@@ -42,6 +47,10 @@ struct Args {
     batch: usize,
     /// serve-bench: disable both cache tiers (the cold baseline).
     no_cache: bool,
+    /// stream-bench: transactions streamed into the live graph.
+    stream_txns: usize,
+    /// stream-bench: WAL shard count.
+    wal_shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         requests: 40,
         batch: 8,
         no_cache: false,
+        stream_txns: 300,
+        wal_shards: 4,
     };
     while let Some(flag) = args.next() {
         if flag == "--no-cache" {
@@ -81,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
             "--callers" => parsed.callers = value()?.parse().map_err(|e| format!("{e}"))?,
             "--requests" => parsed.requests = value()?.parse().map_err(|e| format!("{e}"))?,
             "--batch" => parsed.batch = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--stream-txns" => parsed.stream_txns = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--wal-shards" => parsed.wal_shards = value()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -88,9 +101,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: xfraud-cli <train|explain|stats|serve-bench> [--preset small|large|xlarge] \
-     [--epochs N] [--seed S] [--top K] [--workers W] \
-     [--callers C] [--requests R] [--batch B] [--no-cache]"
+    "usage: xfraud-cli <train|explain|stats|serve-bench|stream-bench> \
+     [--preset small|large|xlarge] [--epochs N] [--seed S] [--top K] [--workers W] \
+     [--callers C] [--requests R] [--batch B] [--no-cache] \
+     [--stream-txns T] [--wal-shards K]"
         .to_string()
 }
 
@@ -195,6 +209,82 @@ fn serve_bench(args: &Args) -> Result<(), xfraud::Error> {
     Ok(())
 }
 
+/// `sorted` ascending; `p` in `[0, 1]` (nearest-rank on the closed index).
+fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
+    let idx = ((sorted.len().saturating_sub(1)) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn stream_bench(args: &Args) -> Result<(), xfraud::Error> {
+    use xfraud::datagen::{event_stream, flatten_events, generate_log};
+    use xfraud::ingest::{replay_dir, ShardedWal};
+
+    let pipeline = train_pipeline(args)?;
+    let engine = pipeline.serving_engine().build()?;
+    let base_nodes = engine.n_nodes();
+
+    // A fresh week of traffic: same world shape, different seed, entity ids
+    // disjoint from the base graph (they continue its id space).
+    let wcfg = args.preset.config(args.seed.wrapping_add(101));
+    let world = generate_log(&wcfg);
+    let mut arrivals = event_stream(&world, &wcfg, base_nodes);
+    arrivals.truncate(args.stream_txns);
+    let events = flatten_events(&arrivals);
+    println!(
+        "stream-bench: {} arriving txns ({} graph events) onto a {}-node base, {} WAL shards",
+        arrivals.len(),
+        events.len(),
+        base_nodes,
+        args.wal_shards
+    );
+
+    // Phase 1: WAL append throughput (durability path only).
+    let wal_dir = std::env::temp_dir().join(format!("xfraud-stream-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal = ShardedWal::create(&wal_dir, args.wal_shards)?;
+    let started = Instant::now();
+    for e in &events {
+        wal.append(e)?;
+    }
+    wal.sync()?;
+    let wal_rate = events.len() as f64 / started.elapsed().as_secs_f64();
+    println!("wal append: {wal_rate:.0} events/s");
+    let replay = replay_dir(&wal_dir, None)?;
+    assert_eq!(replay.events.len(), events.len(), "wal must replay in full");
+
+    // Phase 2: ingest + score-on-arrival. Each arrival is applied to the
+    // live graph and its transaction scored immediately.
+    let mut latencies = Vec::with_capacity(arrivals.len());
+    let started = Instant::now();
+    for arrival in &arrivals {
+        let t0 = Instant::now();
+        let new_txns = engine.apply_events(&arrival.events)?;
+        engine.score_txn(new_txns[0])?;
+        latencies.push(t0.elapsed());
+    }
+    let ingest_rate = events.len() as f64 / started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let (p50, p99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+    let (ov_nodes, ov_edges) = engine.overlay_stats();
+    println!(
+        "ingest+score: {ingest_rate:.0} events/s  score-on-arrival p50 {:.2} ms  p99 {:.2} ms",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3
+    );
+    println!("overlay grew to {ov_nodes} nodes / {ov_edges} directed edges");
+
+    // Phase 3: compaction is invisible to scores (the overlay contract).
+    let probe = arrivals.last().expect("non-empty stream").txn_node;
+    let before = engine.score_txn(probe)?;
+    engine.compact()?;
+    let after = engine.score_txn(probe)?;
+    assert_eq!(before, after, "compaction must not move scores");
+    println!("compacted: overlay folded, scores bit-identical");
+    println!("{}", engine.metrics());
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    Ok(())
+}
+
 fn real_main(args: &Args) -> Result<(), xfraud::Error> {
     match args.command.as_str() {
         "stats" => {
@@ -202,6 +292,7 @@ fn real_main(args: &Args) -> Result<(), xfraud::Error> {
             println!("{}:\n{}", ds.name, ds.stats());
         }
         "serve-bench" => serve_bench(args)?,
+        "stream-bench" => stream_bench(args)?,
         "train" | "explain" => {
             let pipeline = train_pipeline(args)?;
             for e in &pipeline.history {

@@ -8,6 +8,7 @@
 use std::fmt;
 
 use xfraud_hetgraph::GraphError;
+use xfraud_ingest::IngestError;
 use xfraud_serve::ServeError;
 
 /// A [`PipelineConfig`](crate::PipelineConfig) setting out of range,
@@ -67,6 +68,10 @@ pub enum Error {
     UnknownTransaction(usize),
     /// A node id that exists but is an entity, not a transaction.
     NotATransaction(usize),
+    /// A streaming-ingestion (WAL) failure, rendered to one line — the
+    /// underlying `IngestError` wraps `std::io::Error`, which is neither
+    /// `Clone` nor `PartialEq`.
+    Ingest(String),
 }
 
 impl fmt::Display for Error {
@@ -84,6 +89,7 @@ impl fmt::Display for Error {
             Error::NotATransaction(id) => {
                 write!(f, "node {id} is not a transaction and cannot be scored")
             }
+            Error::Ingest(msg) => write!(f, "ingest error: {msg}"),
         }
     }
 }
@@ -111,6 +117,12 @@ impl From<GraphError> for Error {
             GraphError::UnknownNode(id) => Error::UnknownTransaction(id),
             other => Error::Graph(other),
         }
+    }
+}
+
+impl From<IngestError> for Error {
+    fn from(e: IngestError) -> Self {
+        Error::Ingest(e.to_string())
     }
 }
 

@@ -36,6 +36,7 @@
 //! | [`gnn`] | `xfraud-gnn` | §3.2 detector(+), baselines, samplers |
 //! | [`explain`] | `xfraud-explain` | §3.4/§5 explainers |
 //! | [`kvstore`] | `xfraud-kvstore` | §3.3.3 data loading |
+//! | [`ingest`] | `xfraud-ingest` | streaming ingestion + WAL replay |
 //! | [`dist`] | `xfraud-dist` | §3.3 distributed training |
 //! | [`metrics`] | `xfraud-metrics` | §4 evaluation |
 //! | [`serve`] | `xfraud-serve` | §3.3 online near-real-time scoring |
@@ -45,6 +46,7 @@ pub use xfraud_dist as dist;
 pub use xfraud_explain as explain;
 pub use xfraud_gnn as gnn;
 pub use xfraud_hetgraph as hetgraph;
+pub use xfraud_ingest as ingest;
 pub use xfraud_kvstore as kvstore;
 pub use xfraud_metrics as metrics;
 pub use xfraud_nn as nn;

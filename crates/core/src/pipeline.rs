@@ -21,10 +21,14 @@ const SCORING_COMMUNITY_CAP: usize = 4000;
 /// End-to-end pipeline settings (Fig. 2: graph constructor → detector →
 /// explainer).
 ///
-/// Prefer [`PipelineConfig::builder`], which validates settings at
-/// `build()` time; constructing the struct literally still works for one
-/// deprecation cycle, and [`Pipeline::run`] re-validates either way.
+/// Construct through [`PipelineConfig::builder`], which validates settings
+/// at `build()` time — the deprecation cycle for struct-literal
+/// construction is over and the struct is `#[non_exhaustive]`, so the
+/// builder is the only public construction path. Fields stay readable, and
+/// [`Pipeline::run`] re-validates in case a config was mutated after
+/// `build()`.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     pub preset: DatasetPreset,
     pub data_seed: u64,
@@ -464,7 +468,9 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(ok.detector.unwrap().feature_dim, preset_dim);
-        // Pipeline::run re-validates hand-assembled configs too.
+        // Pipeline::run re-validates mutated configs too. (Struct literals
+        // only work here because `#[non_exhaustive]` does not bind inside
+        // the defining crate — external code must go through the builder.)
         let literal = PipelineConfig {
             test_fraction: -0.25,
             ..PipelineConfig::default()

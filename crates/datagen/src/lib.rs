@@ -31,6 +31,7 @@ mod dataset;
 mod features;
 mod generator;
 mod records;
+mod stream;
 
 pub use config::{DatasetPreset, WorldConfig};
 pub use construct::build_dataset;
@@ -38,3 +39,4 @@ pub use dataset::Dataset;
 pub use features::gaussian;
 pub use generator::generate_log;
 pub use records::{FraudMechanism, TxnRecord};
+pub use stream::{event_stream, flatten_events, TxnArrival};

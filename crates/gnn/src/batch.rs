@@ -1,4 +1,4 @@
-use xfraud_hetgraph::{EdgeType, HetGraph, NodeId, NodeType};
+use xfraud_hetgraph::{EdgeType, GraphView, GraphViewExt, NodeId, NodeType};
 use xfraud_tensor::Tensor;
 
 /// The unit of computation all models consume: a sampled subgraph with local
@@ -35,7 +35,7 @@ impl SubgraphBatch {
     /// not required; `targets` lists seeds by *global* id).
     ///
     /// `nodes` must be duplicate-free. Edges are the induced directed edges.
-    pub fn from_nodes(g: &HetGraph, nodes: &[NodeId], targets: &[NodeId]) -> SubgraphBatch {
+    pub fn from_nodes(g: &dyn GraphView, nodes: &[NodeId], targets: &[NodeId]) -> SubgraphBatch {
         let mut local: Vec<Option<usize>> = vec![None; g.n_nodes()];
         for (i, &v) in nodes.iter().enumerate() {
             debug_assert!(local[v].is_none(), "duplicate node in batch");
@@ -45,16 +45,14 @@ impl SubgraphBatch {
 
         let mut features = Tensor::zeros(nodes.len(), g.feature_dim());
         for (i, &v) in nodes.iter().enumerate() {
-            if let Some(row) = g.feature_row_of(v) {
-                features.row_mut(i).copy_from_slice(g.features().row(row));
-            }
+            g.copy_features_into(v, features.row_mut(i));
         }
 
         let mut edge_src = Vec::new();
         let mut edge_dst = Vec::new();
         let mut edge_ty = Vec::new();
         for (i, &v) in nodes.iter().enumerate() {
-            for &e in g.out_edges(v) {
+            for e in g.out_edge_ids(v) {
                 let edge = g.edge(e);
                 if let Some(j) = local[edge.dst] {
                     edge_src.push(i);
@@ -106,7 +104,7 @@ impl SubgraphBatch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xfraud_hetgraph::GraphBuilder;
+    use xfraud_hetgraph::{GraphBuilder, HetGraph};
 
     fn toy() -> HetGraph {
         let mut b = GraphBuilder::new(2);

@@ -2,12 +2,15 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use xfraud_hetgraph::{HetGraph, NodeId, ALL_NODE_TYPES};
+use xfraud_hetgraph::{GraphView, GraphViewExt, NodeId, ALL_NODE_TYPES};
 
 use crate::batch::SubgraphBatch;
 
 /// Produces the sampled subgraph a model trains/infers on, given a batch of
-/// seed transactions. The sampler is the *only* difference between xFraud
+/// seed transactions. Samplers read the graph through
+/// [`GraphView`], so the same implementation walks a frozen
+/// [`xfraud_hetgraph::HetGraph`] or a live streaming
+/// [`xfraud_hetgraph::DeltaGraph`] overlay unchanged. The sampler is the *only* difference between xFraud
 /// detector and detector+ (§3.2.3), which is exactly what the Fig. 10
 /// ablation isolates.
 ///
@@ -16,7 +19,7 @@ use crate::batch::SubgraphBatch;
 /// engines can hold a `dyn Sampler` instead of being monomorphised per
 /// sampler type.
 pub trait Sampler {
-    fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch;
+    fn sample(&self, g: &dyn GraphView, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch;
 
     /// Human-readable name for experiment output.
     fn name(&self) -> &'static str;
@@ -50,7 +53,7 @@ pub fn shape_key_of(name: &str, params: &[u64]) -> u64 {
 macro_rules! deref_sampler {
     ($($ty:ty),+) => {$(
         impl<S: Sampler + ?Sized> Sampler for $ty {
-            fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
+            fn sample(&self, g: &dyn GraphView, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
                 (**self).sample(g, seeds, rng)
             }
             fn name(&self) -> &'static str {
@@ -81,7 +84,7 @@ impl SageSampler {
 }
 
 impl Sampler for SageSampler {
-    fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
+    fn sample(&self, g: &dyn GraphView, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
         let mut in_set = vec![false; g.n_nodes()];
         let mut nodes: Vec<NodeId> = Vec::new();
         for &s in seeds {
@@ -96,7 +99,7 @@ impl Sampler for SageSampler {
             let mut next = Vec::new();
             for &v in &frontier {
                 scratch.clear();
-                scratch.extend(g.neighbors(v).filter(|&u| !in_set[u]));
+                scratch.extend(g.view_neighbors(v).filter(|&u| !in_set[u]));
                 // The candidate list must hold each neighbour once or the
                 // draw is biased towards parallel-edge neighbours; CSR
                 // adjacency is not sorted, so dedup alone is not enough.
@@ -158,9 +161,9 @@ impl HgSampler {
         }
     }
 
-    fn add_budget(g: &HetGraph, v: NodeId, in_set: &[bool], budget: &mut [f32]) {
-        let deg = g.degree(v).max(1) as f32;
-        for u in g.neighbors(v) {
+    fn add_budget(g: &dyn GraphView, v: NodeId, in_set: &[bool], budget: &mut [f32]) {
+        let deg = g.view_degree(v).max(1) as f32;
+        for u in g.view_neighbors(v) {
             if !in_set[u] {
                 budget[u] += 1.0 / deg;
             }
@@ -169,7 +172,7 @@ impl HgSampler {
 }
 
 impl Sampler for HgSampler {
-    fn sample(&self, g: &HetGraph, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
+    fn sample(&self, g: &dyn GraphView, seeds: &[NodeId], rng: &mut StdRng) -> SubgraphBatch {
         let n = g.n_nodes();
         let mut in_set = vec![false; n];
         let mut nodes: Vec<NodeId> = Vec::new();
@@ -246,7 +249,7 @@ impl Sampler for HgSampler {
 pub struct FullGraphSampler;
 
 impl Sampler for FullGraphSampler {
-    fn sample(&self, g: &HetGraph, seeds: &[NodeId], _rng: &mut StdRng) -> SubgraphBatch {
+    fn sample(&self, g: &dyn GraphView, seeds: &[NodeId], _rng: &mut StdRng) -> SubgraphBatch {
         let nodes: Vec<NodeId> = (0..g.n_nodes()).collect();
         SubgraphBatch::from_nodes(g, &nodes, seeds)
     }
@@ -281,7 +284,7 @@ impl CommunitySampler {
 }
 
 impl Sampler for CommunitySampler {
-    fn sample(&self, g: &HetGraph, seeds: &[NodeId], _rng: &mut StdRng) -> SubgraphBatch {
+    fn sample(&self, g: &dyn GraphView, seeds: &[NodeId], _rng: &mut StdRng) -> SubgraphBatch {
         let mut in_set = vec![false; g.n_nodes()];
         let mut nodes: Vec<NodeId> = Vec::new();
         for &s in seeds {
@@ -295,7 +298,7 @@ impl Sampler for CommunitySampler {
             while cursor < nodes.len() && nodes.len() - start < self.max_nodes {
                 let v = nodes[cursor];
                 cursor += 1;
-                for u in g.neighbors(v) {
+                for u in g.view_neighbors(v) {
                     if !in_set[u] {
                         in_set[u] = true;
                         nodes.push(u);
@@ -323,7 +326,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use xfraud_datagen::{Dataset, DatasetPreset};
-    use xfraud_hetgraph::{GraphBuilder, NodeType};
+    use xfraud_hetgraph::{GraphBuilder, HetGraph, NodeType};
 
     fn graph() -> HetGraph {
         Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph

@@ -17,6 +17,8 @@ pub enum GraphError {
     },
     /// A label was supplied for a non-transaction node.
     LabelOnEntity(usize),
+    /// A streamed-in feature row had the wrong width for this graph.
+    FeatureDimMismatch { expected: usize, got: usize },
 }
 
 impl fmt::Display for GraphError {
@@ -35,6 +37,12 @@ impl fmt::Display for GraphError {
             ),
             GraphError::LabelOnEntity(id) => {
                 write!(f, "node {id} is not a transaction and cannot carry a label")
+            }
+            GraphError::FeatureDimMismatch { expected, got } => {
+                write!(
+                    f,
+                    "feature row has {got} values but the graph expects {expected}"
+                )
             }
         }
     }

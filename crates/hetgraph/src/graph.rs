@@ -28,7 +28,7 @@ pub struct EdgeRef {
 /// the `[n_txn, d]` feature matrix. Labels are `Option<bool>`: the
 /// construction protocol leaves most benign transactions unlabelled after
 /// down-sampling (Appendix B step 3), exactly like the paper.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HetGraph {
     pub(crate) node_types: Vec<NodeType>,
     pub(crate) edge_src: Vec<NodeId>,

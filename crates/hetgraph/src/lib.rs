@@ -20,18 +20,22 @@
 
 mod builder;
 mod community;
+mod delta;
 mod error;
 mod graph;
 mod line;
 mod stats;
 mod types;
+mod view;
 
 pub use builder::GraphBuilder;
 pub use community::{community_of, khop_neighborhood, Community};
+pub use delta::{DeltaGraph, GraphEvent};
 pub use error::GraphError;
 pub use graph::{EdgeRef, HetGraph};
 pub use line::{line_graph, LineGraph};
 pub use stats::GraphStats;
 pub use types::{EdgeType, NodeId, NodeType, ALL_EDGE_TYPES, ALL_NODE_TYPES};
+pub use view::{GraphView, GraphViewExt, ViewNeighbors};
 
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,200 @@
+use crate::graph::{EdgeRef, HetGraph};
+use crate::types::{NodeId, NodeType};
+
+/// Read-only view of a heterogeneous transaction graph — the abstraction
+/// that lets subgraph sampling and scoring run over *both* representations
+/// of the live graph:
+///
+/// * [`HetGraph`] — the frozen CSR image produced by
+///   [`crate::GraphBuilder::finish`];
+/// * [`crate::DeltaGraph`] — an append-only overlay of streamed-in nodes,
+///   links and feature rows over an immutable CSR base.
+///
+/// The trait is object-safe (serving engines hold `&dyn GraphView`), and its
+/// accessors are designed so that a `DeltaGraph` and the [`HetGraph`] it
+/// [`compact`](crate::DeltaGraph::compact)s into are observationally
+/// identical: same node ids, same edge ids, same adjacency *order*. That
+/// order guarantee is what makes sampling over the overlay bit-identical to
+/// sampling over the compacted graph — samplers walk adjacency in edge-id
+/// order, and [`GraphView::out_edge_parts`] exposes exactly that order as
+/// `(base CSR slice, overlay slice)`.
+pub trait GraphView {
+    fn n_nodes(&self) -> usize;
+
+    /// Number of *directed* edges (twice the number of undirected links).
+    fn n_directed_edges(&self) -> usize;
+
+    fn node_type(&self, v: NodeId) -> NodeType;
+
+    /// Fraud label of a node (`None` for entities and unlabelled txns).
+    fn label(&self, v: NodeId) -> Option<bool>;
+
+    /// Width of transaction feature rows.
+    fn feature_dim(&self) -> usize;
+
+    /// Copies `v`'s feature row into `out` (which must be `feature_dim`
+    /// long). Entity nodes read as zeros — "the initial node features are
+    /// empty" (§3.2.1). Returns `true` iff `v` is a transaction.
+    fn copy_features_into(&self, v: NodeId, out: &mut [f32]) -> bool;
+
+    /// Resolves a directed edge id.
+    fn edge(&self, id: usize) -> EdgeRef;
+
+    /// Ids of edges pointing out of `v`, split as `(base, overlay)`. For a
+    /// frozen [`HetGraph`] the overlay part is always empty. Both slices are
+    /// in ascending edge-id order, and every base id precedes every overlay
+    /// id, so `base ++ overlay` is the edge-id-ordered adjacency of `v` —
+    /// the same order a compacted CSR yields.
+    fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]);
+}
+
+/// Iterator conveniences over any [`GraphView`] (including `dyn GraphView`).
+/// A blanket extension trait instead of provided methods so `GraphView`
+/// stays object-safe while callers still get `impl Iterator` ergonomics.
+pub trait GraphViewExt: GraphView {
+    /// Out-edge ids of `v` in edge-id order (base CSR, then overlay).
+    fn out_edge_ids(
+        &self,
+        v: NodeId,
+    ) -> std::iter::Copied<std::iter::Chain<std::slice::Iter<'_, usize>, std::slice::Iter<'_, usize>>>
+    {
+        let (base, overlay) = self.out_edge_parts(v);
+        base.iter().chain(overlay.iter()).copied()
+    }
+
+    /// Undirected neighbours of `v` (successors; both edge directions are
+    /// stored, so this covers every link), in edge-id order.
+    fn view_neighbors(&self, v: NodeId) -> ViewNeighbors<'_, Self> {
+        let (base, overlay) = self.out_edge_parts(v);
+        ViewNeighbors {
+            view: self,
+            base: base.iter(),
+            overlay: overlay.iter(),
+        }
+    }
+
+    /// Undirected degree of `v`.
+    fn view_degree(&self, v: NodeId) -> usize {
+        let (base, overlay) = self.out_edge_parts(v);
+        base.len() + overlay.len()
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphViewExt for G {}
+
+/// Iterator of [`GraphViewExt::view_neighbors`].
+pub struct ViewNeighbors<'a, G: ?Sized> {
+    view: &'a G,
+    base: std::slice::Iter<'a, usize>,
+    overlay: std::slice::Iter<'a, usize>,
+}
+
+impl<'a, G: GraphView + ?Sized> Iterator for ViewNeighbors<'a, G> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let e = match self.base.next() {
+            Some(&e) => e,
+            None => *self.overlay.next()?,
+        };
+        Some(self.view.edge(e).dst)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.base.len() + self.overlay.len();
+        (n, Some(n))
+    }
+}
+
+impl GraphView for HetGraph {
+    fn n_nodes(&self) -> usize {
+        HetGraph::n_nodes(self)
+    }
+
+    fn n_directed_edges(&self) -> usize {
+        HetGraph::n_directed_edges(self)
+    }
+
+    fn node_type(&self, v: NodeId) -> NodeType {
+        HetGraph::node_type(self, v)
+    }
+
+    fn label(&self, v: NodeId) -> Option<bool> {
+        HetGraph::label(self, v)
+    }
+
+    fn feature_dim(&self) -> usize {
+        HetGraph::feature_dim(self)
+    }
+
+    fn copy_features_into(&self, v: NodeId, out: &mut [f32]) -> bool {
+        debug_assert_eq!(out.len(), self.feature_dim());
+        match self.feature_row_of(v) {
+            Some(row) => {
+                out.copy_from_slice(self.features().row(row));
+                true
+            }
+            None => {
+                out.fill(0.0);
+                false
+            }
+        }
+    }
+
+    fn edge(&self, id: usize) -> EdgeRef {
+        HetGraph::edge(self, id)
+    }
+
+    fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]) {
+        (self.out_edges(v), &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> HetGraph {
+        let mut b = GraphBuilder::new(2);
+        let t0 = b.add_txn([1.0, 2.0], Some(true));
+        let t1 = b.add_txn([3.0, 4.0], None);
+        let p = b.add_entity(NodeType::Pmt);
+        let a = b.add_entity(NodeType::Addr);
+        b.link(t0, p).unwrap();
+        b.link(t1, p).unwrap();
+        b.link(t1, a).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hetgraph_view_agrees_with_inherent_accessors() {
+        let g = toy();
+        let v: &dyn GraphView = &g;
+        assert_eq!(v.n_nodes(), g.n_nodes());
+        assert_eq!(v.n_directed_edges(), g.n_directed_edges());
+        for node in 0..g.n_nodes() {
+            assert_eq!(v.node_type(node), g.node_type(node));
+            assert_eq!(v.label(node), g.label(node));
+            assert_eq!(
+                v.view_neighbors(node).collect::<Vec<_>>(),
+                g.neighbors(node).collect::<Vec<_>>()
+            );
+            assert_eq!(v.view_degree(node), g.degree(node));
+            let (base, overlay) = v.out_edge_parts(node);
+            assert_eq!(base, g.out_edges(node));
+            assert!(overlay.is_empty());
+        }
+    }
+
+    #[test]
+    fn copy_features_into_zeroes_entity_rows() {
+        let g = toy();
+        let v: &dyn GraphView = &g;
+        let mut row = [9.0f32; 2];
+        assert!(v.copy_features_into(0, &mut row));
+        assert_eq!(row, [1.0, 2.0]);
+        assert!(!v.copy_features_into(2, &mut row));
+        assert_eq!(row, [0.0, 0.0], "stale contents must be overwritten");
+    }
+}

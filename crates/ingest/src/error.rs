@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Errors from WAL appends, replay and event decoding.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Filesystem failure touching a WAL segment.
+    Io(std::io::Error),
+    /// A fully-written record decoded to garbage — unlike a torn tail
+    /// (which replay drops silently), mid-log corruption is not recoverable
+    /// by truncation and is surfaced.
+    Corrupt(String),
+}
+
+impl IngestError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        IngestError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "wal i/o error: {e}"),
+            IngestError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}

@@ -1,0 +1,180 @@
+//! Length-prefixed record framing shared by [`crate::LogStore`] and the
+//! streaming write-ahead log in `xfraud-ingest`.
+//!
+//! A record is `(key_len: u32 LE, key, val_len: u32 LE, val)`. The format is
+//! self-delimiting, so a reader can scan a byte stream record-by-record and
+//! tell a *clean* end (the stream stops exactly at a record boundary) apart
+//! from a *torn* tail (the process died mid-append) — the distinction WAL
+//! replay needs: a torn final record is dropped, everything before it is
+//! intact.
+
+use std::ops::Range;
+
+/// Bytes a framed record occupies on disk.
+pub fn encoded_len(key_len: usize, val_len: usize) -> usize {
+    8 + key_len + val_len
+}
+
+/// Offset of the value bytes inside a framed record.
+pub fn value_offset(key_len: usize) -> usize {
+    8 + key_len
+}
+
+/// Appends one framed record to `out`.
+pub fn encode_into(key: &[u8], value: &[u8], out: &mut Vec<u8>) {
+    out.reserve(encoded_len(key.len(), value.len()));
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
+}
+
+/// Outcome of decoding the record starting at `pos`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameStep {
+    /// A complete record; `next` is the offset just past it.
+    Record {
+        key: Range<usize>,
+        value: Range<usize>,
+        next: usize,
+    },
+    /// `pos` is exactly the end of the buffer — a clean record boundary.
+    Clean,
+    /// The buffer ends mid-record (torn append). Bytes from `pos` on are
+    /// not a usable record.
+    Truncated,
+}
+
+/// Decodes the record starting at byte `pos` of `buf`.
+pub fn next_frame(buf: &[u8], pos: usize) -> FrameStep {
+    if pos == buf.len() {
+        return FrameStep::Clean;
+    }
+    let Some(key_len) = read_u32(buf, pos) else {
+        return FrameStep::Truncated;
+    };
+    let key_start = pos + 4;
+    let Some(val_len) = read_u32(buf, key_start + key_len) else {
+        return FrameStep::Truncated;
+    };
+    let val_start = key_start + key_len + 4;
+    let next = val_start + val_len;
+    if next > buf.len() {
+        return FrameStep::Truncated;
+    }
+    FrameStep::Record {
+        key: key_start..key_start + key_len,
+        value: val_start..next,
+        next,
+    }
+}
+
+fn read_u32(buf: &[u8], pos: usize) -> Option<usize> {
+    let bytes = buf.get(pos..pos + 4)?;
+    Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize)
+}
+
+/// Iterator over the complete records of a framed byte buffer. Stops before
+/// a torn tail; [`FrameIter::scanned`] tells how many bytes of intact
+/// records were consumed and [`FrameIter::clean_end`] whether the buffer
+/// ended exactly on a record boundary.
+pub struct FrameIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    clean: bool,
+    done: bool,
+}
+
+impl<'a> FrameIter<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameIter {
+            buf,
+            pos: 0,
+            clean: false,
+            done: false,
+        }
+    }
+
+    /// Bytes of complete records scanned so far (a safe truncation point).
+    pub fn scanned(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// `true` iff iteration exhausted the buffer without a torn tail.
+    /// Meaningful only after the iterator returns `None`.
+    pub fn clean_end(&self) -> bool {
+        self.clean
+    }
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    /// `(key, value)` byte slices of one record.
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match next_frame(self.buf, self.pos) {
+            FrameStep::Record { key, value, next } => {
+                self.pos = next;
+                Some((&self.buf[key], &self.buf[value]))
+            }
+            FrameStep::Clean => {
+                self.clean = true;
+                self.done = true;
+                None
+            }
+            FrameStep::Truncated => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let mut buf = Vec::new();
+        encode_into(b"alpha", b"one", &mut buf);
+        encode_into(b"", b"empty-key", &mut buf);
+        encode_into(b"beta", b"", &mut buf);
+        let mut it = FrameIter::new(&buf);
+        assert_eq!(it.next(), Some((&b"alpha"[..], &b"one"[..])));
+        assert_eq!(it.next(), Some((&b""[..], &b"empty-key"[..])));
+        assert_eq!(it.next(), Some((&b"beta"[..], &b""[..])));
+        assert_eq!(it.next(), None);
+        assert!(it.clean_end());
+        assert_eq!(it.scanned(), buf.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let mut buf = Vec::new();
+        encode_into(b"k1", b"v1", &mut buf);
+        let intact = buf.len();
+        encode_into(b"k2", b"v2-long-value", &mut buf);
+        // Chop the second record anywhere inside it: after 1 byte of the
+        // length prefix, inside the key, inside the value.
+        for cut in [intact + 1, intact + 5, buf.len() - 1] {
+            let mut it = FrameIter::new(&buf[..cut]);
+            assert_eq!(it.next(), Some((&b"k1"[..], &b"v1"[..])));
+            assert_eq!(it.next(), None);
+            assert!(!it.clean_end(), "cut at {cut} must read as torn");
+            assert_eq!(it.scanned(), intact as u64);
+        }
+    }
+
+    #[test]
+    fn value_offset_matches_encoding() {
+        let mut buf = Vec::new();
+        encode_into(b"key", b"value", &mut buf);
+        let off = value_offset(3);
+        assert_eq!(&buf[off..off + 5], b"value");
+        assert_eq!(buf.len(), encoded_len(3, 5));
+    }
+}

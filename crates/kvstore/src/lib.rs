@@ -22,6 +22,7 @@
 //! use per §3.3.3 ("each worker has its own data loader").
 
 mod feature;
+pub mod framing;
 mod log_store;
 mod stores;
 

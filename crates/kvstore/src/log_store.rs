@@ -70,16 +70,13 @@ impl LogStore {
 
 impl KvStore for LogStore {
     fn put(&self, key: &[u8], value: &[u8]) {
-        let mut rec = Vec::with_capacity(8 + key.len() + value.len());
-        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        rec.extend_from_slice(key);
-        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        rec.extend_from_slice(value);
+        let mut rec = Vec::new();
+        crate::framing::encode_into(key, value, &mut rec);
         let value_offset;
         {
             let mut app = self.appender.lock();
             app.write_handle.write_all(&rec).expect("log append");
-            value_offset = app.offset + 8 + key.len() as u64;
+            value_offset = app.offset + crate::framing::value_offset(key.len()) as u64;
             app.offset += rec.len() as u64;
         }
         self.index[self.shard_of(key)]

@@ -36,7 +36,7 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 
 use xfraud_gnn::{batch_rng, predict_scores, streams, Sampler, SubgraphBatch, XFraudDetector};
-use xfraud_hetgraph::{HetGraph, NodeId, NodeType};
+use xfraud_hetgraph::{DeltaGraph, GraphEvent, GraphView, HetGraph, NodeId, NodeType};
 use xfraud_kvstore::FeatureStore;
 
 use crate::cache::{CacheKey, ShardedLru};
@@ -49,7 +49,7 @@ use crate::metrics::{MetricsSnapshot, ServeMetrics};
 /// property test pins that down.
 pub fn score_one(
     detector: &XFraudDetector,
-    g: &HetGraph,
+    g: &dyn GraphView,
     sampler: &(impl Sampler + ?Sized),
     seed: u64,
     version: u64,
@@ -114,7 +114,12 @@ struct Request {
 
 struct Shared {
     detector: RwLock<XFraudDetector>,
-    graph: HetGraph,
+    /// The live graph: a frozen CSR base plus the streamed-in overlay.
+    /// Readers (scoring) hold the read lock for the whole sample; writers
+    /// ([`ScoringEngine::apply_events`]) mutate, bump the version and clear
+    /// the caches under the write lock, so every reader observes a
+    /// consistent `(graph, version)` pair.
+    graph: RwLock<DeltaGraph>,
     sampler: Box<dyn Sampler + Send + Sync>,
     features: Option<Arc<FeatureStore>>,
     subgraphs: Option<ShardedLru<Arc<SubgraphBatch>>>,
@@ -128,9 +133,9 @@ impl Shared {
     /// Samples `node`'s ego-subgraph, rehydrating feature rows from the
     /// feature store when one is attached (the production tier where
     /// features live outside the graph image; see [`preload_features`]).
-    fn sample(&self, node: NodeId, version: u64) -> SubgraphBatch {
+    fn sample(&self, graph: &DeltaGraph, node: NodeId, version: u64) -> SubgraphBatch {
         let mut rng = serve_rng(self.cfg.seed, version, node);
-        let mut batch = self.sampler.sample(&self.graph, &[node], &mut rng);
+        let mut batch = self.sampler.sample(graph, &[node], &mut rng);
         if let Some(fs) = &self.features {
             for i in 0..batch.n_nodes() {
                 if batch.node_types[i] == NodeType::Txn {
@@ -144,10 +149,11 @@ impl Shared {
 
     /// Scores one unique id through both cache tiers.
     fn score_unique(&self, detector: &XFraudDetector, node: NodeId) -> Result<f32, ServeError> {
-        if node >= self.graph.n_nodes() {
+        let graph = self.graph.read();
+        if node >= graph.n_nodes() {
             return Err(ServeError::UnknownNode(node));
         }
-        if self.graph.node_type(node) != NodeType::Txn {
+        if graph.node_type(node) != NodeType::Txn {
             return Err(ServeError::NotATransaction(node));
         }
         let version = self.version.load(Ordering::Acquire);
@@ -165,15 +171,16 @@ impl Shared {
             Some(cache) => match cache.get(&key) {
                 Some(b) => b,
                 None => {
-                    let b = Arc::new(self.sample(node, version));
+                    let b = Arc::new(self.sample(&graph, node, version));
                     cache.insert(key, Arc::clone(&b));
                     b
                 }
             },
-            None => Arc::new(self.sample(node, version)),
+            None => Arc::new(self.sample(&graph, node, version)),
         };
-        // Fresh derivation, untouched on the cached path: eval-mode
-        // forwards draw nothing from it, so hit and miss paths agree.
+        drop(graph); // the forward pass needs the batch, not the graph
+                     // Fresh derivation, untouched on the cached path: eval-mode
+                     // forwards draw nothing from it, so hit and miss paths agree.
         let mut rng = serve_rng(self.cfg.seed, version, node);
         let score = predict_scores(detector, &batch, &mut rng)[0];
         if let Some(scores) = &self.scores {
@@ -363,7 +370,7 @@ impl ScoringEngineBuilder {
 
         let shared = Arc::new(Shared {
             detector: RwLock::new(self.detector),
-            graph: self.graph,
+            graph: RwLock::new(DeltaGraph::new(Arc::new(self.graph))),
             sampler: self.sampler,
             features: self.features,
             subgraphs: (self.cfg.subgraph_cache > 0)
@@ -452,7 +459,7 @@ impl ScoringEngine {
     /// pure function it memoised changed — while cached subgraphs survive,
     /// because the graph did not move.
     pub fn swap_detector(&self, detector: XFraudDetector) -> Result<(), ServeError> {
-        let g_dim = self.shared.graph.feature_dim();
+        let g_dim = self.shared.graph.read().feature_dim();
         if detector.cfg.feature_dim != g_dim {
             return Err(ServeError::DetectorMismatch {
                 detector_dim: detector.cfg.feature_dim,
@@ -500,6 +507,82 @@ impl ScoringEngine {
     /// Current graph version (starts at 0).
     pub fn graph_version(&self) -> u64 {
         self.shared.version.load(Ordering::Acquire)
+    }
+
+    /// Appends a batch of streamed-in [`GraphEvent`]s to the live graph —
+    /// the consumer end of the ingestion pipeline (`xfraud-ingest` WAL,
+    /// `xfraud_datagen::event_stream`). Returns the node ids assigned to
+    /// the batch's `AddTxn` events, ready to be scored on arrival.
+    ///
+    /// The whole batch is applied under the graph write lock and finishes
+    /// by driving the existing invalidation hook
+    /// ([`bump_graph_version`](Self::bump_graph_version)): one version bump
+    /// per non-empty call, so cached subgraphs and scores sampled against
+    /// the pre-batch graph can never serve a post-batch request. When a
+    /// feature store is attached, new transactions' feature rows are
+    /// written through to it.
+    ///
+    /// On a rejected event the error is returned and the batch stops
+    /// there; previously applied events of the batch remain (the overlay is
+    /// append-only) and the version still advances.
+    pub fn apply_events(&self, events: &[GraphEvent]) -> Result<Vec<NodeId>, ServeError> {
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut graph = self.shared.graph.write();
+        let mut new_txns = Vec::new();
+        let mut failure = None;
+        for event in events {
+            match graph.apply(event) {
+                Ok(assigned) => {
+                    if let (Some(id), GraphEvent::AddTxn { features, .. }) = (assigned, event) {
+                        if let Some(fs) = &self.shared.features {
+                            fs.put_features(id, features);
+                        }
+                        new_txns.push(id);
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Still holding the write lock: readers wake to the new version and
+        // the new graph together.
+        self.bump_graph_version();
+        drop(graph);
+        match failure {
+            Some(e) => Err(e.into()),
+            None => Ok(new_txns),
+        }
+    }
+
+    /// Folds the streamed-in overlay into a fresh frozen CSR base
+    /// (`DeltaGraph::compact`). Purely a representation change — the view
+    /// is bit-identical before and after — so the graph version does *not*
+    /// move and cached subgraphs/scores stay valid.
+    pub fn compact(&self) -> Result<(), ServeError> {
+        let mut graph = self.shared.graph.write();
+        if graph.is_compact() {
+            return Ok(());
+        }
+        let frozen = graph.compact()?;
+        *graph = DeltaGraph::new(Arc::new(frozen));
+        Ok(())
+    }
+
+    /// `(overlay nodes, overlay directed edges)` accumulated since the last
+    /// compaction — the "how big has the delta grown" gauge a compaction
+    /// policy watches.
+    pub fn overlay_stats(&self) -> (usize, usize) {
+        let g = self.shared.graph.read();
+        (g.n_overlay_nodes(), g.n_overlay_edges())
+    }
+
+    /// Total nodes currently in the live graph (base + overlay).
+    pub fn n_nodes(&self) -> usize {
+        self.shared.graph.read().n_nodes()
     }
 
     /// Point-in-time counters: requests, batch sizes, per-tier cache hit
@@ -755,6 +838,64 @@ mod tests {
         let plain = engine(&detector, &g).build().unwrap();
         let kv = engine(&detector, &g).feature_store(fs).build().unwrap();
         assert_eq!(kv.score(&txns).unwrap(), plain.score(&txns).unwrap());
+    }
+
+    #[test]
+    fn streamed_events_are_scoreable_on_arrival() {
+        let (detector, g, txns) = setup();
+        let eng = engine(&detector, &g).build().unwrap();
+        let before = eng.score(&txns).unwrap();
+
+        // A new transaction arrives, linked to an existing payment token.
+        let entity = (0..g.n_nodes())
+            .find(|&v| g.node_type(v) == NodeType::Pmt)
+            .expect("graph has pmt entities");
+        let new_id = eng.n_nodes();
+        let arrived = eng
+            .apply_events(&[
+                GraphEvent::AddTxn {
+                    features: vec![0.1; g.feature_dim()],
+                    label: None,
+                },
+                GraphEvent::Link {
+                    a: new_id,
+                    b: entity,
+                },
+            ])
+            .unwrap();
+        assert_eq!(arrived, vec![new_id]);
+        assert_eq!(eng.graph_version(), 1, "ingest drives the version hook");
+        assert_eq!(eng.metrics().subgraph_entries, 0, "caches invalidated");
+
+        let on_arrival = eng.score_txn(new_id).unwrap();
+        assert!(on_arrival.is_finite());
+        // Pre-existing transactions still score identically: the sampler is
+        // RNG-free, and their neighbourhoods did not change.
+        assert_eq!(eng.score(&txns).unwrap(), before);
+
+        // Compaction is a pure representation change: no version bump, no
+        // score movement, overlay folded away.
+        assert!(eng.overlay_stats().0 >= 1);
+        eng.compact().unwrap();
+        assert_eq!(eng.overlay_stats(), (0, 0));
+        assert_eq!(eng.graph_version(), 1);
+        assert_eq!(eng.score_txn(new_id).unwrap(), on_arrival);
+        assert_eq!(eng.score(&txns).unwrap(), before);
+    }
+
+    #[test]
+    fn rejected_events_surface_as_typed_errors() {
+        let (detector, g, _) = setup();
+        let eng = engine(&detector, &g).build().unwrap();
+        let bogus = eng.n_nodes() + 10;
+        let err = eng
+            .apply_events(&[GraphEvent::Link { a: bogus, b: 0 }])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Graph(_)));
+        // Empty batches are free: no version bump, no cache churn.
+        let v = eng.graph_version();
+        assert_eq!(eng.apply_events(&[]).unwrap(), Vec::<NodeId>::new());
+        assert_eq!(eng.graph_version(), v);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use xfraud_hetgraph::GraphError;
+
 /// Typed serving failures. Every user-controllable input that used to panic
 /// somewhere in the scoring path maps onto one of these.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +20,10 @@ pub enum ServeError {
         detector_dim: usize,
         graph_dim: usize,
     },
+    /// A streamed-in [`xfraud_hetgraph::GraphEvent`] was rejected by the
+    /// live graph (unknown endpoint, schema-invalid link, wrong feature
+    /// width, label on an entity).
+    Graph(GraphError),
 }
 
 impl fmt::Display for ServeError {
@@ -36,8 +42,22 @@ impl fmt::Display for ServeError {
                 f,
                 "detector expects {detector_dim} input features but the graph has {graph_dim}"
             ),
+            ServeError::Graph(e) => write!(f, "graph event rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}

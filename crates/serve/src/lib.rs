@@ -10,17 +10,27 @@
 //! configuration.
 //!
 //! ```no_run
-//! use std::sync::Arc;
 //! use xfraud_serve::ScoringEngine;
 //! use xfraud_gnn::{CommunitySampler, DetectorConfig, XFraudDetector};
-//! # let graph: xfraud_hetgraph::HetGraph = unimplemented!();
+//! use xfraud_hetgraph::{GraphBuilder, NodeType};
+//!
+//! // Two transactions sharing a payment token — the smallest graph with
+//! // something to score. Production graphs come from `datagen` or ingest.
+//! let mut b = GraphBuilder::new(4);
+//! let t0 = b.add_txn([0.4, 0.1, 0.0, 0.2], Some(false));
+//! let t1 = b.add_txn([0.9, 0.8, 0.1, 0.7], None);
+//! let pmt = b.add_entity(NodeType::Pmt);
+//! b.link(t0, pmt).unwrap();
+//! b.link(t1, pmt).unwrap();
+//! let graph = b.finish().unwrap();
+//!
 //! let detector = XFraudDetector::new(DetectorConfig::small(graph.feature_dim(), 0));
 //! let engine = ScoringEngine::builder(detector, graph, Box::new(CommunitySampler::new(4000)))
 //!     .max_batch(64)
 //!     .seed(7)
 //!     .build()?;
-//! let scores = engine.score(&[12, 34])?;
-//! println!("{}", engine.metrics());
+//! let scores = engine.score(&[t0, t1])?;
+//! println!("{scores:?}\n{}", engine.metrics());
 //! # Ok::<(), xfraud_serve::ServeError>(())
 //! ```
 //!
@@ -28,6 +38,11 @@
 //! [`ScoringEngine::swap_detector`] (weights refreshed, subgraph cache
 //! survives), [`ScoringEngine::invalidate_transaction`] (one neighbourhood
 //! changed) and [`ScoringEngine::bump_graph_version`] (new graph snapshot).
+//! For live traffic, [`ScoringEngine::apply_events`] appends streamed
+//! [`GraphEvent`](xfraud_hetgraph::GraphEvent)s to a delta overlay over the
+//! frozen base (newly arrived transactions are scoreable immediately) and
+//! [`ScoringEngine::compact`] folds the overlay back into an immutable CSR
+//! base without perturbing scores.
 
 mod cache;
 mod engine;

@@ -1,0 +1,193 @@
+//! End-to-end guarantees of the streaming ingestion subsystem:
+//!
+//! * replaying a full WAL reproduces a **bit-identical** graph and
+//!   bit-identical `ScoringEngine` scores (the crash-recovery contract);
+//! * scoring over the live delta overlay equals scoring on the equivalent
+//!   compacted `HetGraph`, for pre-existing and newly streamed
+//!   transactions alike (the acceptance contract of `DeltaGraph`);
+//! * a torn WAL tail is dropped, not a panic, and the log resumes cleanly
+//!   from the durable prefix.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use xfraud::datagen::{event_stream, flatten_events, generate_log, TxnArrival};
+use xfraud::hetgraph::{DeltaGraph, NodeId};
+use xfraud::ingest::{replay_dir, ShardedWal};
+use xfraud::{Pipeline, PipelineConfig};
+
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let cfg = PipelineConfig::builder()
+            .epochs(2)
+            .build()
+            .expect("valid config");
+        Pipeline::run(cfg).expect("pipeline trains")
+    })
+}
+
+/// Tomorrow's traffic: a second world from a shifted seed, emitted as a
+/// time-ordered event stream on top of the trained base graph.
+fn arrivals() -> &'static Vec<TxnArrival> {
+    static ARRIVALS: OnceLock<Vec<TxnArrival>> = OnceLock::new();
+    ARRIVALS.get_or_init(|| {
+        let p = pipeline();
+        let wcfg = p.cfg.preset.config(p.cfg.data_seed.wrapping_add(31));
+        let world = generate_log(&wcfg);
+        let mut a = event_stream(&world, &wcfg, p.dataset.graph.n_nodes());
+        a.truncate(60);
+        a
+    })
+}
+
+fn temp_wal_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("xfraud-ingest-replay-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_log_replay_is_bit_identical() {
+    let p = pipeline();
+    let stream = arrivals();
+    let events = flatten_events(stream);
+
+    let dir = temp_wal_dir("full");
+    let wal = ShardedWal::create(&dir, 3).expect("wal creates");
+    for arrival in stream {
+        wal.append_batch(&arrival.events).expect("append succeeds");
+    }
+    wal.sync().expect("sync succeeds");
+    drop(wal);
+
+    // The log round-trips the exact event sequence.
+    let replay = replay_dir(&dir, None).expect("replay succeeds");
+    assert_eq!(replay.events, events, "replayed events must round-trip");
+    assert_eq!(replay.next_seq, events.len() as u64);
+    assert_eq!(replay.dropped_torn, 0);
+    assert_eq!(replay.dropped_after_gap, 0);
+
+    // Bit-identical graph: live application vs replay application.
+    let base = std::sync::Arc::new(p.dataset.graph.clone());
+    let mut live = DeltaGraph::new(std::sync::Arc::clone(&base));
+    for e in &events {
+        live.apply(e).expect("live events apply");
+    }
+    let mut replayed = DeltaGraph::new(base);
+    for e in &replay.events {
+        replayed.apply(e).expect("replayed events apply");
+    }
+    assert_eq!(
+        live.compact().expect("live compacts"),
+        replayed.compact().expect("replay compacts"),
+        "replayed graph must be bit-identical"
+    );
+
+    // Bit-identical scores: an engine fed the live stream vs an engine fed
+    // the replayed log, probed on base transactions and every streamed one.
+    let engine_live = p.serving_engine().build().expect("engine builds");
+    for arrival in stream {
+        engine_live
+            .apply_events(&arrival.events)
+            .expect("live apply");
+    }
+    let engine_replayed = p.serving_engine().build().expect("engine builds");
+    engine_replayed
+        .apply_events(&replay.events)
+        .expect("replayed apply");
+
+    let mut probes: Vec<NodeId> = p.test_nodes.iter().copied().take(6).collect();
+    probes.extend(stream.iter().map(|a| a.txn_node));
+    assert_eq!(
+        engine_live.score(&probes).expect("live scores"),
+        engine_replayed.score(&probes).expect("replayed scores"),
+        "replayed engine must score bit-identically"
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The acceptance contract of the delta overlay: scoring over the overlay
+/// is bit-identical to scoring on the equivalent compacted `HetGraph` —
+/// for transactions that predate the stream and for the streamed ones.
+#[test]
+fn overlay_scoring_equals_compacted_scoring() {
+    let p = pipeline();
+    let stream = arrivals();
+
+    let engine = p.serving_engine().build().expect("engine builds");
+    for arrival in stream {
+        engine.apply_events(&arrival.events).expect("events apply");
+    }
+    // Probe both sides of the base/overlay boundary: transactions frozen
+    // into the trained base and every newly streamed one.
+    let mut probes: Vec<NodeId> = p.test_nodes.iter().copied().take(6).collect();
+    probes.extend(stream.iter().map(|a| a.txn_node));
+    let over_overlay = engine.score(&probes).expect("overlay scores");
+
+    let (on, oe) = engine.overlay_stats();
+    assert!(on > 0 && oe > 0, "stream must have grown the overlay");
+    engine.compact().expect("compaction succeeds");
+    assert_eq!(engine.overlay_stats(), (0, 0));
+    let over_compacted = engine.score(&probes).expect("compacted scores");
+    assert_eq!(
+        over_overlay, over_compacted,
+        "overlay and compacted scoring must be bit-identical"
+    );
+}
+
+#[test]
+fn truncated_tail_is_dropped_and_log_resumes() {
+    let stream = arrivals();
+    let events = flatten_events(stream);
+
+    let dir = temp_wal_dir("torn");
+    let wal = ShardedWal::create(&dir, 2).expect("wal creates");
+    for e in &events {
+        wal.append(e).expect("append succeeds");
+    }
+    wal.sync().expect("sync succeeds");
+    drop(wal);
+
+    // Replay-to-offset returns exactly the requested prefix.
+    let k = (events.len() / 2) as u64;
+    let partial = replay_dir(&dir, Some(k)).expect("offset replay succeeds");
+    assert_eq!(partial.events, events[..k as usize]);
+
+    // Tear the tail of one shard mid-record, as a crash mid-write would.
+    let shard = dir.join("wal-0001.log");
+    let len = std::fs::metadata(&shard).expect("shard exists").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&shard)
+        .expect("shard opens")
+        .set_len(len - 5)
+        .expect("truncate");
+
+    // Recovery: no panic, the surviving events are a clean prefix.
+    let replay = replay_dir(&dir, None).expect("torn replay succeeds");
+    assert!(replay.dropped_torn >= 1, "the torn record must be counted");
+    let n = replay.events.len();
+    assert!(n < events.len(), "the torn tail must be dropped");
+    assert_eq!(replay.events, events[..n], "survivors form a clean prefix");
+    assert_eq!(replay.next_seq, n as u64);
+
+    // Resume: reopen, re-append the lost suffix, and the log is whole.
+    let (wal, recovered) = ShardedWal::open(&dir).expect("log reopens");
+    assert_eq!(recovered.next_seq, n as u64);
+    for e in &events[n..] {
+        wal.append(e).expect("resumed append succeeds");
+    }
+    wal.sync().expect("sync succeeds");
+    drop(wal);
+    let healed = replay_dir(&dir, None).expect("healed replay succeeds");
+    assert_eq!(
+        healed.events, events,
+        "resumed log must hold the full stream"
+    );
+    assert_eq!(healed.dropped_torn, 0);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use xfraud::datagen::{Dataset, DatasetPreset};
 use xfraud::explain::topk_hit_rate;
 use xfraud::gnn::{HgSampler, SageSampler, Sampler, SubgraphBatch};
-use xfraud::hetgraph::{GraphBuilder, HetGraph, NodeType};
+use xfraud::hetgraph::{DeltaGraph, GraphBuilder, GraphEvent, HetGraph, NodeType};
 use xfraud::kvstore::{KvStore, ShardedStore, SingleLockStore};
 use xfraud::metrics::{roc_auc, roc_curve, trapezoid_area};
 use xfraud::tensor::{Tape, Tensor};
@@ -250,5 +250,159 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let batch = HgSampler::new(steps, width).sample(g, &seeds, &mut rng);
         assert_batch_invariants(g, &seeds, &batch);
+    }
+}
+
+/// Feature width of the event-interleaving properties below.
+const EVT_DIM: usize = 3;
+
+/// Interprets a raw proptest op tape into a *valid* `GraphEvent` sequence:
+/// links and labels only ever target nodes that already exist, and links
+/// respect the txn↔entity schema (in either endpoint order). The tape
+/// itself is arbitrary, so event counts, interleavings, duplicate links
+/// and label rewrites all vary freely.
+fn events_from_tape(tape: &[(u8, u8, u8, f32)]) -> Vec<GraphEvent> {
+    let mut events = Vec::with_capacity(tape.len());
+    let mut txns: Vec<usize> = Vec::new();
+    let mut entities: Vec<usize> = Vec::new();
+    let mut next_id = 0usize;
+    for &(op, s1, s2, x) in tape {
+        match op % 4 {
+            0 => {
+                let label = match s1 % 3 {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                };
+                events.push(GraphEvent::AddTxn {
+                    features: vec![x, x * 0.5, s2 as f32 * 0.01],
+                    label,
+                });
+                txns.push(next_id);
+                next_id += 1;
+            }
+            1 => {
+                let ty = [
+                    NodeType::Pmt,
+                    NodeType::Email,
+                    NodeType::Addr,
+                    NodeType::Buyer,
+                ][s1 as usize % 4];
+                events.push(GraphEvent::AddEntity { ty });
+                entities.push(next_id);
+                next_id += 1;
+            }
+            2 if !txns.is_empty() && !entities.is_empty() => {
+                let t = txns[s1 as usize % txns.len()];
+                let e = entities[s2 as usize % entities.len()];
+                // Either endpoint order is schema-legal; exercise both.
+                let (a, b) = if x < 0.5 { (t, e) } else { (e, t) };
+                events.push(GraphEvent::Link { a, b });
+            }
+            3 if !txns.is_empty() => {
+                let label = match s2 % 3 {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                };
+                events.push(GraphEvent::Label {
+                    node: txns[s1 as usize % txns.len()],
+                    label,
+                });
+            }
+            _ => {} // link/label with no legal target: skip
+        }
+    }
+    events
+}
+
+/// The from-scratch reference `DeltaGraph::compact` must reproduce: replay
+/// the events through `GraphBuilder` with each transaction carrying its
+/// *final* label (builders have no label rewrites — a batch build only ever
+/// sees the settled state).
+fn reference_build(events: &[GraphEvent]) -> HetGraph {
+    enum Node {
+        Txn(Vec<f32>, Option<bool>),
+        Entity(NodeType),
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    for e in events {
+        match e {
+            GraphEvent::AddTxn { features, label } => {
+                nodes.push(Node::Txn(features.clone(), *label))
+            }
+            GraphEvent::AddEntity { ty } => nodes.push(Node::Entity(*ty)),
+            GraphEvent::Link { a, b } => links.push((*a, *b)),
+            GraphEvent::Label { node, label } => match &mut nodes[*node] {
+                Node::Txn(_, l) => *l = *label,
+                Node::Entity(_) => panic!("tape never labels entities"),
+            },
+        }
+    }
+    let mut b = GraphBuilder::new(EVT_DIM);
+    for node in &nodes {
+        match node {
+            Node::Txn(f, l) => {
+                b.add_txn(f, *l);
+            }
+            Node::Entity(ty) => {
+                b.add_entity(*ty);
+            }
+        }
+    }
+    for &(a, bb) in &links {
+        b.link(a, bb).expect("tape links are schema-valid");
+    }
+    b.finish().expect("reference build succeeds")
+}
+
+// Overlay-correctness properties: compaction must be a pure representation
+// change, whatever the event interleaving and wherever the base/overlay
+// boundary falls. `HetGraph` derives `PartialEq` over every array (types,
+// labels, features, both CSR rings), so one assert covers the lot.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `DeltaGraph::compact()` on a from-empty overlay equals the
+    /// `GraphBuilder` build of the same records, and validates.
+    #[test]
+    fn compact_equals_from_scratch_build(
+        tape in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0.0f32..1.0), 1..80),
+    ) {
+        let events = events_from_tape(&tape);
+        let mut delta = DeltaGraph::empty(EVT_DIM);
+        for e in &events {
+            delta.apply(e).expect("tape events are valid");
+        }
+        let compacted = delta.compact().expect("compaction succeeds");
+        prop_assert!(compacted.validate());
+        prop_assert_eq!(compacted, reference_build(&events));
+    }
+
+    /// The same holds when the stream is cut at an arbitrary point into a
+    /// compacted base plus a live overlay — including label rewrites in the
+    /// suffix that override labels frozen into the base.
+    #[test]
+    fn compact_is_split_invariant(
+        tape in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0.0f32..1.0), 2..80),
+        cut in any::<u16>(),
+    ) {
+        let events = events_from_tape(&tape);
+        let cut = cut as usize % (events.len() + 1);
+        let mut prefix = DeltaGraph::empty(EVT_DIM);
+        for e in &events[..cut] {
+            prefix.apply(e).expect("prefix applies");
+        }
+        let base = prefix.compact().expect("base compaction succeeds");
+        let mut overlay = DeltaGraph::new(std::sync::Arc::new(base));
+        for e in &events[cut..] {
+            overlay.apply(e).expect("suffix applies");
+        }
+        let compacted = overlay.compact().expect("overlay compaction succeeds");
+        prop_assert!(compacted.validate());
+        prop_assert_eq!(compacted, reference_build(&events));
     }
 }
