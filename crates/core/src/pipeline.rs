@@ -43,29 +43,27 @@ pub struct PipelineConfig {
     pub test_fraction: f64,
 }
 
-impl Default for PipelineConfig {
-    fn default() -> Self {
-        PipelineConfig {
-            preset: DatasetPreset::EbaySmallSim,
-            data_seed: 7,
-            model_seed: 1,
-            detector: None,
-            train: TrainConfig {
-                epochs: 8,
-                ..TrainConfig::default()
-            },
-            sage_hops: 2,
-            sage_per_hop: 8,
-            test_fraction: 0.3,
-        }
-    }
-}
-
 impl PipelineConfig {
-    /// Starts a validated builder from the defaults.
+    /// Starts a validated builder from the defaults. This is the only
+    /// public construction path: the deprecated `Default` impl (the last
+    /// struct-literal escape hatch, via `..Default::default()`) was removed
+    /// once the deprecation cycle ended — see CHANGELOG "Migrating off
+    /// PipelineConfig literals".
     pub fn builder() -> PipelineConfigBuilder {
         PipelineConfigBuilder {
-            cfg: PipelineConfig::default(),
+            cfg: PipelineConfig {
+                preset: DatasetPreset::EbaySmallSim,
+                data_seed: 7,
+                model_seed: 1,
+                detector: None,
+                train: TrainConfig {
+                    epochs: 8,
+                    ..TrainConfig::default()
+                },
+                sage_hops: 2,
+                sage_per_hop: 8,
+                test_fraction: 0.3,
+            },
         }
     }
 
@@ -468,15 +466,13 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(ok.detector.unwrap().feature_dim, preset_dim);
-        // Pipeline::run re-validates mutated configs too. (Struct literals
-        // only work here because `#[non_exhaustive]` does not bind inside
-        // the defining crate — external code must go through the builder.)
-        let literal = PipelineConfig {
-            test_fraction: -0.25,
-            ..PipelineConfig::default()
-        };
+        // Pipeline::run re-validates configs mutated after build() too —
+        // fields stay `pub` for reading and in-crate tweaking, but every
+        // construction goes through the builder now.
+        let mut mutated = PipelineConfig::builder().build().unwrap();
+        mutated.test_fraction = -0.25;
         assert!(matches!(
-            Pipeline::run(literal),
+            Pipeline::run(mutated),
             Err(Error::Config(ConfigError::TestFraction(_)))
         ));
     }

@@ -55,13 +55,13 @@ pub struct TxnArrival {
 /// consumer streams onto an existing base graph.
 pub fn event_stream(world: &World, cfg: &WorldConfig, first_node_id: NodeId) -> Vec<TxnArrival> {
     let mut order: Vec<usize> = (0..world.records.len()).collect();
-    // Stable order on (time, record index): f32 times never NaN here, and
-    // the index tiebreak keeps the stream deterministic.
+    // Stable order on (time, record index): total_cmp gives a total order
+    // even for non-finite times, and the index tiebreak keeps the stream
+    // deterministic.
     order.sort_by(|&a, &b| {
         world.records[a]
             .time
-            .partial_cmp(&world.records[b].time)
-            .expect("finite event times")
+            .total_cmp(&world.records[b].time)
             .then(a.cmp(&b))
     });
 

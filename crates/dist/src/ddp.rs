@@ -152,6 +152,7 @@ impl<M: Model + Send + Sync> DdpTrainer<M> {
             ..TrainConfig::default()
         });
         for epoch in 0..self.cfg.epochs {
+            // xlint: allow(d2, reason = "epoch timing telemetry; gradients and averaging are clock-free")
             let start = Instant::now();
             // Per-worker batch schedules for this epoch.
             let mut schedules: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(self.workers.len());

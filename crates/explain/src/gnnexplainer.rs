@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -177,8 +177,9 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
             .collect();
         let feature_mask = masks.value(feat_logits).map(sigmoid);
 
-        // Collapse directions by max (footnote 4).
-        let mut link_weight: HashMap<(usize, usize), f64> = HashMap::new();
+        // Collapse directions by max (footnote 4). BTreeMap keeps the link
+        // list in key order without a separate sort (determinism rule D1).
+        let mut link_weight: BTreeMap<(usize, usize), f64> = BTreeMap::new();
         for (i, (&s, &d)) in batch.edge_src.iter().zip(&batch.edge_dst).enumerate() {
             let key = (s.min(d), s.max(d));
             let w = directed_edge_mask[i] as f64;
@@ -187,8 +188,7 @@ impl<'m, M: Model> GnnExplainer<'m, M> {
                 *slot = w;
             }
         }
-        let mut links: Vec<(usize, usize)> = link_weight.keys().copied().collect();
-        links.sort_unstable();
+        let links: Vec<(usize, usize)> = link_weight.keys().copied().collect();
         let edge_weights = links.iter().map(|k| link_weight[k]).collect();
 
         Explanation {

@@ -14,12 +14,7 @@ use rand::Rng;
 /// Indices of the `k` largest values, ties broken by ascending index.
 fn topk_deterministic(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN score")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     idx.truncate(k.min(scores.len()));
     idx
 }
@@ -30,9 +25,8 @@ fn topk_random(scores: &[f64], k: usize, rng: &mut StdRng) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
         scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN score")
-            .then(jitter[b].partial_cmp(&jitter[a]).unwrap())
+            .total_cmp(&scores[a])
+            .then(jitter[b].total_cmp(&jitter[a]))
     });
     idx.truncate(k.min(scores.len()));
     idx

@@ -86,17 +86,23 @@ pub fn grad_step<M: Model>(
 /// per-worker gradient sets, keyed by parameter index. Parameters missing
 /// from some workers (inactive replicas) are averaged over the *active*
 /// count, matching the behaviour of averaging only over workers that
-/// produced a gradient this step.
+/// produced a gradient this step. The map is a `BTreeMap` so the in-place
+/// scaling pass (and any future iteration) runs in parameter-index order —
+/// hash-order iteration here would not change values today, but the
+/// determinism contract (D1) forbids relying on that.
 pub fn average_grads(
     sets: &[Vec<(xfraud_nn::ParamId, xfraud_tensor::Tensor)>],
-) -> std::collections::HashMap<usize, xfraud_tensor::Tensor> {
+) -> std::collections::BTreeMap<usize, xfraud_tensor::Tensor> {
     let n = sets.len().max(1) as f32;
-    let mut avg: std::collections::HashMap<usize, xfraud_tensor::Tensor> =
-        std::collections::HashMap::new();
+    let mut avg: std::collections::BTreeMap<usize, xfraud_tensor::Tensor> =
+        std::collections::BTreeMap::new();
     for set in sets {
         for (id, gt) in set {
             avg.entry(id.index())
-                .and_modify(|t| t.add_assign(gt).expect("same shape"))
+                .and_modify(|t| {
+                    // xlint: allow(p1, reason = "all workers run the same model, so per-id grad shapes match by construction")
+                    t.add_assign(gt).expect("same shape");
+                })
                 .or_insert_with(|| gt.clone());
         }
     }

@@ -17,7 +17,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use xfraud_hetgraph::GraphEvent;
 use xfraud_kvstore::framing;
@@ -114,7 +114,12 @@ impl ShardedWal {
         let mut rec = Vec::new();
         framing::encode_into(&seq.to_be_bytes(), &payload, &mut rec);
         let shard = (seq % self.shards.len() as u64) as usize;
-        let mut f = self.shards[shard].lock().expect("wal shard lock");
+        // Poison recovery is sound here: the guarded state is just an
+        // append-positioned `File`, and replay already truncates any torn
+        // record a panicking writer may have left behind (rule L1).
+        let mut f = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         // seek-free: shard files are opened append-positioned and only this
         // lock writes them, so write_all lands at the end.
         f.write_all(&rec)?;
@@ -133,7 +138,12 @@ impl ShardedWal {
     /// Forces all shard segments to stable storage.
     pub fn sync(&self) -> Result<(), IngestError> {
         for s in &self.shards {
-            s.lock().expect("wal shard lock").sync_data()?;
+            // Same poison-recovery argument as `append`: torn records are
+            // truncated on replay, so a poisoned shard file is still safe
+            // to sync (rule L1).
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sync_data()?;
         }
         Ok(())
     }

@@ -70,8 +70,8 @@ pub fn next_frame(buf: &[u8], pos: usize) -> FrameStep {
 }
 
 fn read_u32(buf: &[u8], pos: usize) -> Option<usize> {
-    let bytes = buf.get(pos..pos + 4)?;
-    Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize)
+    let bytes: &[u8; 4] = buf.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(*bytes) as usize)
 }
 
 /// Iterator over the complete records of a framed byte buffer. Stops before

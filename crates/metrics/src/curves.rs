@@ -23,7 +23,7 @@ pub fn pr_curve(scores: &[f32], labels: &[bool]) -> Vec<CurvePoint> {
         return points;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut tp = 0usize;
     let mut k = 0;
     while k < order.len() {
@@ -61,7 +61,7 @@ pub fn roc_curve(scores: &[f32], labels: &[bool]) -> Vec<CurvePoint> {
         return points;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut k = 0;
     while k < order.len() {

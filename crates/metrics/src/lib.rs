@@ -29,7 +29,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Assign average ranks over tie groups (1-based ranks).
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -61,7 +61,7 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut tp = 0usize;
     let mut ap = 0.0f64;
     let mut prev_recall = 0.0f64;

@@ -232,7 +232,9 @@ impl Shared {
                 .ids
                 .iter()
                 .map(|id| {
-                    let at = unique.binary_search(id).expect("scored every unique id");
+                    let at = unique.binary_search(id).map_err(|_| {
+                        ServeError::Internal("request id missing from scored batch")
+                    })?;
                     results[at].clone()
                 })
                 .collect();
@@ -398,7 +400,7 @@ impl ScoringEngineBuilder {
                     worker_shared.process(reqs);
                 }
             })
-            .expect("spawn batcher thread");
+            .map_err(|e| ServeError::WorkerSpawn(e.to_string()))?;
 
         Ok(ScoringEngine {
             shared,
@@ -437,6 +439,7 @@ impl ScoringEngine {
             return Ok(Vec::new());
         }
         let tx = self.tx.as_ref().ok_or(ServeError::Shutdown)?;
+        // xlint: allow(d2, reason = "wall-clock latency telemetry only; never feeds a score")
         let started = Instant::now();
         let (reply, rx) = mpsc::channel();
         tx.send(Request {
@@ -568,6 +571,7 @@ impl ScoringEngine {
             return Ok(());
         }
         let frozen = graph.compact()?;
+        // xlint: allow(l1, reason = "the representation swap must happen under the write lock or readers could see a half-compacted graph")
         *graph = DeltaGraph::new(Arc::new(frozen));
         Ok(())
     }

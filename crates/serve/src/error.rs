@@ -24,6 +24,12 @@ pub enum ServeError {
     /// live graph (unknown endpoint, schema-invalid link, wrong feature
     /// width, label on an entity).
     Graph(GraphError),
+    /// The OS refused to spawn the batcher worker thread at build time.
+    WorkerSpawn(String),
+    /// A serving invariant was violated — a bug in the engine, not in the
+    /// caller's input. Returned instead of panicking so one poisoned
+    /// request cannot take the whole scoring thread down.
+    Internal(&'static str),
 }
 
 impl fmt::Display for ServeError {
@@ -43,6 +49,8 @@ impl fmt::Display for ServeError {
                 "detector expects {detector_dim} input features but the graph has {graph_dim}"
             ),
             ServeError::Graph(e) => write!(f, "graph event rejected: {e}"),
+            ServeError::WorkerSpawn(e) => write!(f, "failed to spawn batcher thread: {e}"),
+            ServeError::Internal(msg) => write!(f, "internal serving invariant violated: {msg}"),
         }
     }
 }

@@ -1,0 +1,224 @@
+//! `xlint` — the workspace's own static-analysis pass.
+//!
+//! Clippy knows Rust; it does not know *this repo's* contracts: bit-identical
+//! scores for any worker count, serving equivalence under any
+//! concurrency/batching, WAL-replay bit-identity. Those invariants are
+//! enforced by tests, which only catch regressions the generators happen to
+//! hit. `xlint` makes the underlying coding rules mechanical:
+//!
+//! * **D1** — no hash-collection iteration in determinism-critical crates;
+//! * **D2** — no ambient nondeterminism (entropy RNGs, clocks, env);
+//! * **P1** — no panicking escape hatches in library code;
+//! * **L1** — lock discipline (no poison unwraps, no guard held across a
+//!   workspace-crate call).
+//!
+//! Each finding is either fixed, suppressed inline with
+//! `// xlint: allow(<rule>, reason = "…")` (collected into an audit table),
+//! or grandfathered in the `[[baseline]]` section of `xlint.toml` — `--check`
+//! fails only on *new* violations, so the baseline can be burned down
+//! without blocking CI.
+//!
+//! There is no `syn` in the offline build image, so the tool lexes Rust
+//! itself ([`lexer`]) — string/comment-accurate tokens with line numbers and
+//! brace depths, which is exactly enough structure for these rules.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use config::{BaselineEntry, Config, RuleScope};
+use rules::{check_d1, check_d2, check_l1, check_p1, P1Options, Violation};
+use source::SourceFile;
+
+/// A violation that an inline allow directive suppressed — kept for the
+/// audit table.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub violation: Violation,
+    pub reason: Option<String>,
+}
+
+/// `(rule, file)` pairs whose violation count moved against the baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineDelta {
+    pub rule: String,
+    pub file: String,
+    pub baseline: usize,
+    pub actual: usize,
+    /// The file's live violations for this rule (reported when new ones
+    /// appeared).
+    pub violations: Vec<Violation>,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Live (un-suppressed) violations, every scoped file.
+    pub violations: Vec<Violation>,
+    /// Allow-suppressed findings, for the audit table.
+    pub suppressed: Vec<Suppressed>,
+    /// Pairs exceeding their baseline — a non-empty list fails `--check`.
+    pub regressions: Vec<BaselineDelta>,
+    /// Pairs now *below* their baseline — candidates for `--update-baseline`.
+    pub improvements: Vec<BaselineDelta>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// The baseline that would make the current tree exactly clean.
+    pub fn fresh_baseline(&self) -> Vec<BaselineEntry> {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in &self.violations {
+            *counts
+                .entry((v.rule.to_string(), v.file.clone()))
+                .or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|((rule, file), count)| BaselineEntry { rule, file, count })
+            .collect()
+    }
+}
+
+/// Runs every configured rule over the workspace at `root`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    // Parse each file once, share across rules.
+    let mut cache: BTreeMap<PathBuf, SourceFile> = BTreeMap::new();
+
+    for rule_id in cfg.rules.keys() {
+        if !matches!(rule_id.as_str(), "d1" | "d2" | "p1" | "l1") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unknown rule `[rules.{rule_id}]` in xlint.toml"),
+            ));
+        }
+    }
+    for (rule_id, scope) in &cfg.rules {
+        for krate in &scope.crates {
+            let src_dir = root.join("crates").join(krate).join("src");
+            if !src_dir.is_dir() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("xlint.toml scopes rule {rule_id} to missing crate `{krate}`"),
+                ));
+            }
+            for rel in rust_files(root, &src_dir)? {
+                if scope.skip_bins && rel.components().any(|c| c.as_os_str() == "bin") {
+                    continue;
+                }
+                if !cache.contains_key(&rel) {
+                    cache.insert(rel.clone(), SourceFile::parse(root, &rel)?);
+                }
+                let sf = &cache[&rel];
+                let raw = run_rule(rule_id, scope, krate, sf);
+                for v in raw {
+                    match sf.allowed(v.rule, v.line) {
+                        Some(allow) => report.suppressed.push(Suppressed {
+                            violation: v,
+                            reason: allow.reason.clone(),
+                        }),
+                        None => report.violations.push(v),
+                    }
+                }
+            }
+        }
+    }
+    report.files_scanned = cache.len();
+
+    // Ratchet against the baseline.
+    let actual = report.fresh_baseline();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for entry in &actual {
+        seen.push((entry.rule.clone(), entry.file.clone()));
+        let base = cfg.baseline_count(&entry.rule, &entry.file);
+        if entry.count == base {
+            continue;
+        }
+        let delta = BaselineDelta {
+            rule: entry.rule.clone(),
+            file: entry.file.clone(),
+            baseline: base,
+            actual: entry.count,
+            violations: report
+                .violations
+                .iter()
+                .filter(|v| v.rule == entry.rule && v.file == entry.file)
+                .cloned()
+                .collect(),
+        };
+        if entry.count > base {
+            report.regressions.push(delta);
+        } else {
+            report.improvements.push(delta);
+        }
+    }
+    // Baseline entries whose violations vanished entirely.
+    for e in &cfg.baseline {
+        if e.count > 0 && !seen.contains(&(e.rule.clone(), e.file.clone())) {
+            report.improvements.push(BaselineDelta {
+                rule: e.rule.clone(),
+                file: e.file.clone(),
+                baseline: e.count,
+                actual: 0,
+                violations: Vec::new(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+fn run_rule(rule_id: &str, scope: &RuleScope, krate: &str, sf: &SourceFile) -> Vec<Violation> {
+    match rule_id {
+        "d1" => check_d1(sf),
+        "d2" => check_d2(sf),
+        "p1" => check_p1(
+            sf,
+            P1Options {
+                indexing: scope.indexing_crates.iter().any(|c| c == krate),
+            },
+        ),
+        "l1" => check_l1(sf),
+        // lint_workspace validated rule ids before dispatching.
+        _ => Vec::new(),
+    }
+}
+
+/// All `.rs` files under `dir`, workspace-relative, sorted for stable
+/// output.
+fn rust_files(root: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` holding an
+/// `xlint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("xlint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! CLI driver: `cargo run -p xlint -- [--check|--update-baseline|--audit]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xlint::config::Config;
+use xlint::{find_root, lint_workspace, LintReport};
+
+const USAGE: &str = "\
+xlint — workspace lint pass for determinism, panic-safety and lock discipline
+
+USAGE:
+    cargo run -p xlint -- [OPTIONS]
+
+OPTIONS:
+    --check              Fail (exit 1) on violations exceeding the baseline
+                         in xlint.toml. This is the CI entry point. (Default
+                         behaviour when no mode is given.)
+    --update-baseline    Rewrite the [[baseline]] section of xlint.toml to
+                         match the current tree.
+    --audit              Print the table of inline `xlint: allow(...)`
+                         suppressions with their reasons.
+    --root <PATH>        Workspace root (default: nearest ancestor with an
+                         xlint.toml).
+    --help               This text.
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut audit_only = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--update-baseline" => update_baseline = true,
+            "--audit" => audit_only = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => return usage_error("no xlint.toml found here or above; pass --root"),
+    };
+    let cfg_path = root.join("xlint.toml");
+    let cfg = match Config::load(&cfg_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if audit_only {
+        print_audit(&report);
+        return ExitCode::SUCCESS;
+    }
+
+    if update_baseline {
+        let existing = match std::fs::read_to_string(&cfg_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xlint: reading {}: {e}", cfg_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rendered = Config::render_with_baseline(&existing, &report.fresh_baseline());
+        if let Err(e) = std::fs::write(&cfg_path, rendered) {
+            eprintln!("xlint: writing {}: {e}", cfg_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xlint: baseline updated — {} grandfathered violation(s) across {} (rule, file) pair(s)",
+            report.violations.len(),
+            report.fresh_baseline().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // --check (and default): report against the baseline.
+    print_audit(&report);
+    for imp in &report.improvements {
+        println!(
+            "xlint: baseline stale (improved): {} {} {} -> {} — run --update-baseline to burn it down",
+            imp.rule, imp.file, imp.baseline, imp.actual
+        );
+    }
+    if report.regressions.is_empty() {
+        println!(
+            "xlint: clean — {} file(s), {} grandfathered violation(s) in baseline, {} inline allow(s)",
+            report.files_scanned,
+            report.violations.len(),
+            report.suppressed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        let mut n_new = 0usize;
+        for reg in &report.regressions {
+            eprintln!(
+                "xlint: {}: {} violation(s) vs {} in baseline ({})",
+                reg.rule, reg.actual, reg.baseline, reg.file
+            );
+            for v in &reg.violations {
+                eprintln!("  {}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            }
+            n_new += reg.actual - reg.baseline;
+        }
+        eprintln!(
+            "xlint: FAILED — {n_new} new violation(s) above the baseline; fix them, add a \
+             justified `// xlint: allow(<rule>, reason = \"…\")`, or (for deliberate \
+             grandfathering) run --update-baseline"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn print_audit(report: &LintReport) {
+    if report.suppressed.is_empty() {
+        return;
+    }
+    println!("xlint: inline suppressions (audit):");
+    println!("  {:<4} {:<52} reason", "rule", "location");
+    for s in &report.suppressed {
+        let loc = format!("{}:{}", s.violation.file, s.violation.line);
+        println!(
+            "  {:<4} {:<52} {}",
+            s.violation.rule,
+            loc,
+            s.reason.as_deref().unwrap_or("(none given)")
+        );
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xlint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

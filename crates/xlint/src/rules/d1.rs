@@ -1,0 +1,171 @@
+//! D1 — no `HashMap`/`HashSet` iteration in determinism-critical crates.
+//!
+//! Hash iteration order varies per process (std's `RandomState`), so any
+//! `for`-loop, `iter()`, `keys()`, `values()`, `drain()` or `into_iter()`
+//! over a hash collection inside a crate that feeds scores, samples or
+//! serialized artefacts is a determinism hazard — even when today's
+//! consumer happens to be order-insensitive, the next refactor may not be.
+//! Keyed *lookup* (`get`, `entry`, `contains_key`) is fine and not flagged.
+//!
+//! Detection is name-based: the visitor first collects every identifier the
+//! file binds to a `HashMap`/`HashSet` (let bindings, fn params, struct
+//! fields — anything of the shape `name: HashMap<…>` or
+//! `name = HashMap::new()`), then flags iteration-shaped uses of those
+//! names. A `BTreeMap`/`BTreeSet` or sorted-`Vec` rewrite, or an explicit
+//! `// xlint: allow(d1, reason = "…")`, clears the finding.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{is_ident, is_path_sep, is_punct, Violation};
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+pub fn check_d1(sf: &SourceFile) -> Vec<Violation> {
+    let toks = &sf.tokens;
+    let hash_names = collect_hash_names(sf);
+    let mut out = Vec::new();
+
+    for i in 0..toks.len() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        // `name . method (` where `name` is hash-bound and `method` iterates.
+        if toks[i].kind == TokenKind::Ident
+            && hash_names.contains(toks[i].text.as_str())
+            && is_punct(toks, i + 1, ".")
+            && is_punct(toks, i + 3, "(")
+        {
+            if let Some(m) = toks.get(i + 2) {
+                if ITER_METHODS.contains(&m.text.as_str()) {
+                    out.push(Violation::new(
+                        "D1",
+                        sf,
+                        m.line,
+                        format!(
+                            "`{}.{}()` iterates a hash collection — iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet, a sorted Vec, or justify \
+                             with `// xlint: allow(d1, reason = \"…\")`",
+                            toks[i].text, m.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&[mut]] name {` over a hash-bound name.
+        if is_ident(toks, i, "for") {
+            if let Some(v) = check_for_loop(sf, &hash_names, i) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Names bound to a hash collection anywhere in the file.
+fn collect_hash_names(sf: &SourceFile) -> BTreeSet<&str> {
+    let toks = &sf.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && HASH_TYPES.contains(&toks[i].text.as_str())) {
+            continue;
+        }
+        // Walk left over a path prefix (`std :: collections ::`), then over
+        // `&`, `&mut` and `<`-nesting noise, to the binder.
+        let mut j = i;
+        while j >= 3 && is_path_sep(toks, j - 2) && toks[j - 3].kind == TokenKind::Ident {
+            j -= 3;
+        }
+        let mut k = j.wrapping_sub(1);
+        while k < toks.len() && (is_punct(toks, k, "&") || is_ident(toks, k, "mut")) {
+            k = k.wrapping_sub(1);
+        }
+        if k >= toks.len() {
+            continue;
+        }
+        // `name : HashMap` (let/param/field type ascription, not a path) or
+        // `name = HashMap::new()`.
+        let ascription = is_punct(toks, k, ":") && !is_punct(toks, k.wrapping_sub(1), ":");
+        let binder = if ascription || is_punct(toks, k, "=") {
+            k.checked_sub(1)
+        } else {
+            None
+        };
+        if let Some(bi) = binder {
+            if toks[bi].kind == TokenKind::Ident {
+                names.insert(toks[bi].text.as_str());
+            }
+        }
+    }
+    names
+}
+
+/// `for pat in expr {` — flags when `expr` is exactly a (borrowed)
+/// hash-bound name or `self.name` field access.
+fn check_for_loop(
+    sf: &SourceFile,
+    hash_names: &BTreeSet<&str>,
+    for_idx: usize,
+) -> Option<Violation> {
+    let toks = &sf.tokens;
+    // Find `in` before the loop body `{` (patterns contain no `in`).
+    let mut j = for_idx + 1;
+    let mut in_idx = None;
+    while j < toks.len() && !is_punct(toks, j, "{") {
+        if is_ident(toks, j, "in") {
+            in_idx = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let in_idx = in_idx?;
+    // Expression tokens between `in` and the body `{`.
+    let mut expr: Vec<usize> = Vec::new();
+    let mut k = in_idx + 1;
+    while k < toks.len() && !is_punct(toks, k, "{") {
+        expr.push(k);
+        k += 1;
+    }
+    // Strip leading borrows.
+    let mut e = &expr[..];
+    while let Some((&first, rest)) = e.split_first() {
+        if is_punct(toks, first, "&") || is_ident(toks, first, "mut") {
+            e = rest;
+        } else {
+            break;
+        }
+    }
+    let name_idx = match e {
+        // `for x in map` / `for x in &map`
+        [only] => Some(*only),
+        // `for x in self.map` / `for x in &self.map`
+        [a, dot, b] if is_ident(toks, *a, "self") && is_punct(toks, *dot, ".") => Some(*b),
+        _ => None,
+    }?;
+    let name = &toks[name_idx];
+    if name.kind == TokenKind::Ident && hash_names.contains(name.text.as_str()) {
+        return Some(Violation::new(
+            "D1",
+            sf,
+            name.line,
+            format!(
+                "`for … in {}` iterates a hash collection — iteration order is \
+                 nondeterministic; use BTreeMap/BTreeSet, a sorted Vec, or justify with \
+                 `// xlint: allow(d1, reason = \"…\")`",
+                name.text
+            ),
+        ));
+    }
+    None
+}

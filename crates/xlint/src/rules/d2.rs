@@ -1,0 +1,57 @@
+//! D2 — no ambient nondeterminism in determinism-critical crates.
+//!
+//! Every RNG in this workspace is derived from explicit `(seed, stream,
+//! coordinates)` tuples (`batch_rng`), and every clock read that feeds an
+//! artefact would break the bit-identity contracts (worker-count
+//! determinism, serving equivalence, WAL replay). `thread_rng()`,
+//! `rand::random()`, `StdRng::from_entropy()`, `SystemTime::now()`,
+//! `Instant::now()` and `std::env` reads are therefore banned outside the
+//! bench/metrics/CLI allowlist. Wall-clock *telemetry* that never feeds an
+//! artefact is legitimate — justify it with
+//! `// xlint: allow(d2, reason = "…")` so the audit table records why.
+
+use crate::source::SourceFile;
+
+use super::{is_assoc_call, is_ident, is_path_sep, Violation};
+
+pub fn check_d2(sf: &SourceFile) -> Vec<Violation> {
+    let toks = &sf.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        let hit: Option<String> = if is_ident(toks, i, "thread_rng") {
+            Some("thread_rng()".into())
+        } else if is_ident(toks, i, "from_entropy") {
+            Some("from_entropy()".into())
+        } else if is_assoc_call(toks, i, "SystemTime", "now") {
+            Some("SystemTime::now()".into())
+        } else if is_assoc_call(toks, i, "Instant", "now") {
+            Some("Instant::now()".into())
+        } else if is_assoc_call(toks, i, "rand", "random") {
+            Some("rand::random()".into())
+        } else if is_ident(toks, i, "env")
+            && i >= 3
+            && is_path_sep(toks, i - 2)
+            && is_ident(toks, i - 3, "std")
+        {
+            Some("std::env".into())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Violation::new(
+                "D2",
+                sf,
+                toks[i].line,
+                format!(
+                    "`{what}` is ambient nondeterminism — derive RNGs from explicit seeds \
+                     (`batch_rng`) and keep clock reads out of determinism-critical crates, \
+                     or justify with `// xlint: allow(d2, reason = \"…\")`"
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,176 @@
+//! L1 — lock discipline.
+//!
+//! Two hazards, both live ones in this workspace's serving path:
+//!
+//! 1. **Poison propagation** — `.lock().unwrap()` / `.read().expect(…)` on
+//!    a `std::sync` primitive re-raises a panic from whichever thread
+//!    poisoned the lock, tearing down the batcher (and with it the engine)
+//!    for a failure that already happened elsewhere. Recover the guard
+//!    (`unwrap_or_else(PoisonError::into_inner)`) when the protected state
+//!    tolerates it, or surface a typed error.
+//! 2. **Guard held across a workspace-crate call** — `let g = x.lock();`
+//!    followed by a call into another `xfraud_*` crate before `g` dies
+//!    stretches the critical section over code with unknown latency and
+//!    locking behaviour (the deadlock/latency hazard in the batcher). Drop
+//!    the guard first, or justify with `// xlint: allow(l1, reason = "…")`.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{is_path_sep, is_punct, Violation};
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+pub fn check_l1(sf: &SourceFile) -> Vec<Violation> {
+    let toks = &sf.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        if !is_lock_call(sf, i) {
+            continue;
+        }
+        // (1) `.lock().unwrap()` / `.expect(` directly chained.
+        let after = i + 3; // past `name ( )`
+        if is_punct(toks, after, ".")
+            && toks.get(after + 1).is_some_and(|t| {
+                t.kind == TokenKind::Ident && (t.text == "unwrap" || t.text == "expect")
+            })
+        {
+            out.push(Violation::new(
+                "L1",
+                sf,
+                toks[i].line,
+                format!(
+                    "`.{}().{}()` propagates lock poison as a panic — recover the guard \
+                     (`unwrap_or_else(PoisonError::into_inner)`) or surface a typed error",
+                    toks[i].text,
+                    toks[after + 1].text
+                ),
+            ));
+        }
+        // (2) `let g = ….lock()…;` — scan the guard's scope for calls into
+        // other workspace crates.
+        if let Some((guard_idx, stmt_end)) = enclosing_let(toks, i) {
+            let guard = toks[guard_idx].text.clone();
+            if let Some(v) = scan_guard_scope(sf, &guard, stmt_end) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Is `tokens[i]` the method name of a `. lock ( )` / `. read ( )` /
+/// `. write ( )` call with an empty argument list?
+fn is_lock_call(sf: &SourceFile, i: usize) -> bool {
+    let toks = &sf.tokens;
+    toks[i].kind == TokenKind::Ident
+        && LOCK_METHODS.contains(&toks[i].text.as_str())
+        && i >= 1
+        && is_punct(toks, i - 1, ".")
+        && is_punct(toks, i + 1, "(")
+        && is_punct(toks, i + 2, ")")
+}
+
+/// If the lock call at `i` sits in a `let name = …;` statement, returns
+/// `(index of name, index of the terminating ';')`.
+fn enclosing_let(toks: &[crate::lexer::Token], i: usize) -> Option<(usize, usize)> {
+    // Walk back to the statement head on this brace depth.
+    let depth = toks[i].brace_depth;
+    let mut j = i;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        let t = &toks[j];
+        if t.brace_depth < depth || t.text == ";" || t.text == "{" {
+            return None; // crossed a statement/block boundary without a let
+        }
+        if t.kind == TokenKind::Ident && t.text == "let" {
+            break;
+        }
+    }
+    // `let [mut] name = …`
+    let mut k = j + 1;
+    if toks.get(k).is_some_and(|t| t.text == "mut") {
+        k += 1;
+    }
+    let name_idx = k;
+    if toks.get(name_idx).map(|t| t.kind) != Some(TokenKind::Ident) {
+        return None;
+    }
+    if toks.get(name_idx + 1).is_none_or(|t| t.text != "=") {
+        return None; // destructuring or typed pattern — keep the rule simple
+    }
+    // Find the `;` ending the statement at this depth.
+    let mut e = i;
+    while e < toks.len() {
+        if toks[e].brace_depth < depth {
+            return None;
+        }
+        if toks[e].text == ";" && toks[e].brace_depth == depth {
+            return Some((name_idx, e));
+        }
+        e += 1;
+    }
+    None
+}
+
+/// Scans from the end of the guard's `let` statement to the end of its
+/// scope (enclosing `}` or `drop(guard)`), flagging the first call into a
+/// workspace crate made while the guard is live.
+fn scan_guard_scope(sf: &SourceFile, guard: &str, stmt_end: usize) -> Option<Violation> {
+    let toks = &sf.tokens;
+    let depth = toks[stmt_end].brace_depth;
+    let mut i = stmt_end + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.brace_depth < depth {
+            return None; // guard scope ended
+        }
+        // `drop ( guard )` releases early.
+        if t.text == "drop"
+            && is_punct(toks, i + 1, "(")
+            && toks.get(i + 2).is_some_and(|g| g.text == guard)
+            && is_punct(toks, i + 3, ")")
+        {
+            return None;
+        }
+        // A call into a workspace crate: `name(…)` or `name::…::seg(…)`
+        // where `name` was imported from an `xfraud*` crate (or is one).
+        // A bare path expression (`NodeType::Txn`, a match pattern, a
+        // struct literal) is a constant, not a critical-section extension.
+        if t.kind == TokenKind::Ident
+            && sf.workspace_imports.iter().any(|n| n == &t.text)
+            && !is_punct(toks, i.wrapping_sub(1), ".") // method names shadowing imports
+            && is_call_site(toks, i)
+        {
+            return Some(Violation::new(
+                "L1",
+                sf,
+                t.line,
+                format!(
+                    "guard `{guard}` is still live across a call into `{}` — a cross-crate \
+                     call under a lock is a deadlock/latency hazard; drop the guard first \
+                     or justify with `// xlint: allow(l1, reason = \"…\")`",
+                    t.text
+                ),
+            ));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Does the ident at `i` head a *call*? Either `name(` directly, or a path
+/// `name::seg::…::last(` whose final segment opens an argument list.
+fn is_call_site(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let mut j = i;
+    while is_path_sep(toks, j + 1) && toks.get(j + 3).map(|t| t.kind) == Some(TokenKind::Ident) {
+        j += 3;
+    }
+    is_punct(toks, j + 1, "(")
+}

@@ -1,0 +1,72 @@
+//! The rule set. Each rule is a pure function from a [`SourceFile`] to
+//! violations; allow-directive filtering and baseline ratcheting happen in
+//! the driver so rules stay trivially fixture-testable.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | D1 | no `HashMap`/`HashSet` *iteration* in determinism-critical crates — iteration order is nondeterministic and must never reach scores, samples or serialized artefacts |
+//! | D2 | no ambient nondeterminism (`thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now`, `std::env`) outside the bench/metrics/CLI timing allowlist |
+//! | P1 | no `unwrap`/`expect`/`panic!`-family (and, opt-in per crate, slice indexing) in library code outside `#[cfg(test)]` |
+//! | L1 | no lock acquisition whose poison is unwrapped without recovery, and no lock guard held across a call into another workspace crate |
+
+mod d1;
+mod d2;
+mod l1;
+mod p1;
+
+pub use d1::check_d1;
+pub use d2::check_d2;
+pub use l1::check_l1;
+pub use p1::{check_p1, P1Options};
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One rule hit, before allow/baseline filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// `"D1"`, `"D2"`, `"P1"` or `"L1"`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Violation {
+    pub fn new(rule: &'static str, sf: &SourceFile, line: u32, message: String) -> Violation {
+        Violation {
+            rule,
+            file: sf.rel_path.display().to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// Is token `i` an identifier with this exact text?
+pub(crate) fn is_ident(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+pub(crate) fn is_punct(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Does `tokens[i..]` match a `::` path separator (two `:` puncts)?
+pub(crate) fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    is_punct(tokens, i, ":") && is_punct(tokens, i + 1, ":")
+}
+
+/// Matches `recv :: name` ending at `i` (i.e. `tokens[i]` is `name` and it
+/// is reached through a path from `recv`).
+pub(crate) fn is_assoc_call(tokens: &[Token], i: usize, recv: &str, name: &str) -> bool {
+    i >= 3
+        && is_ident(tokens, i, name)
+        && is_path_sep(tokens, i - 2)
+        && is_ident(tokens, i - 3, recv)
+}

@@ -1,0 +1,102 @@
+//! P1 — no panicking escape hatches in library code.
+//!
+//! `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!` and
+//! `unimplemented!` outside `#[cfg(test)]` turn recoverable failures into
+//! process aborts — and in this workspace a panic on the batcher or a DDP
+//! worker thread takes the whole serving/training process down. Library
+//! crates carry typed error enums (`ServeError`, `IngestError`,
+//! `GraphError`, `ConfigError`); new code must use them. Invariants that
+//! genuinely cannot fail are documented in place with
+//! `// xlint: allow(p1, reason = "…")`.
+//!
+//! Slice indexing (`xs[i]`) is the same hazard with worse ergonomics to
+//! ban wholesale — tensor math indexes in every inner loop — so it is
+//! opt-in per crate via `indexing_crates` in `xlint.toml`.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+use super::{is_punct, Violation};
+
+/// Per-crate toggles for P1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct P1Options {
+    /// Also flag slice-indexing expressions (`xs[i]`).
+    pub indexing: bool,
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check_p1(sf: &SourceFile, opts: P1Options) -> Vec<Violation> {
+    let toks = &sf.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        // `. unwrap (` / `. expect (`
+        if toks[i].kind == TokenKind::Ident
+            && (toks[i].text == "unwrap" || toks[i].text == "expect")
+            && i >= 1
+            && is_punct(toks, i - 1, ".")
+            && is_punct(toks, i + 1, "(")
+        {
+            out.push(Violation::new(
+                "P1",
+                sf,
+                toks[i].line,
+                format!(
+                    "`.{}()` in library code panics on failure — return a typed error, or \
+                     justify the invariant with `// xlint: allow(p1, reason = \"…\")`",
+                    toks[i].text
+                ),
+            ));
+        }
+        // `panic ! (` and friends.
+        if toks[i].kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&toks[i].text.as_str())
+            && is_punct(toks, i + 1, "!")
+        {
+            out.push(Violation::new(
+                "P1",
+                sf,
+                toks[i].line,
+                format!(
+                    "`{}!` in library code aborts the thread — return a typed error, or \
+                     justify with `// xlint: allow(p1, reason = \"…\")`",
+                    toks[i].text
+                ),
+            ));
+        }
+        // Opt-in: `expr [ …` indexing (out-of-bounds panics). An `#[attr]`
+        // or an array/slice *type or literal* is preceded by punctuation,
+        // so "value token followed by `[`" isolates indexing.
+        if opts.indexing
+            && is_punct(toks, i, "[")
+            && i >= 1
+            && (toks[i - 1].kind == TokenKind::Ident
+                || is_punct(toks, i - 1, ")")
+                || is_punct(toks, i - 1, "]"))
+            && !is_keyword_before_index(&toks[i - 1].text)
+        {
+            out.push(Violation::new(
+                "P1",
+                sf,
+                toks[i].line,
+                "slice indexing panics out of bounds — use `get`/`get_mut` or justify with \
+                 `// xlint: allow(p1, reason = \"…\")`"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [a, b]`, `in [1, 2]`, …).
+fn is_keyword_before_index(text: &str) -> bool {
+    matches!(
+        text,
+        "return" | "in" | "if" | "else" | "match" | "break" | "mut" | "as" | "where"
+    )
+}

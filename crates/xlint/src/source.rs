@@ -1,0 +1,301 @@
+//! A lexed source file plus the derived facts every rule needs: which lines
+//! are test-only code, which lines carry `xlint: allow(...)` directives, and
+//! which workspace-crate names the file imports.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// An inline suppression: `// xlint: allow(p1, reason = "…")`.
+///
+/// A directive suppresses matching violations on its own line and on the
+/// next source line (so it can trail the offending expression or sit on the
+/// line above it, whichever rustfmt prefers).
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule id, upper-cased (`"D1"`, `"P1"`, …).
+    pub rule: String,
+    pub reason: Option<String>,
+    pub line: u32,
+}
+
+/// One parsed source file, ready for the rule visitors.
+pub struct SourceFile {
+    /// Path relative to the workspace root (`crates/gnn/src/model.rs`).
+    pub rel_path: PathBuf,
+    pub tokens: Vec<Token>,
+    pub allows: Vec<AllowDirective>,
+    /// `test_mask[i]` — token `i` sits inside `#[cfg(test)]` / `#[test]`
+    /// gated code and is invisible to every rule.
+    pub test_mask: Vec<bool>,
+    /// Leaf names this file imports from workspace crates
+    /// (`use xfraud_gnn::{predict_scores, Sampler}` → both names), plus the
+    /// crate names themselves (`xfraud_gnn`).
+    pub workspace_imports: Vec<String>,
+}
+
+impl SourceFile {
+    pub fn parse(root: &Path, rel_path: &Path) -> std::io::Result<SourceFile> {
+        let src = std::fs::read_to_string(root.join(rel_path))?;
+        Ok(SourceFile::from_source(rel_path, &src))
+    }
+
+    /// Parses from an in-memory string — the fixture-test entry point.
+    pub fn from_source(rel_path: &Path, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_mask = compute_test_mask(&lexed.tokens);
+        let allows = collect_allows(&lexed.comments);
+        let workspace_imports = collect_workspace_imports(&lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_path_buf(),
+            tokens: lexed.tokens,
+            allows,
+            test_mask,
+            workspace_imports,
+        }
+    }
+
+    /// Is a violation of `rule` at `line` suppressed by an allow directive?
+    pub fn allowed(&self, rule: &str, line: u32) -> Option<&AllowDirective> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]`- or `#[test]`-gated items. The scan
+/// finds the attribute, then masks up to the end of the item's brace block
+/// (or, for `#[cfg(test)] use …;`, the terminating semicolon).
+fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_test_attribute(tokens, i) {
+            // Find the item body: the first `{` before a `;` ends the item.
+            let mut j = after_attr;
+            let mut item_end = None;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    ";" => {
+                        item_end = Some(j);
+                        break;
+                    }
+                    "{" => {
+                        let open_depth = tokens[j].brace_depth;
+                        let mut k = j + 1;
+                        while k < tokens.len() {
+                            if tokens[k].text == "}" && tokens[k].brace_depth == open_depth {
+                                break;
+                            }
+                            k += 1;
+                        }
+                        item_end = Some(k.min(tokens.len() - 1));
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let end = item_end.unwrap_or(tokens.len() - 1);
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If tokens at `i` start `#[test]`, `#[cfg(test)]` or a `cfg(test, …)` /
+/// `cfg(any(test, …))` variant, returns the index just past the closing `]`.
+fn match_test_attribute(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    // Collect tokens to the matching `]` (attributes never nest brackets
+    // deeply in this workspace; track bracket depth anyway).
+    let mut j = i + 2;
+    let mut depth = 1u32;
+    let mut words: Vec<&str> = Vec::new();
+    while j < tokens.len() && depth > 0 {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => depth -= 1,
+            _ => {
+                if tokens[j].kind == TokenKind::Ident {
+                    words.push(&tokens[j].text);
+                }
+            }
+        }
+        j += 1;
+    }
+    let is_test = match words.as_slice() {
+        ["test"] => true,
+        [first, rest @ ..] if *first == "cfg" => rest.contains(&"test"),
+        _ => false,
+    };
+    is_test.then_some(j)
+}
+
+/// Extracts `xlint: allow(rule, reason = "…")` directives from comments.
+/// Multi-line block comments attribute the directive to their *last* line,
+/// matching the "directive covers the next line" convention.
+fn collect_allows(comments: &[Comment]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("xlint: allow(") {
+            let args_start = at + "xlint: allow(".len();
+            let tail = &rest[args_start..];
+            // The rule id runs to the first `,` (a reason follows) or `)`.
+            let Some(rule_end) = tail.find([',', ')']) else {
+                break;
+            };
+            let rule = tail[..rule_end].trim();
+            let mut consumed = rule_end + 1;
+            let mut reason = None;
+            if tail[rule_end..].starts_with(',') {
+                // `reason = "…"` — the reason is the quoted span, so a `)`
+                // inside it (e.g. "link() rejects …") does not end the
+                // directive early.
+                let after = &tail[rule_end + 1..];
+                if let Some(q1) = after.find('"') {
+                    if let Some(q2) = after[q1 + 1..].find('"') {
+                        let r = &after[q1 + 1..q1 + 1 + q2];
+                        if !r.is_empty() {
+                            reason = Some(r.to_string());
+                        }
+                        consumed = rule_end + 1 + q1 + 1 + q2 + 1;
+                    }
+                }
+            }
+            out.push(AllowDirective {
+                rule: rule.to_ascii_uppercase(),
+                reason,
+                line: c.end_line,
+            });
+            rest = &rest[args_start + consumed..];
+        }
+    }
+    out
+}
+
+/// Names imported from workspace crates: the `xfraud*` crate idents
+/// themselves plus every leaf of a `use xfraud_foo::…` tree.
+fn collect_workspace_imports(tokens: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text.starts_with("xfraud") {
+            push_unique(&mut names, &tokens[i].text);
+        }
+        if tokens[i].text == "use"
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.text.starts_with("xfraud"))
+        {
+            // Walk the use-tree to its `;`, collecting leaf idents (an ident
+            // not followed by `::`). `as` renames keep the rename. The crate
+            // name itself counts too (`xfraud_gnn::predict_scores(…)` calls).
+            push_unique(&mut names, &tokens[i + 1].text);
+            let mut j = i + 1;
+            while j < tokens.len() && tokens[j].text != ";" {
+                let followed_by_path = tokens.get(j + 1).is_some_and(|t| t.text == ":")
+                    && tokens.get(j + 2).is_some_and(|t| t.text == ":");
+                let renamed = tokens.get(j + 1).is_some_and(|t| t.text == "as");
+                if tokens[j].kind == TokenKind::Ident
+                    && tokens[j].text != "as"
+                    && !followed_by_path
+                    && !renamed
+                {
+                    push_unique(&mut names, &tokens[j].text);
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    if !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_source(Path::new("fixture.rs"), src)
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = r#"
+            fn library_code() { risky(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { also_risky(); }
+            }
+        "#;
+        let f = file(src);
+        let risky = f.tokens.iter().position(|t| t.text == "risky").unwrap();
+        let also = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "also_risky")
+            .unwrap();
+        assert!(!f.test_mask[risky]);
+        assert!(f.test_mask[also]);
+    }
+
+    #[test]
+    fn test_fns_are_masked_individually() {
+        let src = r#"
+            #[test]
+            fn a_test() { in_test(); }
+            fn library_code() { in_lib(); }
+        "#;
+        let f = file(src);
+        let t = f.tokens.iter().position(|t| t.text == "in_test").unwrap();
+        let l = f.tokens.iter().position(|t| t.text == "in_lib").unwrap();
+        assert!(f.test_mask[t]);
+        assert!(!f.test_mask[l]);
+    }
+
+    #[test]
+    fn allow_directives_parse_rule_and_reason() {
+        let src = "let x = 1; // xlint: allow(p1, reason = \"bounded by construction\")\n";
+        let f = file(src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "P1");
+        assert_eq!(
+            f.allows[0].reason.as_deref(),
+            Some("bounded by construction")
+        );
+        assert!(f.allowed("P1", 1).is_some());
+        assert!(f.allowed("P1", 2).is_some(), "covers the next line too");
+        assert!(f.allowed("D1", 1).is_none());
+    }
+
+    #[test]
+    fn workspace_imports_are_collected() {
+        let src = "use xfraud_gnn::{predict_scores, Sampler as S};\nuse std::fmt;\nfn f() { xfraud_hetgraph::community_of(); }\n";
+        let f = file(src);
+        assert!(f.workspace_imports.iter().any(|n| n == "xfraud_gnn"));
+        assert!(f.workspace_imports.iter().any(|n| n == "predict_scores"));
+        assert!(f.workspace_imports.iter().any(|n| n == "S"));
+        assert!(f.workspace_imports.iter().any(|n| n == "xfraud_hetgraph"));
+        assert!(!f.workspace_imports.iter().any(|n| n == "fmt"));
+        assert!(
+            !f.workspace_imports.iter().any(|n| n == "Sampler"),
+            "renamed import keeps the rename only"
+        );
+    }
+}

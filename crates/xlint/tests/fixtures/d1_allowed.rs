@@ -1,0 +1,11 @@
+//! D1 negative fixture: the same iteration, justified inline.
+use std::collections::HashMap;
+
+pub fn stats(m: &HashMap<u32, f32>) -> f32 {
+    // xlint: allow(d1, reason = "order-insensitive float max over disjoint keys")
+    m.values().fold(f32::NEG_INFINITY, |a, &b| a.max(b))
+}
+
+pub fn hist(m: &HashMap<u32, u64>) -> u64 {
+    m.values().copied().sum() // xlint: allow(d1, reason = "integer sum is order-insensitive")
+}

@@ -1,0 +1,32 @@
+//! D1 positive fixture: hash-collection iteration, three ways.
+use std::collections::{HashMap, HashSet};
+
+pub fn leak_order(m: &HashMap<u32, f32>) -> Vec<f32> {
+    let mut out = Vec::new();
+    for v in m.values() {
+        out.push(*v);
+    }
+    out
+}
+
+pub struct Overlay {
+    index: HashMap<usize, Vec<usize>>,
+}
+
+impl Overlay {
+    pub fn walk(&self) -> usize {
+        self.index.values().map(Vec::len).sum()
+    }
+}
+
+pub fn drain_set(s: &mut HashSet<u64>) -> Vec<u64> {
+    s.drain().collect()
+}
+
+pub fn lookup_is_fine(m: &HashMap<u32, f32>, k: u32) -> Option<f32> {
+    m.get(&k).copied()
+}
+
+pub fn vec_iteration_is_fine(xs: &[u32]) -> u32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,8 @@
+//! D2 negative fixture: telemetry clock reads, justified inline.
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // xlint: allow(d2, reason = "wall-clock telemetry only; never feeds an artefact")
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}

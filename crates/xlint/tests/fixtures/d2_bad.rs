@@ -1,0 +1,22 @@
+//! D2 positive fixture: every kind of ambient nondeterminism.
+
+pub fn entropy_everywhere() -> u64 {
+    let mut _rng = rand::thread_rng();
+    let _r: u64 = rand::random();
+    let _t = std::time::SystemTime::now();
+    let _i = std::time::Instant::now();
+    let _home = std::env::var("XFRAUD_SCALE");
+    0
+}
+
+pub fn seeded_is_fine(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,25 @@
+//! L1 negative fixture: recovery instead of poison unwrap, and a justified
+//! cross-crate call under a lock.
+use std::sync::{Mutex, PoisonError};
+
+use xfraud_gnn::predict_scores;
+
+pub struct Engine {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Engine {
+    pub fn recovered(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn justified(&self) -> usize {
+        let g = self.state.lock();
+        // xlint: allow(l1, reason = "predict_scores is lock-free and O(1) here")
+        let n = predict_scores();
+        g.len() + n
+    }
+}

@@ -1,0 +1,27 @@
+//! L1 positive fixture: poison unwrap + guard held across a workspace call.
+use std::sync::Mutex;
+
+use xfraud_gnn::predict_scores;
+
+pub struct Engine {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Engine {
+    pub fn poison_propagation(&self) -> usize {
+        self.state.lock().unwrap().len()
+    }
+
+    pub fn guard_across_crate_call(&self) -> usize {
+        let g = self.state.lock();
+        let n = predict_scores();
+        g.len() + n
+    }
+
+    pub fn dropped_before_call(&self) -> usize {
+        let g = self.state.lock();
+        let n = g.len();
+        drop(g);
+        n + predict_scores()
+    }
+}

@@ -1,0 +1,12 @@
+//! P1 negative fixture: a justified invariant.
+
+pub fn modulo_indexed(xs: &[u32], i: usize) -> u32 {
+    let at = i % xs.len();
+    // xlint: allow(p1, reason = "index is reduced modulo len on the line above")
+    xs[at]
+}
+
+pub fn always_some(x: u32) -> u32 {
+    // xlint: allow(p1, reason = "checked_add of values < 2^16 cannot overflow u32")
+    x.checked_add(1).unwrap()
+}

@@ -1,0 +1,46 @@
+//! The CI contract: `cargo run -p xlint -- --check` is clean against the
+//! committed baseline, the baseline is *exact* (no stale entries — burn-down
+//! must be recorded), and every inline allow carries a reason.
+
+use std::path::Path;
+
+use xlint::config::Config;
+use xlint::lint_workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xlint sits two levels under the workspace root")
+}
+
+#[test]
+fn xlint_check_is_clean_against_the_committed_baseline() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("xlint.toml")).expect("xlint.toml parses");
+    let report = lint_workspace(root, &cfg).expect("workspace scan");
+    assert!(
+        report.regressions.is_empty(),
+        "new violations above the baseline:\n{:#?}",
+        report.regressions
+    );
+    assert!(
+        report.improvements.is_empty(),
+        "baseline is stale — run `cargo run -p xlint -- --update-baseline` and commit:\n{:#?}",
+        report.improvements
+    );
+}
+
+#[test]
+fn every_inline_allow_carries_a_reason() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("xlint.toml")).expect("xlint.toml parses");
+    let report = lint_workspace(root, &cfg).expect("workspace scan");
+    let missing: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|s| s.reason.is_none())
+        .map(|s| format!("{}:{}", s.violation.file, s.violation.line))
+        .collect();
+    assert!(missing.is_empty(), "allows without reasons: {missing:#?}");
+}
