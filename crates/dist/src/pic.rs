@@ -58,7 +58,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, iterations: usize, seed: u64) -> Vec<
     let mut rng = StdRng::seed_from_u64(seed);
     // k-means++-ish init: spread quantiles of the sorted values.
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut centers: Vec<f64> = (0..k).map(|i| sorted[(i * (n - 1)) / k.max(1)]).collect();
     let mut assign = vec![0usize; n];
     for _ in 0..iterations {

@@ -40,7 +40,7 @@ impl FeatureImportance {
     /// Dimensions ranked by mean importance, descending.
     pub fn ranked(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.mean.len()).collect();
-        idx.sort_by(|&a, &b| self.mean[b].partial_cmp(&self.mean[a]).expect("finite"));
+        idx.sort_by(|&a, &b| self.mean[b].total_cmp(&self.mean[a]));
         idx
     }
 

@@ -161,9 +161,10 @@ impl HybridExplainer {
         draws: usize,
         rng: &mut StdRng,
     ) -> HybridExplainer {
-        let mut best: Option<(f64, HybridExplainer)> = None;
-        for step in 1..100 {
-            let alpha = step as f64 / 100.0;
+        // Evaluate α = 0.01 first so `best` is always occupied — same
+        // candidate order (and therefore identical rng draw sequence) as
+        // folding it into the loop, without a panicking unwrap at the end.
+        let evaluate = |alpha: f64, rng: &mut StdRng| {
             let (a, b) = ridge_coeffs(train, alpha);
             let cand = HybridExplainer {
                 a,
@@ -175,11 +176,16 @@ impl HybridExplainer {
                 .map(|&k| cand.mean_hit_rate(train, k, draws, rng))
                 .sum::<f64>()
                 / ks.len().max(1) as f64;
-            if best.as_ref().is_none_or(|(h, _)| mean > *h) {
-                best = Some((mean, cand));
+            (mean, cand)
+        };
+        let mut best = evaluate(0.01, rng);
+        for step in 2..100 {
+            let (mean, cand) = evaluate(step as f64 / 100.0, rng);
+            if mean > best.0 {
+                best = (mean, cand);
             }
         }
-        best.expect("at least one alpha evaluated").1
+        best.1
     }
 }
 

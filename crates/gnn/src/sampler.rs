@@ -211,7 +211,7 @@ impl Sampler for HgSampler {
                         (u.powf(1.0 / w.max(1e-12)), v)
                     })
                     .collect();
-                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
+                keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
                 for &(_, v) in keyed.iter().take(take) {
                     in_set[v] = true;
                     nodes.push(v);

@@ -227,7 +227,7 @@ impl HetGraph {
         if self.in_offsets.len() != n + 1 || self.out_offsets.len() != n + 1 {
             return false;
         }
-        if *self.in_offsets.last().unwrap() != self.edge_src.len() {
+        if self.in_offsets.last().copied() != Some(self.edge_src.len()) {
             return false;
         }
         for (v, w) in self.in_offsets.iter().zip(self.in_offsets.iter().skip(1)) {

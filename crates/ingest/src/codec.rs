@@ -76,26 +76,28 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// `take(N)` as a fixed array; the length mismatch arm is
+    /// unreachable when `take` succeeds, but a corrupt-frame error keeps
+    /// the decoder panic-free on any input.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], IngestError> {
+        <[u8; N]>::try_from(self.take(N)?)
+            .map_err(|_| IngestError::corrupt("event payload ends early"))
+    }
+
     fn u8(&mut self) -> Result<u8, IngestError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     fn u32(&mut self) -> Result<u32, IngestError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, IngestError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f32(&mut self) -> Result<f32, IngestError> {
-        Ok(f32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(f32::from_le_bytes(self.array()?))
     }
 }
 
@@ -186,5 +188,38 @@ mod tests {
         assert!(decode_event(&long).is_err(), "trailing bytes");
         assert!(decode_event(&[99]).is_err(), "unknown tag");
         assert!(decode_event(&[TAG_ADD_ENTITY, 200]).is_err(), "bad type");
+    }
+
+    /// Regression test for the `Reader::{u32,u64,f32}` panic sites
+    /// (`try_into().expect(…)`) the P2 reachability report surfaced:
+    /// every strict prefix of every variant's encoding must decode to
+    /// `Err`, never panic — a torn WAL tail hands the decoder exactly
+    /// these prefixes.
+    #[test]
+    fn every_truncation_of_every_variant_is_an_error() {
+        let events = vec![
+            GraphEvent::AddTxn {
+                features: vec![0.5, -2.0, 3.25],
+                label: Some(false),
+            },
+            GraphEvent::AddEntity {
+                ty: NodeType::Pmt,
+            },
+            GraphEvent::Link { a: 7, b: 19 },
+            GraphEvent::Label {
+                node: 3,
+                label: Some(true),
+            },
+        ];
+        for e in &events {
+            let mut buf = Vec::new();
+            encode_event(e, &mut buf);
+            for cut in 0..buf.len() {
+                assert!(
+                    decode_event(&buf[..cut]).is_err(),
+                    "prefix of len {cut} of {e:?} must be a decode error"
+                );
+            }
+        }
     }
 }

@@ -74,7 +74,7 @@ impl ServeMetrics {
             return (0.0, 0.0);
         }
         let mut sorted: Vec<f64> = ring.buf[..ring.filled].to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
         (at(0.50), at(0.99))
     }

@@ -22,16 +22,25 @@
 //! itself ([`lexer`]) — string/comment-accurate tokens with line numbers and
 //! brace depths, which is exactly enough structure for these rules.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod lockgraph;
+pub mod parser;
 pub mod rules;
 pub mod source;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use config::{BaselineEntry, Config, RuleScope};
-use rules::{check_d1, check_d2, check_l1, check_p1, P1Options, Violation};
+use lockgraph::LockGraph;
+use parser::parse_file;
+use rules::{
+    check_d1, check_d2, check_d3, check_l1, check_l2, check_p1, check_p2, BurndownEntry,
+    InterprocScope, P1Options, Violation,
+};
 use source::SourceFile;
 
 /// A violation that an inline allow directive suppressed — kept for the
@@ -67,20 +76,25 @@ pub struct LintReport {
     pub improvements: Vec<BaselineDelta>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// P2 burn-down priorities (live P1 sites ranked by how many in-scope
+    /// `pub` APIs can reach them). Populated when `[rules.p2]` is scoped.
+    pub burndown: Vec<BurndownEntry>,
 }
 
 impl LintReport {
-    /// The baseline that would make the current tree exactly clean.
+    /// The baseline that would make the current tree exactly clean,
+    /// file-major sorted (matches [`BaselineEntry`]'s `Ord`) so repeated
+    /// regeneration is byte-identical.
     pub fn fresh_baseline(&self) -> Vec<BaselineEntry> {
         let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
         for v in &self.violations {
             *counts
-                .entry((v.rule.to_string(), v.file.clone()))
+                .entry((v.file.clone(), v.rule.to_string()))
                 .or_default() += 1;
         }
         counts
             .into_iter()
-            .map(|((rule, file), count)| BaselineEntry { rule, file, count })
+            .map(|((file, rule), count)| BaselineEntry { rule, file, count })
             .collect()
     }
 }
@@ -92,7 +106,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
     let mut cache: BTreeMap<PathBuf, SourceFile> = BTreeMap::new();
 
     for rule_id in cfg.rules.keys() {
-        if !matches!(rule_id.as_str(), "d1" | "d2" | "p1" | "l1") {
+        if !matches!(rule_id.as_str(), "d1" | "d2" | "p1" | "l1" | "l2" | "p2" | "d3") {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!("unknown rule `[rules.{rule_id}]` in xlint.toml"),
@@ -100,6 +114,9 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
         }
     }
     for (rule_id, scope) in &cfg.rules {
+        if matches!(rule_id.as_str(), "l2" | "p2" | "d3") {
+            continue; // interprocedural — dispatched over the workspace model below
+        }
         for krate in &scope.crates {
             let src_dir = root.join("crates").join(krate).join("src");
             if !src_dir.is_dir() {
@@ -125,6 +142,53 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
                         }),
                         None => report.violations.push(v),
                     }
+                }
+            }
+        }
+    }
+    // Interprocedural phase: build the workspace model once (every crate,
+    // including out-of-scope ones — taint sources and panic sites in
+    // `metrics`/`bench` still matter to callers in scoped crates), then
+    // dispatch L2/P2/D3 over it.
+    let interproc: Vec<&String> = cfg
+        .rules
+        .keys()
+        .filter(|r| matches!(r.as_str(), "l2" | "p2" | "d3"))
+        .collect();
+    if !interproc.is_empty() {
+        let model = build_model(root, &mut cache)?;
+        let p1_live: Vec<Violation> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "P1")
+            .cloned()
+            .collect();
+        for rule_id in interproc {
+            let scope = &cfg.rules[rule_id];
+            let iscope = InterprocScope {
+                crates: scope.crates.iter().map(|c| lib_name(c)).collect(),
+                skip_bins: scope.skip_bins,
+            };
+            let raw = match rule_id.as_str() {
+                "l2" => check_l2(&model.graph, &model.locks, &iscope),
+                "p2" => {
+                    report.burndown = rules::burndown(&model.graph, &p1_live, &iscope);
+                    check_p2(&model.graph, &p1_live, &iscope)
+                }
+                "d3" => check_d3(&model.graph, &model.sources, &iscope),
+                _ => Vec::new(),
+            };
+            for v in raw {
+                let allow = model
+                    .sources
+                    .get(&v.file)
+                    .and_then(|sf| sf.allowed(v.rule, v.line));
+                match allow {
+                    Some(a) => report.suppressed.push(Suppressed {
+                        violation: v,
+                        reason: a.reason.clone(),
+                    }),
+                    None => report.violations.push(v),
                 }
             }
         }
@@ -171,6 +235,88 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
         }
     }
     Ok(report)
+}
+
+/// The workspace-level model the interprocedural rules consume. Sources
+/// are borrowed from the driver's parse cache — one parse per file feeds
+/// both the per-file and the interprocedural phases.
+struct Model<'a> {
+    graph: CallGraph,
+    locks: LockGraph,
+    /// Workspace-relative path string → parsed source, for allow-directive
+    /// lookups and D3 taint-root scanning.
+    sources: BTreeMap<String, &'a SourceFile>,
+}
+
+/// Maps a crate *directory* name (as used in `xlint.toml` scopes) to the
+/// lib name that appears in `use` paths: `core` → `xfraud`, `xlint` →
+/// `xlint`, everything else `xfraud_<dir>`.
+pub fn lib_name(dir: &str) -> String {
+    match dir {
+        "core" => "xfraud".to_string(),
+        "xlint" => "xlint".to_string(),
+        _ => format!("xfraud_{dir}"),
+    }
+}
+
+fn build_model<'a>(
+    root: &Path,
+    cache: &'a mut BTreeMap<PathBuf, SourceFile>,
+) -> std::io::Result<Model<'a>> {
+    let crates_dir = root.join("crates");
+    let mut dirs: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let path = entry?.path();
+        if path.join("src").is_dir() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                dirs.push(name.to_string());
+            }
+        }
+    }
+    dirs.sort();
+    let mut rels: Vec<(PathBuf, String)> = Vec::new();
+    for dir in &dirs {
+        let krate = lib_name(dir);
+        for rel in rust_files(root, &crates_dir.join(dir).join("src"))? {
+            rels.push((rel, krate.clone()));
+        }
+    }
+    for (rel, _) in &rels {
+        if !cache.contains_key(rel) {
+            let sf = SourceFile::parse(root, rel)?;
+            cache.insert(rel.clone(), sf);
+        }
+    }
+    let cache: &'a BTreeMap<PathBuf, SourceFile> = cache;
+    let parsed: Vec<(String, String, parser::ParsedFile)> = rels
+        .iter()
+        .map(|(rel, krate)| {
+            (
+                rel.display().to_string(),
+                krate.clone(),
+                parse_file(&cache[rel], krate),
+            )
+        })
+        .collect();
+    let graph = CallGraph::build(&parsed);
+    let locks = LockGraph::build(&graph);
+    let sources = rels
+        .iter()
+        .map(|(rel, _)| (rel.display().to_string(), &cache[rel]))
+        .collect();
+    Ok(Model {
+        graph,
+        locks,
+        sources,
+    })
+}
+
+/// Builds the whole-workspace call and lock graphs (for `--graph` DOT
+/// output and the slow graph-shape tests).
+pub fn build_graphs(root: &Path) -> std::io::Result<(CallGraph, LockGraph)> {
+    let mut cache = BTreeMap::new();
+    let model = build_model(root, &mut cache)?;
+    Ok((model.graph, model.locks))
 }
 
 fn run_rule(rule_id: &str, scope: &RuleScope, krate: &str, sf: &SourceFile) -> Vec<Violation> {

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use xlint::config::Config;
-use xlint::{find_root, lint_workspace, LintReport};
+use xlint::{build_graphs, find_root, lint_workspace, LintReport};
 
 const USAGE: &str = "\
 xlint — workspace lint pass for determinism, panic-safety and lock discipline
@@ -19,7 +19,13 @@ OPTIONS:
     --update-baseline    Rewrite the [[baseline]] section of xlint.toml to
                          match the current tree.
     --audit              Print the table of inline `xlint: allow(...)`
-                         suppressions with their reasons.
+                         suppressions with their reasons, and the P2
+                         burn-down table (panic sites ranked by how many
+                         pub APIs can reach them).
+    --graph <call|lock>  Print the whole-workspace call or lock graph as
+                         Graphviz DOT on stdout and exit.
+    --format <fmt>       Output format for --check: `text` (default) or
+                         `json` (machine-readable, one object on stdout).
     --root <PATH>        Workspace root (default: nearest ancestor with an
                          xlint.toml).
     --help               This text.
@@ -30,11 +36,22 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut update_baseline = false;
     let mut audit_only = false;
+    let mut graph: Option<String> = None;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
             "--update-baseline" => update_baseline = true,
             "--audit" => audit_only = true,
+            "--graph" => match args.next() {
+                Some(g) if g == "call" || g == "lock" => graph = Some(g),
+                _ => return usage_error("--graph needs `call` or `lock`"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => {}
+                Some("json") => json = true,
+                _ => return usage_error("--format needs `text` or `json`"),
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage_error("--root needs a path"),
@@ -51,6 +68,21 @@ fn main() -> ExitCode {
         Some(r) => r,
         None => return usage_error("no xlint.toml found here or above; pass --root"),
     };
+
+    if let Some(which) = graph {
+        let (cg, lg) = match build_graphs(&root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("xlint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match which.as_str() {
+            "call" => print!("{}", cg.to_dot()),
+            _ => print!("{}", lg.to_dot()),
+        }
+        return ExitCode::SUCCESS;
+    }
     let cfg_path = root.join("xlint.toml");
     let cfg = match Config::load(&cfg_path) {
         Ok(c) => c,
@@ -94,6 +126,14 @@ fn main() -> ExitCode {
     }
 
     // --check (and default): report against the baseline.
+    if json {
+        print!("{}", render_json(&report));
+        return if report.regressions.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     print_audit(&report);
     for imp in &report.improvements {
         println!(
@@ -131,20 +171,102 @@ fn main() -> ExitCode {
 }
 
 fn print_audit(report: &LintReport) {
-    if report.suppressed.is_empty() {
-        return;
+    if !report.suppressed.is_empty() {
+        println!("xlint: inline suppressions (audit):");
+        println!("  {:<4} {:<52} reason", "rule", "location");
+        for s in &report.suppressed {
+            let loc = format!("{}:{}", s.violation.file, s.violation.line);
+            println!(
+                "  {:<4} {:<52} {}",
+                s.violation.rule,
+                loc,
+                s.reason.as_deref().unwrap_or("(none given)")
+            );
+        }
     }
-    println!("xlint: inline suppressions (audit):");
-    println!("  {:<4} {:<52} reason", "rule", "location");
-    for s in &report.suppressed {
-        let loc = format!("{}:{}", s.violation.file, s.violation.line);
-        println!(
-            "  {:<4} {:<52} {}",
-            s.violation.rule,
-            loc,
-            s.reason.as_deref().unwrap_or("(none given)")
-        );
+    if !report.burndown.is_empty() {
+        println!("xlint: P1 burn-down priorities (pub APIs that can reach each panic site):");
+        println!("  {:<7} {:<44} {}", "pub-fan", "site", "in fn");
+        for b in &report.burndown {
+            let loc = format!("{}:{}", b.file, b.line);
+            println!("  {:<7} {:<44} {}", b.pub_apis, loc, b.fn_label);
+        }
     }
+}
+
+/// Minimal JSON escaping — control chars, quotes and backslashes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Machine-readable `--check` output: overall status, every regression's
+/// violations (the actionable set), and the stale-baseline list.
+fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"status\": {},\n",
+        json_str(if report.regressions.is_empty() {
+            "clean"
+        } else {
+            "failed"
+        })
+    ));
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"grandfathered\": {},\n  \"suppressed\": {},\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    ));
+    out.push_str("  \"new_violations\": [");
+    let mut first = true;
+    for reg in &report.regressions {
+        for v in &reg.violations {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            ));
+        }
+    }
+    out.push_str(if first { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"stale_baseline\": [");
+    first = true;
+    for imp in &report.improvements {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"baseline\": {}, \"actual\": {}}}",
+            json_str(&imp.rule),
+            json_str(&imp.file),
+            imp.baseline,
+            imp.actual
+        ));
+    }
+    out.push_str(if first { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
 }
 
 fn usage_error(msg: &str) -> ExitCode {

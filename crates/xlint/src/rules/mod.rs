@@ -8,16 +8,31 @@
 //! | D2 | no ambient nondeterminism (`thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now`, `std::env`) outside the bench/metrics/CLI timing allowlist |
 //! | P1 | no `unwrap`/`expect`/`panic!`-family (and, opt-in per crate, slice indexing) in library code outside `#[cfg(test)]` |
 //! | L1 | no lock acquisition whose poison is unwrapped without recovery, and no lock guard held across a call into another workspace crate |
+//!
+//! The interprocedural family (PR 6) consumes the workspace call and lock
+//! graphs instead of a single file:
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | L2 | the workspace lock graph is acyclic — no two code paths acquire the same locks in opposite order, even across crates |
+//! | P2 | `pub` APIs of scoped library crates do not transitively reach a live P1 panic site |
+//! | D3 | in-scope functions do not call out-of-scope functions tainted by ambient nondeterminism |
 
 mod d1;
 mod d2;
+mod d3;
 mod l1;
+mod l2;
 mod p1;
+mod p2;
 
 pub use d1::check_d1;
 pub use d2::check_d2;
+pub use d3::check_d3;
 pub use l1::check_l1;
+pub use l2::check_l2;
 pub use p1::{check_p1, P1Options};
+pub use p2::{burndown, check_p2, BurndownEntry};
 
 use crate::lexer::{Token, TokenKind};
 use crate::source::SourceFile;
@@ -41,6 +56,27 @@ impl Violation {
             line,
             message,
         }
+    }
+}
+
+/// Scope for the interprocedural rules: which *crate lib names* may carry
+/// violations, and whether `src/bin/**` files are exempt. The call/lock
+/// graphs themselves always span the whole workspace — scope restricts
+/// where findings are attributed, not what the analysis sees.
+#[derive(Debug, Clone, Default)]
+pub struct InterprocScope {
+    /// Crate lib names (`xfraud`, `xfraud_serve`, …) in scope.
+    pub crates: Vec<String>,
+    pub skip_bins: bool,
+}
+
+impl InterprocScope {
+    /// May a violation be attributed to this (crate, file)?
+    pub fn in_scope(&self, crate_name: &str, file: &str) -> bool {
+        if !self.crates.iter().any(|c| c == crate_name) {
+            return false;
+        }
+        !(self.skip_bins && file.split('/').any(|c| c == "bin"))
     }
 }
 

@@ -1,0 +1,157 @@
+//! P2 — panic reachability.
+//!
+//! P1 flags each `unwrap`/`expect`/`panic!` site locally; the baseline
+//! grandfathers the pre-existing ones. P2 answers the question the
+//! baseline list cannot: *which of those sites does a caller actually
+//! risk hitting through the public API?* Every `pub` function of a
+//! scoped library crate that can transitively reach a live P1 site —
+//! across any number of crate boundaries — is flagged, with the shortest
+//! witness call path. Sites reachable from many entry points float to
+//! the top of the burn-down list ([`burndown`]); sites reachable from
+//! none are cold code whose fix can wait.
+//!
+//! Over-approximation direction: same as the call graph's — a path may
+//! not be realisable at runtime, but an unreported reachable panic would
+//! be worse.
+
+use crate::callgraph::CallGraph;
+use crate::rules::{InterprocScope, Violation};
+
+/// Maps each live P1 violation to its innermost enclosing fn; returns
+/// `(fn index, site line)` pairs, deduplicated per fn keeping the
+/// smallest line.
+fn panic_roots(cg: &CallGraph, p1_live: &[Violation]) -> Vec<(usize, u32)> {
+    let mut roots: Vec<(usize, u32)> = Vec::new();
+    for v in p1_live {
+        let mut best: Option<usize> = None;
+        for (i, f) in cg.fns.iter().enumerate() {
+            if f.file == v.file && f.line <= v.line && v.line <= f.end_line {
+                // Innermost: the candidate starting latest.
+                if best.is_none_or(|b| cg.fns[b].line < f.line) {
+                    best = Some(i);
+                }
+            }
+        }
+        if let Some(i) = best {
+            match roots.iter_mut().find(|(r, _)| *r == i) {
+                Some((_, l)) => *l = (*l).min(v.line),
+                None => roots.push((i, v.line)),
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+pub fn check_p2(cg: &CallGraph, p1_live: &[Violation], scope: &InterprocScope) -> Vec<Violation> {
+    let roots = panic_roots(cg, p1_live);
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    let root_idx: Vec<usize> = roots.iter().map(|(i, _)| *i).collect();
+    let reached = cg.reaches(&root_idx);
+    let mut target = vec![false; cg.fns.len()];
+    for &i in &root_idx {
+        target[i] = true;
+    }
+
+    let mut out = Vec::new();
+    for (i, f) in cg.fns.iter().enumerate() {
+        if !reached[i] || !f.is_pub || !scope.in_scope(&f.crate_name, &f.file) {
+            continue;
+        }
+        let path = cg.path_to(i, &target);
+        let Some(&site_fn) = path.last() else { continue };
+        let site_line = roots
+            .iter()
+            .find(|(r, _)| *r == site_fn)
+            .map(|(_, l)| *l)
+            .unwrap_or(cg.fns[site_fn].line);
+        let msg = if path.len() == 1 {
+            format!(
+                "pub fn `{}` is itself a panic site (P1 at {}:{}) — callers inherit the panic",
+                cg.label(i),
+                f.file,
+                site_line
+            )
+        } else {
+            let chain: Vec<String> = path.iter().map(|&n| cg.label(n)).collect();
+            format!(
+                "pub fn `{}` can reach panic site {}:{} — call path: {}",
+                cg.label(i),
+                cg.fns[site_fn].file,
+                site_line,
+                chain.join(" -> ")
+            )
+        };
+        out.push(Violation {
+            rule: "P2",
+            file: f.file.clone(),
+            line: f.line,
+            message: msg,
+        });
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// One panic site with the number of in-scope `pub` entry points that can
+/// reach it — the burn-down priority.
+#[derive(Debug, Clone)]
+pub struct BurndownEntry {
+    pub file: String,
+    pub line: u32,
+    pub fn_label: String,
+    pub pub_apis: usize,
+}
+
+/// Ranks live P1 sites by public exposure: how many in-scope `pub`
+/// functions can transitively reach each. Sorted most-exposed first,
+/// ties by (file, line).
+pub fn burndown(cg: &CallGraph, p1_live: &[Violation], scope: &InterprocScope) -> Vec<BurndownEntry> {
+    let roots = panic_roots(cg, p1_live);
+    let mut fanin: Vec<(usize, usize)> = Vec::new(); // (root fn, pub api count)
+    for &(r, _) in &roots {
+        let reached = cg.reaches(&[r]);
+        let n = cg
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| reached[*i] && f.is_pub && scope.in_scope(&f.crate_name, &f.file))
+            .count();
+        fanin.push((r, n));
+    }
+    let mut out: Vec<BurndownEntry> = p1_live
+        .iter()
+        .map(|v| {
+            let n = roots
+                .iter()
+                .zip(&fanin)
+                .find(|((ri, _), _)| {
+                    let f = &cg.fns[*ri];
+                    f.file == v.file && f.line <= v.line && v.line <= f.end_line
+                })
+                .map(|(_, (_, n))| *n)
+                .unwrap_or(0);
+            let label = cg
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.file == v.file && f.line <= v.line && v.line <= f.end_line)
+                .max_by_key(|(_, f)| f.line)
+                .map(|(i, _)| cg.label(i))
+                .unwrap_or_else(|| "<module scope>".into());
+            BurndownEntry {
+                file: v.file.clone(),
+                line: v.line,
+                fn_label: label,
+                pub_apis: n,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (std::cmp::Reverse(a.pub_apis), &a.file, a.line)
+            .cmp(&(std::cmp::Reverse(b.pub_apis), &b.file, b.line))
+    });
+    out
+}

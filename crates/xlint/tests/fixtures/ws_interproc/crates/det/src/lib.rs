@@ -1,0 +1,11 @@
+//! D3 fixture: a determinism-critical crate calling the tainted
+//! re-export — the frontier edge the rule must flag.
+
+pub fn tick() -> u64 {
+    xfraud_midx::now_ms()
+}
+
+/// Calls nothing tainted — must not be flagged.
+pub fn pure() -> u64 {
+    21
+}

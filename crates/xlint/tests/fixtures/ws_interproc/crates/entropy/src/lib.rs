@@ -1,0 +1,7 @@
+//! D3 fixture: the nondeterminism source, in a crate outside the
+//! determinism scope (like the real `metrics`/`bench` crates).
+
+pub fn now_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    to_millis(t)
+}

@@ -1,0 +1,15 @@
+//! P2 fixture: a library whose pub API reaches `xfraud_panico::boom`
+//! through a private helper — cross-crate panic reachability.
+
+pub fn api() -> u32 {
+    helper()
+}
+
+fn helper() -> u32 {
+    xfraud_panico::boom(&[1, 2])
+}
+
+/// Does NOT reach the panic site — must not be flagged.
+pub fn safe() -> u32 {
+    7
+}

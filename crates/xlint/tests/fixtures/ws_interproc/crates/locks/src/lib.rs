@@ -1,0 +1,34 @@
+//! L2 positive fixture: three locks acquired in a cycle — `a` before
+//! `b`, `b` before `c`, and (through a helper call, so the edge is
+//! interprocedural) `c` before `a`.
+
+pub struct Trio {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        consume(ga, gb);
+    }
+
+    pub fn bc(&self) {
+        let gb = self.b.lock();
+        let gc = self.c.lock();
+        consume(gb, gc);
+    }
+
+    pub fn ca(&self) {
+        let gc = self.c.lock();
+        self.grab_a();
+        consume(gc, 0);
+    }
+
+    fn grab_a(&self) {
+        let ga = self.a.lock();
+        consume(ga, 0);
+    }
+}

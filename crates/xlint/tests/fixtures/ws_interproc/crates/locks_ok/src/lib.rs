@@ -1,0 +1,28 @@
+//! L2 negative fixture: the same three locks, always acquired in the
+//! global order `a` → `b` → `c`. No cycle, no finding.
+
+pub struct Trio {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn abc(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        let gc = self.c.lock();
+        consume(ga, gb, gc);
+    }
+
+    pub fn bc(&self) {
+        let gb = self.b.lock();
+        self.grab_c();
+        consume(gb, 0);
+    }
+
+    fn grab_c(&self) {
+        let gc = self.c.lock();
+        consume(gc, 0);
+    }
+}

@@ -1,0 +1,4 @@
+//! D3 fixture: re-export bridge — taint must flow through `pub use`
+//! without `midx` defining anything itself.
+
+pub use xfraud_entropy::now_ms;

@@ -1,0 +1,5 @@
+//! P2 fixture: a crate exposing a panic site (a live P1 violation).
+
+pub fn boom(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

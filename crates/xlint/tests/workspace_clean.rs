@@ -31,6 +31,27 @@ fn xlint_check_is_clean_against_the_committed_baseline() {
     );
 }
 
+/// The ratchet floor: PR 6 burned the grandfathered P1/L1 baseline down
+/// from 34 violations to 25. The committed baseline may only shrink from
+/// here — regrowing it (grandfathering *new* panic sites or lock-
+/// discipline violations instead of fixing them) fails CI.
+#[test]
+fn p1_l1_baseline_only_shrinks() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("xlint.toml")).expect("xlint.toml parses");
+    let grandfathered: usize = cfg
+        .baseline
+        .iter()
+        .filter(|e| e.rule == "P1" || e.rule == "L1")
+        .map(|e| e.count)
+        .sum();
+    assert!(
+        grandfathered <= 25,
+        "P1/L1 baseline grew to {grandfathered} violations (ceiling 25) — fix new \
+         findings instead of grandfathering them, or lower this ceiling after a burn-down"
+    );
+}
+
 #[test]
 fn every_inline_allow_carries_a_reason() {
     let root = workspace_root();
