@@ -6,6 +6,9 @@
 //! xfraud-cli stats       [--preset ...]
 //! xfraud-cli serve-bench [--preset ...] [--epochs N] [--seed S] [--callers C]
 //!                        [--requests R] [--batch B] [--no-cache]
+//! xfraud-cli load-bench  [--preset ...] [--epochs N] [--seed S] [--rate R]
+//!                        [--duration-secs D] [--pattern constant|diurnal|bursts]
+//!                        [--connections C] [--batch B] [--smoke]
 //! ```
 //!
 //! `train` reports held-out metrics; `explain` additionally explains the
@@ -18,7 +21,16 @@
 //! every arrival is WAL-appended, applied as graph events and scored the
 //! moment it lands — reporting WAL/ingest throughput (events/s) and
 //! score-on-arrival p50/p99 latency, then verifies compaction leaves
-//! scores bit-identical.
+//! scores bit-identical;
+//! `load-bench` boots the network-facing scoring service
+//! ([`xfraud::netserve::NetServer`]) on loopback and drives it with
+//! **open-loop** arrivals: it calibrates closed-loop capacity, then offers
+//! 0.5×, 1× and 2× that rate (latency measured from the *scheduled*
+//! arrival), reporting goodput vs offered load, shed rate and p50/p99/p999
+//! per step. `--smoke` instead runs one short constant-rate pass with
+//! hard assertions (zero 5xx, zero transport errors, nonzero goodput,
+//! wire scores bit-identical to the engine) and exits non-zero on any
+//! violation — the CI gate.
 //!
 //! Pipeline failures (bad flags, out-of-range config, unknown ids) print a
 //! one-line diagnostic and exit non-zero — no panics, no backtraces.
@@ -51,6 +63,16 @@ struct Args {
     stream_txns: usize,
     /// stream-bench: WAL shard count.
     wal_shards: usize,
+    /// load-bench: offered rate at 1× (req/s); 0 = calibrate closed-loop.
+    rate: f64,
+    /// load-bench: seconds per load step.
+    duration_secs: u64,
+    /// load-bench: offered-rate curve shape.
+    pattern: String,
+    /// load-bench: sender connections.
+    connections: usize,
+    /// load-bench: single short pass with hard pass/fail assertions.
+    smoke: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,10 +91,19 @@ fn parse_args() -> Result<Args, String> {
         no_cache: false,
         stream_txns: 300,
         wal_shards: 4,
+        rate: 0.0,
+        duration_secs: 5,
+        pattern: "bursts".to_string(),
+        connections: 16,
+        smoke: false,
     };
     while let Some(flag) = args.next() {
         if flag == "--no-cache" {
             parsed.no_cache = true;
+            continue;
+        }
+        if flag == "--smoke" {
+            parsed.smoke = true;
             continue;
         }
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -94,6 +125,12 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => parsed.batch = value()?.parse().map_err(|e| format!("{e}"))?,
             "--stream-txns" => parsed.stream_txns = value()?.parse().map_err(|e| format!("{e}"))?,
             "--wal-shards" => parsed.wal_shards = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--rate" => parsed.rate = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-secs" => {
+                parsed.duration_secs = value()?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--pattern" => parsed.pattern = value()?,
+            "--connections" => parsed.connections = value()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -101,10 +138,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: xfraud-cli <train|explain|stats|serve-bench|stream-bench> \
+    "usage: xfraud-cli <train|explain|stats|serve-bench|stream-bench|load-bench> \
      [--preset small|large|xlarge] [--epochs N] [--seed S] [--top K] [--workers W] \
      [--callers C] [--requests R] [--batch B] [--no-cache] \
-     [--stream-txns T] [--wal-shards K]"
+     [--stream-txns T] [--wal-shards K] \
+     [--rate R] [--duration-secs D] [--pattern constant|diurnal|bursts] \
+     [--connections C] [--smoke]"
         .to_string()
 }
 
@@ -209,6 +248,224 @@ fn serve_bench(args: &Args) -> Result<(), xfraud::Error> {
     Ok(())
 }
 
+/// Network-service failures rendered into the CLI's error type.
+fn net_err(e: impl std::fmt::Display) -> xfraud::Error {
+    xfraud::Error::Serve(xfraud::serve::ServeError::InvalidConfig(format!("{e}")))
+}
+
+/// Closed-loop capacity probe: `connections` clients hammer the server
+/// back-to-back for ~1.2 s; the aggregate 2xx rate is the saturation
+/// throughput the open-loop multipliers are anchored to.
+fn calibrate_capacity(
+    addr: std::net::SocketAddr,
+    pool: &[NodeId],
+    connections: usize,
+    batch: usize,
+) -> Result<f64, xfraud::Error> {
+    use xfraud::netserve::{ScoreClient, ScoreOutcome};
+    let window = std::time::Duration::from_millis(1200);
+    let timeout = std::time::Duration::from_secs(10);
+    let started = Instant::now();
+    let counts: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let Ok(mut client) = ScoreClient::connect(addr, timeout) else {
+                        return 0u64;
+                    };
+                    let mut ok = 0u64;
+                    let mut i = c;
+                    while started.elapsed() < window {
+                        let ids: Vec<NodeId> =
+                            (0..batch).map(|k| pool[(i + k) % pool.len()]).collect();
+                        i = i.wrapping_add(batch);
+                        if matches!(client.score("calibrate", &ids), Ok(ScoreOutcome::Scores(_))) {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let total: u64 = counts.iter().sum();
+    let rate = total as f64 / started.elapsed().as_secs_f64();
+    if total == 0 {
+        return Err(net_err(
+            "capacity calibration produced no successful responses",
+        ));
+    }
+    Ok(rate)
+}
+
+fn load_bench(args: &Args) -> Result<(), xfraud::Error> {
+    use std::time::Duration;
+    use xfraud::netserve::{
+        run_load, LoadConfig, NetServer, RatePattern, ScoreClient, ScoreOutcome, ServerConfig,
+    };
+
+    let pattern = match args.pattern.as_str() {
+        "constant" => RatePattern::Constant,
+        "diurnal" => RatePattern::Diurnal { trough_frac: 0.2 },
+        "bursts" => RatePattern::Bursts {
+            period: Duration::from_secs(1),
+            burst_frac: 0.2,
+            amplitude: 4.0,
+        },
+        other => return Err(net_err(format!("unknown pattern `{other}`"))),
+    };
+
+    let pipeline = train_pipeline(args)?;
+    let pool: Vec<NodeId> = pipeline.test_nodes.clone();
+    let mut builder = pipeline
+        .serving_engine()
+        .max_batch(args.connections.max(2) * 2);
+    if args.no_cache {
+        builder = builder.no_cache();
+    }
+    let engine = std::sync::Arc::new(builder.build()?);
+    // The in-flight cap sits below the sender concurrency so 2× overload
+    // actually exercises 503 shedding instead of queueing without bound;
+    // one scorer per permit so admitted requests never wait for a thread.
+    let max_inflight = (args.connections / 2).max(4);
+    let server_cfg = ServerConfig {
+        max_inflight,
+        score_threads: max_inflight,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::start(std::sync::Arc::clone(&engine), server_cfg).map_err(net_err)?;
+    let addr = server.local_addr();
+    println!(
+        "load-bench: scoring service on {addr} ({} held-out txns, pattern {}, {} connections, \
+         in-flight cap {max_inflight}, cache {})",
+        pool.len(),
+        args.pattern,
+        args.connections,
+        if args.no_cache { "off" } else { "on" }
+    );
+
+    let base = LoadConfig {
+        duration: Duration::from_secs(args.duration_secs.max(1)),
+        ids: pool.clone(),
+        ids_per_request: args.batch,
+        connections: args.connections,
+        seed: args.seed,
+        ..LoadConfig::default()
+    };
+
+    if args.smoke {
+        // One short constant-rate pass, well under capacity, with hard
+        // pass/fail assertions — the CI gate.
+        let cfg = LoadConfig {
+            rate_per_sec: if args.rate > 0.0 { args.rate } else { 30.0 },
+            pattern: RatePattern::Constant,
+            ..base
+        };
+        let report = run_load(addr, &cfg).map_err(net_err)?;
+        println!("{report}");
+        let m = server.metrics();
+        println!("server: {m}");
+
+        // Equivalence spot-check: wire scores must be engine bits.
+        let probe: Vec<NodeId> = pool.iter().copied().take(8).collect();
+        let direct = engine.score(&probe)?;
+        let mut client = ScoreClient::connect(addr, Duration::from_secs(10)).map_err(net_err)?;
+        let wire = match client.score("smoke", &probe).map_err(net_err)? {
+            ScoreOutcome::Scores(s) => s,
+            ScoreOutcome::Rejected { status, error } => {
+                return Err(net_err(format!("smoke probe rejected: {status} {error}")))
+            }
+        };
+        let mut failures = Vec::new();
+        if wire
+            .iter()
+            .map(|s| s.to_bits())
+            .ne(direct.iter().map(|s| s.to_bits()))
+        {
+            failures.push("wire scores are not bit-identical to the engine".to_string());
+        }
+        if report.completed_2xx == 0 || report.goodput() <= 0.0 {
+            failures.push("zero goodput".to_string());
+        }
+        if report.responses_5xx > 0 || m.responses_5xx > 0 {
+            failures.push(format!(
+                "5xx responses observed (client {}, server {})",
+                report.responses_5xx, m.responses_5xx
+            ));
+        }
+        if report.transport_errors > 0 {
+            failures.push(format!("{} transport errors", report.transport_errors));
+        }
+        server.shutdown();
+        if failures.is_empty() {
+            println!("smoke: PASS");
+            return Ok(());
+        }
+        for f in &failures {
+            eprintln!("smoke: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    // Warm both cache tiers (and the allocator) before measuring: the
+    // first touch of each community pays sampling + a forward pass, and a
+    // 1-second calibration window must not be dominated by that cold work.
+    for chunk in pool.chunks(128) {
+        engine.score(chunk)?;
+    }
+
+    let capacity = if args.rate > 0.0 {
+        println!("capacity: {:.1} req/s (from --rate)", args.rate);
+        args.rate
+    } else {
+        // Probe with exactly the in-flight budget: more senders would
+        // spend the window shedding 503s instead of measuring saturation.
+        let c = calibrate_capacity(addr, &pool, max_inflight, args.batch)?;
+        println!("capacity: {c:.1} req/s (closed-loop, {max_inflight} connections)");
+        c
+    };
+
+    println!("| load | offered/s | goodput/s | shed % | p50 ms | p99 ms | p999 ms | 5xx |");
+    println!("|------|-----------|-----------|--------|--------|--------|---------|-----|");
+    let mut any_5xx = 0u64;
+    for mult in [0.5, 1.0, 2.0] {
+        // Anchor to the pattern's *mean* so "1×" offers capacity on
+        // average (bursts spike above it, by design).
+        let cfg = LoadConfig {
+            rate_per_sec: capacity * mult / pattern.mean(),
+            pattern: pattern.clone(),
+            ..base.clone()
+        };
+        let report = run_load(addr, &cfg).map_err(net_err)?;
+        any_5xx += report.responses_5xx;
+        println!(
+            "| {mult:.1}× | {:9.1} | {:9.1} | {:6.1} | {:6.2} | {:6.2} | {:7.2} | {:3} |",
+            report.offered_rate(),
+            report.goodput(),
+            100.0 * report.shed_rate(),
+            report.p50_ms,
+            report.p99_ms,
+            report.p999_ms,
+            report.responses_5xx,
+        );
+    }
+    let m = server.metrics();
+    println!("server: {m}");
+    println!("engine: {}", engine.metrics());
+    server.shutdown();
+    if any_5xx > 0 || m.responses_5xx > 0 {
+        return Err(net_err(format!(
+            "5xx responses under load (client {any_5xx}, server {})",
+            m.responses_5xx
+        )));
+    }
+    Ok(())
+}
+
 /// `sorted` ascending; `p` in `[0, 1]` (nearest-rank on the closed index).
 fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
     let idx = ((sorted.len().saturating_sub(1)) as f64 * p).round() as usize;
@@ -293,6 +550,7 @@ fn real_main(args: &Args) -> Result<(), xfraud::Error> {
         }
         "serve-bench" => serve_bench(args)?,
         "stream-bench" => stream_bench(args)?,
+        "load-bench" => load_bench(args)?,
         "train" | "explain" => {
             let pipeline = train_pipeline(args)?;
             for e in &pipeline.history {

@@ -49,6 +49,7 @@ pub use xfraud_hetgraph as hetgraph;
 pub use xfraud_ingest as ingest;
 pub use xfraud_kvstore as kvstore;
 pub use xfraud_metrics as metrics;
+pub use xfraud_netserve as netserve;
 pub use xfraud_nn as nn;
 pub use xfraud_rules as rules;
 pub use xfraud_serve as serve;

@@ -202,9 +202,7 @@ mod tests {
                 features: vec![0.5, -2.0, 3.25],
                 label: Some(false),
             },
-            GraphEvent::AddEntity {
-                ty: NodeType::Pmt,
-            },
+            GraphEvent::AddEntity { ty: NodeType::Pmt },
             GraphEvent::Link { a: 7, b: 19 },
             GraphEvent::Label {
                 node: 3,

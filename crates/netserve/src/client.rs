@@ -1,0 +1,168 @@
+//! A small blocking HTTP/1.1 client for the scoring service — the far end
+//! of the wire for the load harness, the equivalence suite and the CLI.
+//!
+//! One [`ScoreClient`] is one keep-alive connection (plus its reconnect
+//! logic): requests on the same client reuse the socket until the server
+//! closes it, and a request that fails before any response byte on a
+//! *reused* connection is retried once on a fresh one (the server may have
+//! legitimately reaped the idle socket between requests). Server-side
+//! rejections are not errors here — they come back as
+//! [`ScoreOutcome::Rejected`] so callers can count 429/503 shedding.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use xfraud_hetgraph::NodeId;
+
+use crate::error::ClientError;
+use crate::http::parse_response_head;
+use crate::proto::{decode_error_body, decode_score_response, encode_score_request, ScoreRequest};
+
+/// What the server said to one scoring request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreOutcome {
+    /// `200 OK`: scores positionally aligned with the requested ids.
+    Scores(Vec<f32>),
+    /// Any non-200: the status and the server's error message.
+    Rejected { status: u16, error: String },
+}
+
+/// Blocking keep-alive client; see the module docs.
+pub struct ScoreClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl ScoreClient {
+    /// Connects eagerly so a dead server fails fast.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<ScoreClient, ClientError> {
+        let mut client = ScoreClient {
+            addr,
+            timeout,
+            stream: None,
+        };
+        client.stream = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    /// Drops the current connection; the next request dials fresh.
+    pub fn reset(&mut self) {
+        self.stream = None;
+    }
+
+    /// Scores `ids` under `tenant` over `POST /score`.
+    pub fn score(&mut self, tenant: &str, ids: &[NodeId]) -> Result<ScoreOutcome, ClientError> {
+        let body = encode_score_request(&ScoreRequest {
+            tenant: tenant.to_string(),
+            ids: ids.to_vec(),
+        });
+        let (status, resp_body) = self.request("POST", "/score", &body)?;
+        if status == 200 {
+            let decoded = decode_score_response(&resp_body)?;
+            Ok(ScoreOutcome::Scores(decoded.scores))
+        } else {
+            Ok(ScoreOutcome::Rejected {
+                status,
+                error: decode_error_body(&resp_body),
+            })
+        }
+    }
+
+    /// A plain `GET` (health, metrics): returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> Result<(u16, Vec<u8>), ClientError> {
+        self.request("GET", path, &[])
+    }
+
+    /// One request/response round trip with single-retry reconnect for
+    /// reused connections that died idle.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(u16, Vec<u8>), ClientError> {
+        let wire = Self::serialize(method, path, body);
+        let reused = self.stream.is_some();
+        let mut stream = match self.stream.take() {
+            Some(s) => s,
+            None => self.dial()?,
+        };
+        match Self::roundtrip(&mut stream, &wire) {
+            Ok((status, resp, keep_alive)) => {
+                if keep_alive {
+                    self.stream = Some(stream);
+                }
+                Ok((status, resp))
+            }
+            Err(e) if reused && retriable(&e) => {
+                // The server reaped the idle keep-alive socket; one fresh
+                // attempt is safe because no response byte arrived.
+                let mut stream = self.dial()?;
+                let (status, resp, keep_alive) = Self::roundtrip(&mut stream, &wire)?;
+                if keep_alive {
+                    self.stream = Some(stream);
+                }
+                Ok((status, resp))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn serialize(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: xfraud\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        let mut out = Vec::with_capacity(head.len() + body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    fn roundtrip(stream: &mut TcpStream, wire: &[u8]) -> Result<(u16, Vec<u8>, bool), ClientError> {
+        stream.write_all(wire)?;
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head) = parse_response_head(&buf)? {
+                let total = head.head_len + head.content_length;
+                if buf.len() >= total {
+                    let body = buf[head.head_len..total].to_vec();
+                    return Ok((head.status, body, head.keep_alive));
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::ConnectionClosed),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Failures eligible for the one-shot reconnect retry: the write or first
+/// read failed outright, so the request cannot have been processed twice.
+fn retriable(e: &ClientError) -> bool {
+    match e {
+        ClientError::ConnectionClosed => true,
+        ClientError::Io(io) => matches!(
+            io.kind(),
+            std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::UnexpectedEof
+        ),
+        _ => false,
+    }
+}

@@ -1,0 +1,399 @@
+//! HTTP/1.1 framing: an incremental request-head parser and a response
+//! writer, plus the client-side response-head parser.
+//!
+//! Deliberately small: the service speaks `GET`/`POST`, requires
+//! `Content-Length` bodies (no chunked transfer coding), and answers JSON.
+//! What it is *not* small about is robustness — the parser is driven by
+//! arbitrary network bytes and must classify every malformed input as a
+//! typed [`HttpError`] (each carrying the 4xx/5xx it maps to) without
+//! panicking, so a garbage byte stream costs the server one error response,
+//! never a worker.
+
+use std::fmt;
+
+/// Largest request head (request line + headers) the server accepts.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Request methods the service routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+/// A fully parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    pub method: Method,
+    /// Raw request target (no query parsing; the service routes on exact
+    /// paths).
+    pub path: String,
+    /// Declared body length; `None` when the header is absent.
+    pub content_length: Option<usize>,
+    /// `true` unless the client sent `Connection: close` or spoke HTTP/1.0
+    /// without `Connection: keep-alive`.
+    pub keep_alive: bool,
+    /// Bytes of the head including the terminating blank line — the body
+    /// starts at this offset in the connection buffer.
+    pub head_len: usize,
+}
+
+/// Typed framing failures; [`HttpError::status`] gives the response code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// No blank line within [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Anything structurally wrong with the request line or a header → 400.
+    Malformed(&'static str),
+    /// A method other than GET/POST → 405.
+    UnknownMethod,
+    /// `Transfer-Encoding` is not supported → 501.
+    UnsupportedTransferEncoding,
+    /// `Content-Length` missing on a POST → 411.
+    LengthRequired,
+    /// Declared body larger than the server's limit → 413.
+    BodyTooLarge { declared: usize, limit: usize },
+}
+
+impl HttpError {
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge => 431,
+            HttpError::Malformed(_) => 400,
+            HttpError::UnknownMethod => 405,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::LengthRequired => 411,
+            HttpError::BodyTooLarge { .. } => 413,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::HeadTooLarge => write!(f, "request head larger than {MAX_HEAD_BYTES} bytes"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::UnknownMethod => write!(f, "method not allowed (GET/POST only)"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding is not supported; send Content-Length")
+            }
+            HttpError::LengthRequired => write!(f, "POST requires Content-Length"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Incremental head parse over the connection's accumulation buffer.
+///
+/// `Ok(None)` means "no complete head yet, keep reading" — unless the
+/// buffer already exceeds [`MAX_HEAD_BYTES`], which fails fast so a
+/// slow-loris drip cannot grow the buffer forever.
+pub fn parse_request_head(buf: &[u8], max_body: usize) -> Result<Option<RequestHead>, HttpError> {
+    let Some(head_end) = find_blank_line(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method_tok, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(
+                "request line is not `METHOD PATH VERSION`",
+            ))
+        }
+    };
+    let method = match method_tok {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => return Err(HttpError::UnknownMethod),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed("unsupported HTTP version")),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = http11;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line without `:`"));
+        };
+        let value = value.trim();
+        if name.ends_with(' ') || name.ends_with('\t') {
+            // Obsolete whitespace before the colon enables request
+            // smuggling through lenient parsers; reject it.
+            return Err(HttpError::Malformed("whitespace before header colon"));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+            if let Some(prev) = content_length {
+                if prev != n {
+                    return Err(HttpError::Malformed("conflicting Content-Length headers"));
+                }
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
+    if method == Method::Post {
+        match content_length {
+            None => return Err(HttpError::LengthRequired),
+            Some(n) if n > max_body => {
+                return Err(HttpError::BodyTooLarge {
+                    declared: n,
+                    limit: max_body,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+
+    Ok(Some(RequestHead {
+        method,
+        path: path.to_string(),
+        content_length,
+        keep_alive,
+        head_len: head_end + 4,
+    }))
+}
+
+/// Offset of the `\r\n\r\n` head terminator (start of the blank line).
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reason phrases for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one complete JSON response.
+pub fn write_response(status: u16, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// A parsed response head (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHead {
+    pub status: u16,
+    pub content_length: usize,
+    pub keep_alive: bool,
+    pub head_len: usize,
+}
+
+/// Client-side incremental response-head parse; same `Ok(None)` = "need
+/// more bytes" convention as [`parse_request_head`].
+pub fn parse_response_head(buf: &[u8]) -> Result<Option<ResponseHead>, HttpError> {
+    let Some(head_end) = find_blank_line(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| HttpError::Malformed("unparseable status code"))?,
+        _ => return Err(HttpError::Malformed("malformed status line")),
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line without `:`"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    Ok(Some(ResponseHead {
+        status,
+        content_length,
+        keep_alive,
+        head_len: head_end + 4,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX_BODY: usize = 1024;
+
+    fn parse(s: &str) -> Result<Option<RequestHead>, HttpError> {
+        parse_request_head(s.as_bytes(), MAX_BODY)
+    }
+
+    #[test]
+    fn parses_a_complete_post() {
+        let head = parse("POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\ntrailing")
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(head.method, Method::Post);
+        assert_eq!(head.path, "/score");
+        assert_eq!(head.content_length, Some(12));
+        assert!(head.keep_alive);
+        // Body starts right after the blank line.
+        assert_eq!(
+            head.head_len,
+            "POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n".len()
+        );
+    }
+
+    #[test]
+    fn incomplete_heads_ask_for_more_bytes() {
+        assert_eq!(parse("POST /score HTTP/1.1\r\nContent-"), Ok(None));
+        assert_eq!(parse(""), Ok(None));
+    }
+
+    #[test]
+    fn oversized_heads_fail_fast_even_without_a_blank_line() {
+        let drip = format!("GET / HTTP/1.1\r\nX: {}", "a".repeat(MAX_HEAD_BYTES));
+        assert_eq!(parse(&drip), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn framing_errors_are_typed() {
+        for (input, want) in [
+            ("FROB / HTTP/1.1\r\n\r\n", HttpError::UnknownMethod),
+            (
+                "GET / HTTP/2\r\n\r\n",
+                HttpError::Malformed("unsupported HTTP version"),
+            ),
+            (
+                "GET /\r\n\r\n",
+                HttpError::Malformed("request line is not `METHOD PATH VERSION`"),
+            ),
+            (
+                "GET / HTTP/1.1\r\nbroken\r\n\r\n",
+                HttpError::Malformed("header line without `:`"),
+            ),
+            ("POST / HTTP/1.1\r\n\r\n", HttpError::LengthRequired),
+            (
+                "POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+                HttpError::Malformed("conflicting Content-Length headers"),
+            ),
+            (
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                HttpError::UnsupportedTransferEncoding,
+            ),
+            (
+                "POST / HTTP/1.1\r\nContent-Length : 5\r\n\r\n",
+                HttpError::Malformed("whitespace before header colon"),
+            ),
+            (
+                "POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+                HttpError::BodyTooLarge {
+                    declared: 99999,
+                    limit: MAX_BODY,
+                },
+            ),
+        ] {
+            assert_eq!(parse(input), Err(want.clone()), "{input:?}");
+            assert!(want.status() >= 400 && want.status() <= 501);
+        }
+    }
+
+    #[test]
+    fn connection_and_version_drive_keep_alive() {
+        let h = |s: &str| parse(s).expect("valid").expect("complete").keep_alive;
+        assert!(h("GET / HTTP/1.1\r\n\r\n"));
+        assert!(!h("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!h("GET / HTTP/1.0\r\n\r\n"));
+        assert!(h("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_parser() {
+        let body = br#"{"scores":[0.5]}"#;
+        let wire = write_response(200, body, true);
+        let head = parse_response_head(&wire)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(head.status, 200);
+        assert_eq!(head.content_length, body.len());
+        assert!(head.keep_alive);
+        assert_eq!(&wire[head.head_len..], body);
+
+        let closed = write_response(503, b"{}", false);
+        let head = parse_response_head(&closed)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(head.status, 503);
+        assert!(!head.keep_alive);
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_reason() {
+        for s in [200, 400, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503] {
+            assert_ne!(reason(s), "Unknown");
+        }
+    }
+}

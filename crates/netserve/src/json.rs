@@ -1,0 +1,565 @@
+//! A minimal JSON reader/writer — the wire format of the scoring service.
+//!
+//! Hand-rolled because the workspace builds offline (no `serde`). Two
+//! properties matter more than generality here:
+//!
+//! 1. **Robustness under arbitrary bytes.** The parser is fed straight off
+//!    the network; it must return a typed [`JsonError`] for every malformed
+//!    input — never panic, never loop — with hard depth and size limits so
+//!    adversarial nesting cannot blow the stack.
+//! 2. **Bit-exact float round-trips.** Numbers are kept as their *raw
+//!    literal text* ([`Json::Num`]) instead of being funneled through `f64`.
+//!    A score is serialized with Rust's shortest-round-trip `Display` for
+//!    `f32` and parsed back with `str::parse::<f32>`, so the bits a client
+//!    decodes are exactly the bits the engine produced — the foundation of
+//!    the network-equivalence test suite. Routing the text through an `f64`
+//!    intermediate would re-round and silently break that contract.
+
+use std::fmt;
+
+/// Nesting budget: a parse deeper than this fails with
+/// [`JsonError::TooDeep`] instead of recursing toward a stack overflow.
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON document. Object keys keep their insertion order (the
+/// writer is deterministic); numbers keep their raw text (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// A syntactically valid JSON number literal, unparsed.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Typed parse failures; every variant maps onto an HTTP 4xx at the
+/// protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The body is not valid UTF-8.
+    Utf8,
+    /// Unexpected byte (or end of input) at this offset.
+    Unexpected { at: usize, what: &'static str },
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// Valid JSON followed by trailing non-whitespace bytes.
+    TrailingBytes { at: usize },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Utf8 => write!(f, "body is not valid UTF-8"),
+            JsonError::Unexpected { at, what } => {
+                write!(f, "malformed JSON at byte {at}: expected {what}")
+            }
+            JsonError::TooDeep => write!(f, "JSON nesting deeper than {MAX_DEPTH}"),
+            JsonError::TrailingBytes { at } => {
+                write!(f, "trailing bytes after JSON document at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// An f32 as a JSON number via shortest-round-trip `Display` — parsing
+    /// the text back with `parse::<f32>` recovers the exact bits.
+    /// Non-finite values have no JSON representation and become `null`.
+    pub fn num_f32(v: f32) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    pub fn num_u64(v: u64) -> Json {
+        Json::Num(format!("{v}"))
+    }
+
+    pub fn num_f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The raw number literal parsed as `u64` — fails on floats, signs and
+    /// out-of-range values (ids must be exact integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The raw number literal parsed directly as `f32` (single rounding —
+    /// see module docs).
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Json::Num(raw) => raw.parse::<f32>().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Serializes into `out`. Deterministic: fields in insertion order, no
+    /// whitespace.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes to an owned byte vector (HTTP body form).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut s = String::new();
+        self.write(&mut s);
+        s.into_bytes()
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document; trailing whitespace is allowed, any
+/// other trailing bytes are an error.
+pub fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| JsonError::Utf8)?;
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::TrailingBytes { at: p.pos });
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn fail(&self, what: &'static str) -> JsonError {
+        JsonError::Unexpected { at: self.pos, what }
+    }
+
+    fn eat(&mut self, lit: &str, what: &'static str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(what))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            Some(b'n') => self.eat("null", "null").map(|_| Json::Null),
+            Some(b't') => self.eat("true", "true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat("false", "false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.fail("a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.fail("`,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.fail("`:`"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.fail("`,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.fail("`\"`"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("closing `\"`")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue; // unicode_escape advanced past the digits
+                        }
+                        _ => return Err(self.fail("a valid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.fail("no raw control characters")),
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through verbatim; the input
+                    // was validated as UTF-8 up front, so char boundaries
+                    // are safe to re-derive here.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError::Utf8)?;
+                    match s.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(self.fail("closing `\"`")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (cursor already past the `u`);
+    /// consumes a following low-surrogate escape when needed.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: must be followed by `\uDC00..DFFF`.
+            self.eat("\\u", "a low surrogate escape")?;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.fail("a low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.fail("a valid code point"))
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err(self.fail("a high surrogate before a low surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.fail("a valid code point"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a') as u32 + 10,
+                Some(c @ b'A'..=b'F') => (c - b'A') as u32 + 10,
+                _ => return Err(self.fail("4 hex digits")),
+            };
+            code = (code << 4) | d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero digit run (no leading zeros).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.fail("a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("a fraction digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("an exponent digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The slice is ASCII by construction.
+        let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        Ok(Json::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        parse(&v.to_bytes()).expect("writer output parses")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::num_u64(0),
+            Json::num_u64(u64::MAX),
+            Json::Str(String::new()),
+            Json::Str("héllo \"quoted\" \\ / \n\t\u{1}".into()),
+            Json::Str("😀 surrogate territory".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn f32_round_trip_is_bit_exact() {
+        for bits in [
+            0u32,
+            1,
+            0x3f80_0001,
+            0x3e99_999a, // ~0.3
+            0x7f7f_ffff, // f32::MAX
+            0x0000_0001, // smallest subnormal
+            0xbf00_0000, // -0.5
+        ] {
+            let v = f32::from_bits(bits);
+            let json = Json::num_f32(v);
+            let back = roundtrip(&json).as_f32().expect("number");
+            assert_eq!(back.to_bits(), bits, "{v}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(Json::num_f32(f32::NAN), Json::Null);
+        assert_eq!(Json::num_f32(f32::INFINITY), Json::Null);
+        assert_eq!(Json::num_f64(f64::NEG_INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn containers_round_trip_preserving_order() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::Arr(vec![Json::num_u64(1), Json::Null])),
+            ("a".into(), Json::Str("x".into())),
+            ("b".into(), Json::Bool(false)), // duplicate keys survive
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        assert_eq!(
+            v.get("b"),
+            Some(&Json::Arr(vec![Json::num_u64(1), Json::Null]))
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_yield_typed_errors() {
+        for bad in [
+            &b""[..],
+            b"{",
+            b"[1,",
+            b"{\"a\"}",
+            b"{\"a\":}",
+            b"nul",
+            b"tru",
+            b"01",
+            b"1.",
+            b"1e",
+            b"-",
+            b"\"unterminated",
+            b"\"bad \\x escape\"",
+            b"\"\\u12",
+            b"\"\\ud800\"",        // lone high surrogate
+            b"\"\\udc00\"",        // lone low surrogate
+            b"\"\\ud800\\u0041\"", // high surrogate + non-surrogate
+            b"[1] trailing",
+            b"\xff\xfe",
+            b"\"raw\x01control\"",
+        ] {
+            assert!(parse(bad).is_err(), "{:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(parse(deep.as_bytes()), Err(JsonError::TooDeep));
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn numbers_keep_raw_text() {
+        let v = parse(b"1.2500e1").expect("valid");
+        assert_eq!(v, Json::Num("1.2500e1".into()));
+        assert_eq!(v.as_f64(), Some(12.5));
+        assert_eq!(v.as_u64(), None, "floats are not ids");
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            parse(br#""\u0041\u00e9\ud83d\ude00""#).expect("valid"),
+            Json::Str("Aé😀".into())
+        );
+    }
+}

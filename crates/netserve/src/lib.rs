@@ -1,0 +1,49 @@
+//! # xfraud-netserve — the network-facing scoring service
+//!
+//! Everything between a TCP socket and the
+//! [`ScoringEngine`](xfraud_serve::ScoringEngine): a hand-rolled HTTP/1.1 +
+//! JSON front end (the workspace builds offline — no async runtime, no
+//! serde), the admission-control stack that keeps it standing under
+//! overload, the blocking client, and an open-loop load harness.
+//!
+//! The layering, bottom up:
+//!
+//! - [`json`] — a robust, limit-checked JSON reader/writer whose number
+//!   handling preserves `f32` bits across the wire (the foundation of the
+//!   network-equivalence guarantee);
+//! - [`http`] — incremental HTTP/1.1 request/response framing with typed
+//!   errors for every way network bytes can be malformed;
+//! - [`proto`] — the `/score` request/response schema and error bodies;
+//! - [`quota`] — per-tenant token buckets (the `429` arm of admission);
+//! - [`server`] — [`NetServer`]: acceptor + nonblocking workers + blocking
+//!   scorer crew, in-flight permits (the `503` arm), deadline reaping,
+//!   graceful drain, and detector hot-swap via the shared engine handle;
+//! - [`client`] — [`ScoreClient`], a blocking keep-alive client;
+//! - [`loadgen`] — deterministic open-loop load plans (diurnal curves,
+//!   bursts, hot-key skew) and the measurement harness behind
+//!   `xfraud-cli load-bench`;
+//! - [`metrics`] — the counters `GET /metrics` serves.
+//!
+//! The contract the test suite pins down: scores fetched over the network
+//! are **bit-identical** to `ScoringEngine::score` in-process; malformed
+//! bytes cost one typed 4xx response, never a worker or a panic; and no
+//! client behaviour — slow-loris drips, half-closed sockets, mid-request
+//! disconnects — can leak an in-flight permit.
+
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod quota;
+pub mod server;
+
+pub use client::{ScoreClient, ScoreOutcome};
+pub use error::{ClientError, NetServeError};
+pub use loadgen::{arrival_offsets, run_load, LoadConfig, LoadReport, RatePattern};
+pub use metrics::{NetMetrics, NetMetricsSnapshot};
+pub use proto::{ScoreRequest, ScoreResponse, DEFAULT_TENANT, MAX_IDS_PER_REQUEST};
+pub use quota::{QuotaConfig, QuotaSet};
+pub use server::{NetServer, ServerConfig};

@@ -1,0 +1,615 @@
+//! Open-loop load generation for the scoring service.
+//!
+//! **Open loop** means arrivals are scheduled by a clock, not by
+//! responses: the plan of arrival times is drawn up front from a
+//! (possibly time-varying) Poisson process, and each request's latency is
+//! measured from its *scheduled* arrival — so when the server falls
+//! behind, queueing delay lands in the latency distribution instead of
+//! silently throttling the offered load, which is exactly the failure
+//! mode closed-loop benchmarks hide.
+//!
+//! The plan is deterministic from the seed: rates above capacity, diurnal
+//! curves, bursts and hot-key skew all replay exactly. Senders are a
+//! bounded thread pool, each walking its share of the plan; a sender
+//! running late still charges the delay to the scheduled arrival time.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xfraud_hetgraph::NodeId;
+
+use crate::client::{ScoreClient, ScoreOutcome};
+use crate::error::{ClientError, NetServeError};
+
+/// The shape of the offered-rate curve over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatePattern {
+    /// Flat `rate_per_sec` for the whole run.
+    Constant,
+    /// One "day" compressed into the run: the rate follows a raised cosine
+    /// from `trough_frac × rate` at the edges up to `rate` mid-run.
+    Diurnal {
+        /// Rate multiplier at the trough, in `(0, 1]`.
+        trough_frac: f64,
+    },
+    /// A steady baseline at `rate_per_sec` with periodic spikes: for the
+    /// first `burst_frac` of every `period`, the rate is multiplied by
+    /// `amplitude`.
+    Bursts {
+        period: Duration,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        burst_frac: f64,
+        /// Rate multiplier inside a burst (≥ 1).
+        amplitude: f64,
+    },
+}
+
+impl RatePattern {
+    /// Rate multiplier at offset `t` into a run of length `total`.
+    fn multiplier(&self, t: Duration, total: Duration) -> f64 {
+        match self {
+            RatePattern::Constant => 1.0,
+            RatePattern::Diurnal { trough_frac } => {
+                let x = t.as_secs_f64() / total.as_secs_f64().max(1e-9);
+                let wave = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * x).cos());
+                trough_frac + (1.0 - trough_frac) * wave
+            }
+            RatePattern::Bursts {
+                period,
+                burst_frac,
+                amplitude,
+            } => {
+                let p = period.as_secs_f64().max(1e-9);
+                let phase = (t.as_secs_f64() / p).fract();
+                if phase < *burst_frac {
+                    *amplitude
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// The peak multiplier — the envelope rate for Poisson thinning.
+    fn peak(&self) -> f64 {
+        match self {
+            RatePattern::Constant => 1.0,
+            RatePattern::Diurnal { .. } => 1.0,
+            RatePattern::Bursts { amplitude, .. } => amplitude.max(1.0),
+        }
+    }
+
+    /// The time-averaged multiplier over a whole run — divide a target
+    /// mean rate by this to pick `rate_per_sec`, so "1× capacity" means
+    /// the *average* offered load, not the baseline under the bursts.
+    pub fn mean(&self) -> f64 {
+        match self {
+            RatePattern::Constant => 1.0,
+            RatePattern::Diurnal { trough_frac } => trough_frac + (1.0 - trough_frac) * 0.5,
+            RatePattern::Bursts {
+                burst_frac,
+                amplitude,
+                ..
+            } => burst_frac * amplitude + (1.0 - burst_frac),
+        }
+    }
+}
+
+/// One load run's parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Base offered rate (requests/second); patterns modulate around it.
+    pub rate_per_sec: f64,
+    pub duration: Duration,
+    pub pattern: RatePattern,
+    /// The id universe requests draw from.
+    pub ids: Vec<NodeId>,
+    /// Transaction ids per request.
+    pub ids_per_request: usize,
+    /// Hot-key skew exponent: ids are drawn as `ids[⌊u^gamma·n⌋]`, so
+    /// `1.0` is uniform and larger values concentrate traffic on the low
+    /// indices (the "hot" transactions every fraud spike revisits).
+    pub hotkey_gamma: f64,
+    /// Sender threads (each one keep-alive connection).
+    pub connections: usize,
+    pub tenant: String,
+    pub seed: u64,
+    /// Per-request client timeout.
+    pub request_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            rate_per_sec: 100.0,
+            duration: Duration::from_secs(5),
+            pattern: RatePattern::Constant,
+            ids: Vec::new(),
+            ids_per_request: 4,
+            hotkey_gamma: 2.0,
+            connections: 8,
+            tenant: "load-bench".into(),
+            seed: 42,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl LoadConfig {
+    fn validate(&self) -> Result<(), NetServeError> {
+        let bad = |m: &str| Err(NetServeError::InvalidConfig(m.into()));
+        if self.ids.is_empty() {
+            return bad("load config needs a non-empty id universe");
+        }
+        if self.rate_per_sec <= 0.0 || !self.rate_per_sec.is_finite() {
+            return bad("rate_per_sec must be positive and finite");
+        }
+        if self.duration.is_zero() {
+            return bad("duration must be non-zero");
+        }
+        if self.ids_per_request == 0 {
+            return bad("ids_per_request must be ≥ 1");
+        }
+        if self.connections == 0 {
+            return bad("connections must be ≥ 1");
+        }
+        if self.hotkey_gamma < 1.0 || !self.hotkey_gamma.is_finite() {
+            return bad("hotkey_gamma must be ≥ 1");
+        }
+        if let RatePattern::Diurnal { trough_frac } = self.pattern {
+            if !(trough_frac > 0.0 && trough_frac <= 1.0) {
+                return bad("diurnal trough_frac must be in (0, 1]");
+            }
+        }
+        if let RatePattern::Bursts {
+            period,
+            burst_frac,
+            amplitude,
+        } = self.pattern
+        {
+            if period.is_zero() || !(burst_frac > 0.0 && burst_frac < 1.0) || amplitude < 1.0 {
+                return bad("bursts need period > 0, burst_frac in (0,1), amplitude ≥ 1");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests the plan scheduled (offered load).
+    pub offered: u64,
+    pub completed_2xx: u64,
+    /// Quota shedding observed (429).
+    pub shed_429: u64,
+    /// Overload shedding observed (503).
+    pub shed_503: u64,
+    pub other_4xx: u64,
+    pub responses_5xx: u64,
+    /// Requests that died in transport (refused connections, timeouts).
+    pub transport_errors: u64,
+    /// Wall-clock from the first scheduled arrival to the last response.
+    pub elapsed: Duration,
+    /// Latency of successful requests measured from the *scheduled*
+    /// arrival, so server backlog is charged to the server.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+}
+
+impl LoadReport {
+    /// Scheduled arrivals per second.
+    pub fn offered_rate(&self) -> f64 {
+        self.offered as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Successful responses per second — the number that stops tracking
+    /// the offered rate once the server saturates.
+    pub fn goodput(&self) -> f64 {
+        self.completed_2xx as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of offered requests shed by admission control (429 + 503).
+    pub fn shed_rate(&self) -> f64 {
+        (self.shed_429 + self.shed_503) as f64 / (self.offered as f64).max(1.0)
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "offered {} ({:.1}/s)  goodput {:.1}/s  shed {:.1}% ({} quota, {} overload)",
+            self.offered,
+            self.offered_rate(),
+            self.goodput(),
+            100.0 * self.shed_rate(),
+            self.shed_429,
+            self.shed_503,
+        )?;
+        writeln!(
+            f,
+            "responses: {} ok, {} 4xx, {} 5xx, {} transport errors",
+            self.completed_2xx, self.other_4xx, self.responses_5xx, self.transport_errors
+        )?;
+        write!(
+            f,
+            "latency (from scheduled arrival): p50 {:.2} ms  p99 {:.2} ms  p999 {:.2} ms",
+            self.p50_ms, self.p99_ms, self.p999_ms
+        )
+    }
+}
+
+/// The deterministic arrival plan: sorted offsets from the run start,
+/// drawn by Poisson thinning against the pattern's rate envelope.
+pub fn arrival_offsets(cfg: &LoadConfig) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let peak_rate = cfg.rate_per_sec * cfg.pattern.peak();
+    let total = cfg.duration.as_secs_f64();
+    let mut t = 0.0f64;
+    let mut plan = Vec::new();
+    loop {
+        // Exponential inter-arrival at the envelope rate…
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -u.ln() / peak_rate;
+        if t >= total {
+            break;
+        }
+        // …thinned down to the instantaneous rate.
+        let offset = Duration::from_secs_f64(t);
+        let m = cfg.pattern.multiplier(offset, cfg.duration);
+        let accept: f64 = rng.gen();
+        if accept * cfg.pattern.peak() <= m {
+            plan.push(offset);
+        }
+    }
+    plan
+}
+
+/// The ids of arrival `index` — deterministic hot-key-skewed draws.
+pub fn ids_for_arrival(cfg: &LoadConfig, index: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let n = cfg.ids.len();
+    (0..cfg.ids_per_request)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let at = ((u.powf(cfg.hotkey_gamma) * n as f64) as usize).min(n - 1);
+            cfg.ids[at]
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct Tally {
+    completed_2xx: u64,
+    shed_429: u64,
+    shed_503: u64,
+    other_4xx: u64,
+    responses_5xx: u64,
+    transport_errors: u64,
+    latencies_ms: Vec<f64>,
+}
+
+/// Runs one open-loop load test against a live server.
+///
+/// Only a completely unreachable server errors out (the first dial of the
+/// first sender); mid-run transport failures are tallied per request.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, NetServeError> {
+    cfg.validate()?;
+    // Fail fast if nothing is listening before spawning the senders.
+    ScoreClient::connect(addr, cfg.request_timeout)
+        .map_err(|e| NetServeError::InvalidConfig(format!("server unreachable: {e}")))?;
+
+    let plan = arrival_offsets(cfg);
+    let offered = plan.len() as u64;
+    let n = cfg.connections;
+    let mut shares: Vec<Vec<(Duration, u64)>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, &off) in plan.iter().enumerate() {
+        shares[i % n].push((off, i as u64));
+    }
+
+    // A short settle so every sender is parked before the first arrival.
+    let start = Instant::now() + Duration::from_millis(50);
+    let tallies: Vec<Tally> = std::thread::scope(|s| {
+        let handles: Vec<_> = shares
+            .into_iter()
+            .map(|share| s.spawn(move || sender(addr, cfg, start, share)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let elapsed = start.elapsed();
+    let mut merged = Tally::default();
+    for t in tallies {
+        merged.completed_2xx += t.completed_2xx;
+        merged.shed_429 += t.shed_429;
+        merged.shed_503 += t.shed_503;
+        merged.other_4xx += t.other_4xx;
+        merged.responses_5xx += t.responses_5xx;
+        merged.transport_errors += t.transport_errors;
+        merged.latencies_ms.extend(t.latencies_ms);
+    }
+    merged.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if merged.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let at = ((merged.latencies_ms.len() - 1) as f64 * q).round() as usize;
+        merged.latencies_ms[at]
+    };
+    Ok(LoadReport {
+        offered,
+        completed_2xx: merged.completed_2xx,
+        shed_429: merged.shed_429,
+        shed_503: merged.shed_503,
+        other_4xx: merged.other_4xx,
+        responses_5xx: merged.responses_5xx,
+        transport_errors: merged.transport_errors,
+        elapsed,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+    })
+}
+
+/// One sender thread: waits for each scheduled arrival in its share, fires
+/// the request, and tallies the outcome.
+fn sender(
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    start: Instant,
+    share: Vec<(Duration, u64)>,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut client: Option<ScoreClient> = None;
+    for (off, index) in share {
+        let scheduled = start + off;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let ids = ids_for_arrival(cfg, index);
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match ScoreClient::connect(addr, cfg.request_timeout) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    tally.transport_errors += 1;
+                    continue;
+                }
+            },
+        };
+        match c.score(&cfg.tenant, &ids) {
+            Ok(ScoreOutcome::Scores(_)) => {
+                tally.completed_2xx += 1;
+                tally
+                    .latencies_ms
+                    .push(scheduled.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(ScoreOutcome::Rejected { status, .. }) => match status {
+                429 => tally.shed_429 += 1,
+                503 => tally.shed_503 += 1,
+                400..=499 => tally.other_4xx += 1,
+                _ => tally.responses_5xx += 1,
+            },
+            Err(ClientError::Io(_) | ClientError::ConnectionClosed) => {
+                tally.transport_errors += 1;
+                client = None; // redial on the next arrival
+            }
+            Err(_) => {
+                // Protocol violation by the server — count it against the
+                // server like a 5xx.
+                tally.responses_5xx += 1;
+                client = None;
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> LoadConfig {
+        LoadConfig {
+            rate_per_sec: 500.0,
+            duration: Duration::from_secs(10),
+            ids: (0..100).collect(),
+            seed: 7,
+            ..LoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_sorted() {
+        let cfg = base_cfg();
+        let a = arrival_offsets(&cfg);
+        let b = arrival_offsets(&cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| t < cfg.duration));
+        let mut other = cfg.clone();
+        other.seed = 8;
+        assert_ne!(a, arrival_offsets(&other), "different seed, different plan");
+    }
+
+    #[test]
+    fn constant_rate_hits_the_target_on_average() {
+        let cfg = base_cfg();
+        let n = arrival_offsets(&cfg).len() as f64;
+        let want = cfg.rate_per_sec * cfg.duration.as_secs_f64();
+        // Poisson sd is sqrt(want) ≈ 71; allow 5 sigma.
+        assert!((n - want).abs() < 5.0 * want.sqrt(), "n {n} want {want}");
+    }
+
+    #[test]
+    fn mean_multiplier_predicts_arrival_counts() {
+        for pattern in [
+            RatePattern::Diurnal { trough_frac: 0.2 },
+            RatePattern::Bursts {
+                period: Duration::from_secs(1),
+                burst_frac: 0.2,
+                amplitude: 4.0,
+            },
+        ] {
+            let cfg = LoadConfig {
+                pattern: pattern.clone(),
+                ..base_cfg()
+            };
+            let n = arrival_offsets(&cfg).len() as f64;
+            let want = cfg.rate_per_sec * cfg.duration.as_secs_f64() * pattern.mean();
+            assert!(
+                (n - want).abs() < 6.0 * want.sqrt(),
+                "{pattern:?}: n {n} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals() {
+        let cfg = LoadConfig {
+            pattern: RatePattern::Bursts {
+                period: Duration::from_secs(1),
+                burst_frac: 0.2,
+                amplitude: 8.0,
+            },
+            ..base_cfg()
+        };
+        let plan = arrival_offsets(&cfg);
+        let in_burst = plan
+            .iter()
+            .filter(|t| t.as_secs_f64().fract() < 0.2)
+            .count() as f64;
+        let frac = in_burst / plan.len() as f64;
+        // 20% of the time at 8× vs 80% at 1×: bursts carry 8·0.2/(8·0.2+0.8)
+        // ≈ 67% of traffic.
+        assert!(frac > 0.55, "burst fraction {frac}");
+    }
+
+    #[test]
+    fn diurnal_peaks_mid_run() {
+        let cfg = LoadConfig {
+            pattern: RatePattern::Diurnal { trough_frac: 0.1 },
+            ..base_cfg()
+        };
+        let plan = arrival_offsets(&cfg);
+        let total = cfg.duration.as_secs_f64();
+        let mid = plan
+            .iter()
+            .filter(|t| {
+                let x = t.as_secs_f64() / total;
+                (0.4..0.6).contains(&x)
+            })
+            .count();
+        let edge = plan
+            .iter()
+            .filter(|t| {
+                let x = t.as_secs_f64() / total;
+                !(0.1..=0.9).contains(&x)
+            })
+            .count();
+        assert!(
+            mid > 2 * edge,
+            "mid-run ({mid}) should dominate the edges ({edge})"
+        );
+    }
+
+    #[test]
+    fn hot_keys_dominate_under_skew() {
+        let cfg = LoadConfig {
+            hotkey_gamma: 4.0,
+            ids_per_request: 1,
+            ..base_cfg()
+        };
+        let mut hits = vec![0u64; cfg.ids.len()];
+        for i in 0..5000 {
+            for id in ids_for_arrival(&cfg, i) {
+                hits[id] += 1;
+            }
+        }
+        let hot: u64 = hits[..10].iter().sum();
+        let total: u64 = hits.iter().sum();
+        // gamma=4 puts P(id<10) = (10/100)^(1/4) ≈ 56% on the hottest 10%.
+        assert!(
+            hot as f64 > 0.4 * total as f64,
+            "hot-10 share {}",
+            hot as f64 / total as f64
+        );
+        // And requests stay deterministic per index.
+        assert_eq!(ids_for_arrival(&cfg, 3), ids_for_arrival(&cfg, 3));
+    }
+
+    #[test]
+    fn config_validation_catches_nonsense() {
+        for cfg in [
+            LoadConfig {
+                ids: vec![],
+                ..base_cfg()
+            },
+            LoadConfig {
+                rate_per_sec: 0.0,
+                ..base_cfg()
+            },
+            LoadConfig {
+                duration: Duration::ZERO,
+                ..base_cfg()
+            },
+            LoadConfig {
+                ids_per_request: 0,
+                ..base_cfg()
+            },
+            LoadConfig {
+                connections: 0,
+                ..base_cfg()
+            },
+            LoadConfig {
+                hotkey_gamma: 0.5,
+                ..base_cfg()
+            },
+            LoadConfig {
+                pattern: RatePattern::Diurnal { trough_frac: 0.0 },
+                ..base_cfg()
+            },
+            LoadConfig {
+                pattern: RatePattern::Bursts {
+                    period: Duration::ZERO,
+                    burst_frac: 0.2,
+                    amplitude: 2.0,
+                },
+                ..base_cfg()
+            },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?}");
+        }
+        assert!(base_cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = LoadReport {
+            offered: 1000,
+            completed_2xx: 800,
+            shed_429: 50,
+            shed_503: 100,
+            other_4xx: 25,
+            responses_5xx: 0,
+            transport_errors: 25,
+            elapsed: Duration::from_secs(10),
+            p50_ms: 1.0,
+            p99_ms: 5.0,
+            p999_ms: 9.0,
+        };
+        assert!((r.goodput() - 80.0).abs() < 1e-9);
+        assert!((r.offered_rate() - 100.0).abs() < 1e-9);
+        assert!((r.shed_rate() - 0.15).abs() < 1e-9);
+        assert!(!format!("{r}").is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Server-side telemetry: connection and response-class counters, the
+//! in-flight admission gauge, and service-latency percentiles
+//! (p50/p99/p999) over a recent window — the numbers `GET /metrics`
+//! reports and the fault-injection suite asserts on (reaped connections,
+//! a drained in-flight gauge).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// Latency reservoir size; percentiles describe the recent window, not the
+/// process's whole life.
+const LATENCY_WINDOW: usize = 8192;
+
+struct LatencyRing {
+    buf: Vec<f64>,
+    next: usize,
+    filled: usize,
+}
+
+/// Live counters, updated lock-free except for the latency ring.
+#[derive(Default)]
+pub struct NetMetrics {
+    pub(crate) conns_accepted: AtomicU64,
+    /// Accepted then immediately refused with 503: connection cap hit.
+    pub(crate) conns_refused: AtomicU64,
+    /// Closed by a deadline: slow-loris heads, stalled bodies, dead readers.
+    pub(crate) conns_reaped: AtomicU64,
+    pub(crate) conns_closed: AtomicU64,
+    /// Live connections across all workers.
+    pub(crate) active_conns: AtomicUsize,
+    /// Score requests admitted and not yet answered — the permit gauge.
+    pub(crate) in_flight: AtomicUsize,
+    pub(crate) responses_2xx: AtomicU64,
+    /// 4xx other than 429 (malformed bytes, unknown ids, bad paths).
+    pub(crate) responses_4xx: AtomicU64,
+    /// Quota shedding (429).
+    pub(crate) shed_quota: AtomicU64,
+    /// Overload shedding (503 from the in-flight cap or connection cap).
+    pub(crate) shed_overload: AtomicU64,
+    /// 5xx other than 503 shedding — zero in a healthy server.
+    pub(crate) responses_5xx: AtomicU64,
+    /// Requests answered 408 after a read deadline.
+    pub(crate) timeouts_408: AtomicU64,
+    latencies: Mutex<Option<LatencyRing>>,
+}
+
+impl NetMetrics {
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    /// Classifies one written response into the counter taxonomy.
+    pub(crate) fn observe_response(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            408 => self.timeouts_408.fetch_add(1, Ordering::Relaxed),
+            429 => self.shed_quota.fetch_add(1, Ordering::Relaxed),
+            503 => self.shed_overload.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Records one admitted request's service latency (admission → response
+    /// bytes queued for write).
+    pub(crate) fn observe_latency(&self, elapsed: Duration) {
+        let mut guard = self.latencies.lock();
+        let ring = guard.get_or_insert_with(|| LatencyRing {
+            buf: vec![0.0; LATENCY_WINDOW],
+            next: 0,
+            filled: 0,
+        });
+        let at = ring.next;
+        ring.buf[at] = elapsed.as_secs_f64() * 1e3;
+        ring.next = (at + 1) % LATENCY_WINDOW;
+        ring.filled = (ring.filled + 1).min(LATENCY_WINDOW);
+    }
+
+    fn percentiles(&self) -> (f64, f64, f64) {
+        let guard = self.latencies.lock();
+        let Some(ring) = guard.as_ref() else {
+            return (0.0, 0.0, 0.0);
+        };
+        if ring.filled == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut sorted: Vec<f64> = ring.buf[..ring.filled].to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        (at(0.50), at(0.99), at(0.999))
+    }
+
+    pub fn snapshot(&self) -> NetMetricsSnapshot {
+        let (p50_ms, p99_ms, p999_ms) = self.percentiles();
+        NetMetricsSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_refused: self.conns_refused.load(Ordering::Relaxed),
+            conns_reaped: self.conns_reaped.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            active_conns: self.active_conns.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            shed_quota: self.shed_quota.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            timeouts_408: self.timeouts_408.load(Ordering::Relaxed),
+            p50_ms,
+            p99_ms,
+            p999_ms,
+        }
+    }
+}
+
+/// Point-in-time view of the server counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetMetricsSnapshot {
+    pub conns_accepted: u64,
+    pub conns_refused: u64,
+    pub conns_reaped: u64,
+    pub conns_closed: u64,
+    pub active_conns: usize,
+    pub in_flight: usize,
+    pub responses_2xx: u64,
+    pub responses_4xx: u64,
+    pub shed_quota: u64,
+    pub shed_overload: u64,
+    pub responses_5xx: u64,
+    pub timeouts_408: u64,
+    /// Service latency (admission → response queued), recent window.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+}
+
+impl NetMetricsSnapshot {
+    /// Responses of every class (what the server actually answered).
+    pub fn total_responses(&self) -> u64 {
+        self.responses_2xx
+            + self.responses_4xx
+            + self.shed_quota
+            + self.shed_overload
+            + self.responses_5xx
+            + self.timeouts_408
+    }
+
+    /// The `GET /metrics` body shape.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("conns_accepted".into(), Json::num_u64(self.conns_accepted)),
+            ("conns_refused".into(), Json::num_u64(self.conns_refused)),
+            ("conns_reaped".into(), Json::num_u64(self.conns_reaped)),
+            ("conns_closed".into(), Json::num_u64(self.conns_closed)),
+            (
+                "active_conns".into(),
+                Json::num_u64(self.active_conns as u64),
+            ),
+            ("in_flight".into(), Json::num_u64(self.in_flight as u64)),
+            ("responses_2xx".into(), Json::num_u64(self.responses_2xx)),
+            ("responses_4xx".into(), Json::num_u64(self.responses_4xx)),
+            ("shed_quota".into(), Json::num_u64(self.shed_quota)),
+            ("shed_overload".into(), Json::num_u64(self.shed_overload)),
+            ("responses_5xx".into(), Json::num_u64(self.responses_5xx)),
+            ("timeouts_408".into(), Json::num_u64(self.timeouts_408)),
+            ("p50_ms".into(), Json::num_f64(self.p50_ms)),
+            ("p99_ms".into(), Json::num_f64(self.p99_ms)),
+            ("p999_ms".into(), Json::num_f64(self.p999_ms)),
+        ])
+    }
+
+    /// Parses a `GET /metrics` body (client side, for tests and benches).
+    pub fn from_json(doc: &Json) -> Option<NetMetricsSnapshot> {
+        let u = |k: &str| doc.get(k).and_then(Json::as_u64);
+        let f = |k: &str| doc.get(k).and_then(Json::as_f64);
+        Some(NetMetricsSnapshot {
+            conns_accepted: u("conns_accepted")?,
+            conns_refused: u("conns_refused")?,
+            conns_reaped: u("conns_reaped")?,
+            conns_closed: u("conns_closed")?,
+            active_conns: u("active_conns")? as usize,
+            in_flight: u("in_flight")? as usize,
+            responses_2xx: u("responses_2xx")?,
+            responses_4xx: u("responses_4xx")?,
+            shed_quota: u("shed_quota")?,
+            shed_overload: u("shed_overload")?,
+            responses_5xx: u("responses_5xx")?,
+            timeouts_408: u("timeouts_408")?,
+            p50_ms: f("p50_ms")?,
+            p99_ms: f("p99_ms")?,
+            p999_ms: f("p999_ms")?,
+        })
+    }
+}
+
+impl std::fmt::Display for NetMetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "conns: {} accepted, {} refused, {} reaped, {} active",
+            self.conns_accepted, self.conns_refused, self.conns_reaped, self.active_conns
+        )?;
+        writeln!(
+            f,
+            "responses: {} ok, {} 4xx, {} quota-shed, {} overload-shed, {} 5xx, {} timeouts ({} in flight)",
+            self.responses_2xx,
+            self.responses_4xx,
+            self.shed_quota,
+            self.shed_overload,
+            self.responses_5xx,
+            self.timeouts_408,
+            self.in_flight
+        )?;
+        write!(
+            f,
+            "service latency: p50 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms",
+            self.p50_ms, self.p99_ms, self.p999_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_classes_land_in_the_right_counters() {
+        let m = NetMetrics::new();
+        for s in [200, 200, 400, 404, 408, 429, 503, 500] {
+            m.observe_response(s);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.responses_2xx, 2);
+        assert_eq!(s.responses_4xx, 2);
+        assert_eq!(s.timeouts_408, 1);
+        assert_eq!(s.shed_quota, 1);
+        assert_eq!(s.shed_overload, 1);
+        assert_eq!(s.responses_5xx, 1);
+        assert_eq!(s.total_responses(), 8);
+    }
+
+    #[test]
+    fn percentiles_cover_the_tail() {
+        let m = NetMetrics::new();
+        for i in 1..=1000u64 {
+            m.observe_latency(Duration::from_millis(i));
+        }
+        let s = m.snapshot();
+        assert!(s.p50_ms >= 400.0 && s.p50_ms <= 600.0, "p50 {}", s.p50_ms);
+        assert!(s.p99_ms >= 950.0, "p99 {}", s.p99_ms);
+        assert!(s.p999_ms >= s.p99_ms, "p999 {} < p99", s.p999_ms);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = NetMetrics::new();
+        m.observe_response(200);
+        m.observe_latency(Duration::from_millis(3));
+        let s = m.snapshot();
+        let back = NetMetricsSnapshot::from_json(
+            &crate::json::parse(&s.to_json().to_bytes()).expect("valid"),
+        )
+        .expect("all fields");
+        assert_eq!(back, s);
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The scoring wire protocol: request/response bodies over
+//! `POST /score`, plus the JSON error-body convention every non-200
+//! response follows.
+//!
+//! Request:  `{"tenant":"checkout","ids":[17,203,17]}` (`tenant` optional)
+//! Response: `{"scores":[0.0312,0.87,0.0312]}` — scores positionally
+//! aligned with the requested ids, serialized with shortest-round-trip
+//! `f32` formatting so a decoding client recovers the engine's exact bits
+//! (see [`crate::json`]).
+//!
+//! Every decode failure is a typed [`ProtoError`] carrying its HTTP status;
+//! arbitrary bytes can never panic this layer (the protocol-robustness
+//! proptests feed it garbage directly and over a live socket).
+
+use std::fmt;
+
+use xfraud_hetgraph::NodeId;
+
+use crate::json::{self, Json, JsonError};
+
+/// Most transaction ids accepted in one request — bounds per-request work
+/// and keeps one caller from monopolizing a micro-batch.
+pub const MAX_IDS_PER_REQUEST: usize = 4096;
+
+/// Tenant-name length cap (quota-map hygiene).
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// The tenant requests fall under when the field is omitted.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A decoded `POST /score` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRequest {
+    pub tenant: String,
+    pub ids: Vec<NodeId>,
+}
+
+/// A decoded `200 OK` score body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    pub scores: Vec<f32>,
+}
+
+/// Typed protocol failures; [`ProtoError::status`] is the HTTP response
+/// code (always 4xx — a malformed request is the client's fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    Json(JsonError),
+    NotAnObject,
+    MissingIds,
+    IdsNotAnArray,
+    /// An `ids` element that is not a non-negative integer node id.
+    BadId {
+        at: usize,
+    },
+    TooManyIds {
+        got: usize,
+    },
+    BadTenant(&'static str),
+    /// Response decode only: `scores` missing or malformed.
+    BadScores,
+}
+
+impl ProtoError {
+    pub fn status(&self) -> u16 {
+        400
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "{e}"),
+            ProtoError::NotAnObject => write!(f, "request body must be a JSON object"),
+            ProtoError::MissingIds => write!(f, "request object must have an `ids` field"),
+            ProtoError::IdsNotAnArray => write!(f, "`ids` must be an array"),
+            ProtoError::BadId { at } => {
+                write!(f, "`ids[{at}]` is not a non-negative integer node id")
+            }
+            ProtoError::TooManyIds { got } => write!(
+                f,
+                "request has {got} ids; the per-request limit is {MAX_IDS_PER_REQUEST}"
+            ),
+            ProtoError::BadTenant(why) => write!(f, "bad `tenant`: {why}"),
+            ProtoError::BadScores => write!(f, "response object must have a `scores` array"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        ProtoError::Json(e)
+    }
+}
+
+/// Encodes a score request body.
+pub fn encode_score_request(req: &ScoreRequest) -> Vec<u8> {
+    Json::Obj(vec![
+        ("tenant".into(), Json::Str(req.tenant.clone())),
+        (
+            "ids".into(),
+            Json::Arr(req.ids.iter().map(|&id| Json::num_u64(id as u64)).collect()),
+        ),
+    ])
+    .to_bytes()
+}
+
+/// Decodes and validates a score request body.
+pub fn decode_score_request(body: &[u8]) -> Result<ScoreRequest, ProtoError> {
+    let doc = json::parse(body)?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(ProtoError::NotAnObject);
+    }
+    let tenant = match doc.get("tenant") {
+        None => DEFAULT_TENANT.to_string(),
+        Some(Json::Str(s)) => {
+            if s.is_empty() {
+                return Err(ProtoError::BadTenant("must be non-empty"));
+            }
+            if s.len() > MAX_TENANT_LEN {
+                return Err(ProtoError::BadTenant("longer than 64 bytes"));
+            }
+            s.clone()
+        }
+        Some(_) => return Err(ProtoError::BadTenant("must be a string")),
+    };
+    let ids_field = doc.get("ids").ok_or(ProtoError::MissingIds)?;
+    let items = ids_field.as_array().ok_or(ProtoError::IdsNotAnArray)?;
+    if items.len() > MAX_IDS_PER_REQUEST {
+        return Err(ProtoError::TooManyIds { got: items.len() });
+    }
+    let mut ids = Vec::with_capacity(items.len());
+    for (at, item) in items.iter().enumerate() {
+        let id = item.as_u64().ok_or(ProtoError::BadId { at })?;
+        let id = usize::try_from(id).map_err(|_| ProtoError::BadId { at })?;
+        ids.push(id);
+    }
+    Ok(ScoreRequest { tenant, ids })
+}
+
+/// Encodes a score response body (bit-exact f32 text; see module docs).
+pub fn encode_score_response(scores: &[f32]) -> Vec<u8> {
+    Json::Obj(vec![(
+        "scores".into(),
+        Json::Arr(scores.iter().map(|&s| Json::num_f32(s)).collect()),
+    )])
+    .to_bytes()
+}
+
+/// Decodes a score response body (client side).
+pub fn decode_score_response(body: &[u8]) -> Result<ScoreResponse, ProtoError> {
+    let doc = json::parse(body)?;
+    let items = doc
+        .get("scores")
+        .and_then(Json::as_array)
+        .ok_or(ProtoError::BadScores)?;
+    let mut scores = Vec::with_capacity(items.len());
+    for item in items {
+        scores.push(item.as_f32().ok_or(ProtoError::BadScores)?);
+    }
+    Ok(ScoreResponse { scores })
+}
+
+/// The JSON error body of every non-200 response: `{"error":"…"}`.
+pub fn encode_error_body(message: &str) -> Vec<u8> {
+    Json::Obj(vec![("error".into(), Json::Str(message.to_string()))]).to_bytes()
+}
+
+/// Extracts the error message from an error body (client side); falls back
+/// to the raw body text when it isn't the standard shape.
+pub fn decode_error_body(body: &[u8]) -> String {
+    match json::parse(body) {
+        Ok(doc) => match doc.get("error").and_then(Json::as_str) {
+            Some(msg) => msg.to_string(),
+            None => String::from_utf8_lossy(body).into_owned(),
+        },
+        Err(_) => String::from_utf8_lossy(body).into_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = ScoreRequest {
+            tenant: "checkout".into(),
+            ids: vec![0, 17, 17, usize::MAX],
+        };
+        assert_eq!(decode_score_request(&encode_score_request(&req)), Ok(req));
+    }
+
+    #[test]
+    fn omitted_tenant_defaults() {
+        let req = decode_score_request(br#"{"ids":[1,2]}"#).expect("valid");
+        assert_eq!(req.tenant, DEFAULT_TENANT);
+        assert_eq!(req.ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn response_round_trip_is_bit_exact() {
+        let scores = vec![0.3f32, f32::MIN_POSITIVE, -0.0, 1.0 / 3.0, 123456.78];
+        let back = decode_score_response(&encode_score_response(&scores)).expect("valid");
+        let bits: Vec<u32> = back.scores.iter().map(|s| s.to_bits()).collect();
+        let want: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(bits, want);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        for (body, want) in [
+            (&br#"[1,2]"#[..], ProtoError::NotAnObject),
+            (br#"{}"#, ProtoError::MissingIds),
+            (br#"{"ids":3}"#, ProtoError::IdsNotAnArray),
+            (br#"{"ids":[1,-2]}"#, ProtoError::BadId { at: 1 }),
+            (br#"{"ids":[1.5]}"#, ProtoError::BadId { at: 0 }),
+            (br#"{"ids":["7"]}"#, ProtoError::BadId { at: 0 }),
+            (
+                br#"{"ids":[1],"tenant":7}"#,
+                ProtoError::BadTenant("must be a string"),
+            ),
+            (
+                br#"{"ids":[1],"tenant":""}"#,
+                ProtoError::BadTenant("must be non-empty"),
+            ),
+        ] {
+            let got = decode_score_request(body).expect_err("must fail");
+            assert_eq!(got, want, "{:?}", String::from_utf8_lossy(body));
+            assert_eq!(got.status(), 400);
+        }
+        assert!(matches!(
+            decode_score_request(b"not json at all"),
+            Err(ProtoError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn id_count_limit_is_enforced() {
+        let req = ScoreRequest {
+            tenant: "t".into(),
+            ids: vec![1; MAX_IDS_PER_REQUEST + 1],
+        };
+        assert_eq!(
+            decode_score_request(&encode_score_request(&req)),
+            Err(ProtoError::TooManyIds {
+                got: MAX_IDS_PER_REQUEST + 1
+            })
+        );
+    }
+
+    #[test]
+    fn error_bodies_round_trip() {
+        let body = encode_error_body("unknown node id 9");
+        assert_eq!(decode_error_body(&body), "unknown node id 9");
+        assert_eq!(decode_error_body(b"plain text"), "plain text");
+    }
+}

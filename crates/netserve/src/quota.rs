@@ -1,0 +1,228 @@
+//! Per-tenant token-bucket quotas — the 429 arm of admission control.
+//!
+//! Every `POST /score` names a tenant (defaulting to
+//! [`DEFAULT_TENANT`](crate::proto::DEFAULT_TENANT)); each tenant draws one
+//! token per request from its own bucket. Buckets refill continuously at
+//! `rate_per_sec` up to `burst`, so a tenant can spike to its burst budget
+//! and then sustain its refill rate — the classic shape for protecting the
+//! shared in-flight pool from one hot integration while letting everyone
+//! absorb their own bursts.
+//!
+//! Time is passed in by the caller (`Instant`s from the worker loop), which
+//! keeps this module a pure state machine — trivially testable without
+//! sleeping.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Most tenants tracked before the bucket map is reset (an unauthenticated
+/// caller can mint tenant names; the map must not grow without bound).
+const MAX_TRACKED_TENANTS: usize = 65_536;
+
+/// Quota policy. `rate_per_sec == 0.0` disables quota enforcement entirely
+/// (the default — equivalence tests and trusted deployments want every
+/// request admitted).
+#[derive(Debug, Clone)]
+pub struct QuotaConfig {
+    /// Steady-state tokens per second granted to each tenant.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the largest burst a tenant can spend at once.
+    pub burst: f64,
+    /// Per-tenant `(tenant, rate_per_sec, burst)` overrides.
+    pub overrides: Vec<(String, f64, f64)>,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            rate_per_sec: 0.0,
+            burst: 1.0,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl QuotaConfig {
+    /// Uniform quota for every tenant.
+    pub fn per_tenant(rate_per_sec: f64, burst: f64) -> Self {
+        QuotaConfig {
+            rate_per_sec,
+            burst,
+            overrides: Vec::new(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.rate_per_sec > 0.0 || !self.overrides.is_empty()
+    }
+
+    fn limits_for(&self, tenant: &str) -> (f64, f64) {
+        for (name, rate, burst) in &self.overrides {
+            if name == tenant {
+                return (*rate, *burst);
+            }
+        }
+        (self.rate_per_sec, self.burst)
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// The live bucket table.
+pub struct QuotaSet {
+    cfg: QuotaConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl QuotaSet {
+    pub fn new(cfg: QuotaConfig) -> Self {
+        QuotaSet {
+            cfg,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token from `tenant`'s bucket at time `now`. `true` admits
+    /// the request; `false` is a 429.
+    pub fn admit(&self, tenant: &str, now: Instant) -> bool {
+        if !self.cfg.enabled() {
+            return true;
+        }
+        let (rate, burst) = self.cfg.limits_for(tenant);
+        if rate <= 0.0 {
+            // A tenant explicitly overridden to zero rate is always denied.
+            return false;
+        }
+        let mut buckets = self.buckets.lock();
+        if buckets.len() >= MAX_TRACKED_TENANTS && !buckets.contains_key(tenant) {
+            // Adversarial tenant-name churn: reset the table instead of
+            // growing it. Established tenants refill to burst on their next
+            // request, a brief over-admission bounded by one burst each.
+            buckets.clear();
+        }
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: burst,
+            last_refill: now,
+        });
+        let dt = now.saturating_duration_since(bucket.last_refill);
+        bucket.tokens = (bucket.tokens + dt.as_secs_f64() * rate).min(burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How long until `tenant` would next be admitted (the `Retry-After`
+    /// hint); zero when it would be admitted now.
+    pub fn retry_after(&self, tenant: &str, now: Instant) -> Duration {
+        if !self.cfg.enabled() {
+            return Duration::ZERO;
+        }
+        let (rate, _) = self.cfg.limits_for(tenant);
+        if rate <= 0.0 {
+            return Duration::from_secs(u32::MAX as u64);
+        }
+        let buckets = self.buckets.lock();
+        match buckets.get(tenant) {
+            Some(b) => {
+                let dt = now.saturating_duration_since(b.last_refill);
+                let tokens = b.tokens + dt.as_secs_f64() * rate;
+                if tokens >= 1.0 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_secs_f64((1.0 - tokens) / rate)
+                }
+            }
+            None => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_quota_admits_everything() {
+        let q = QuotaSet::new(QuotaConfig::default());
+        let t0 = Instant::now();
+        for i in 0..1000 {
+            assert!(q.admit("anyone", at(t0, i)));
+        }
+    }
+
+    #[test]
+    fn burst_then_refill() {
+        let q = QuotaSet::new(QuotaConfig::per_tenant(10.0, 3.0));
+        let t0 = Instant::now();
+        // Burst budget: exactly 3 immediate admits.
+        assert!(q.admit("a", t0));
+        assert!(q.admit("a", t0));
+        assert!(q.admit("a", t0));
+        assert!(!q.admit("a", t0));
+        assert!(q.retry_after("a", t0) > Duration::ZERO);
+        // 100 ms at 10 tokens/s refills one token.
+        assert!(q.admit("a", at(t0, 100)));
+        assert!(!q.admit("a", at(t0, 101)));
+    }
+
+    #[test]
+    fn tenants_do_not_share_buckets() {
+        let q = QuotaSet::new(QuotaConfig::per_tenant(1.0, 1.0));
+        let t0 = Instant::now();
+        assert!(q.admit("a", t0));
+        assert!(!q.admit("a", t0));
+        assert!(q.admit("b", t0), "b has its own bucket");
+    }
+
+    #[test]
+    fn overrides_beat_the_default() {
+        let mut cfg = QuotaConfig::per_tenant(100.0, 100.0);
+        cfg.overrides.push(("throttled".into(), 0.0, 0.0));
+        cfg.overrides.push(("vip".into(), 1000.0, 2.0));
+        let q = QuotaSet::new(cfg);
+        let t0 = Instant::now();
+        assert!(
+            !q.admit("throttled", t0),
+            "zero-rate override always denies"
+        );
+        assert!(q.admit("vip", t0));
+        assert!(q.admit("vip", t0));
+        assert!(!q.admit("vip", t0), "vip burst is 2");
+        assert!(q.admit("normal", t0));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let q = QuotaSet::new(QuotaConfig::per_tenant(1000.0, 2.0));
+        let t0 = Instant::now();
+        assert!(q.admit("a", t0));
+        // A long quiet period refills to burst (2), not to rate × dt.
+        let later = at(t0, 60_000);
+        assert!(q.admit("a", later));
+        assert!(q.admit("a", later));
+        assert!(!q.admit("a", later));
+    }
+
+    #[test]
+    fn tenant_churn_resets_instead_of_growing() {
+        let q = QuotaSet::new(QuotaConfig::per_tenant(1.0, 1.0));
+        let t0 = Instant::now();
+        for i in 0..(MAX_TRACKED_TENANTS + 10) {
+            q.admit(&format!("tenant-{i}"), t0);
+        }
+        assert!(q.buckets.lock().len() <= MAX_TRACKED_TENANTS);
+    }
+}

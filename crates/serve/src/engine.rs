@@ -471,10 +471,14 @@ impl ScoringEngine {
         }
         let mut slot = self.shared.detector.write();
         *slot = detector;
-        drop(slot);
+        // Clear while still holding the write lock: every pre-swap batch
+        // finished its inserts before we acquired it, and no post-swap
+        // batch can read the cache until we release it — so a reader can
+        // never mix surviving old-detector entries with fresh scores.
         if let Some(scores) = &self.shared.scores {
             scores.clear();
         }
+        drop(slot);
         Ok(())
     }
 

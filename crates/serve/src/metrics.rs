@@ -68,15 +68,15 @@ impl ServeMetrics {
         ring.filled = (ring.filled + 1).min(LATENCY_WINDOW);
     }
 
-    fn percentiles(&self) -> (f64, f64) {
+    fn percentiles(&self) -> (f64, f64, f64) {
         let ring = self.latencies.lock();
         if ring.filled == 0 {
-            return (0.0, 0.0);
+            return (0.0, 0.0, 0.0);
         }
         let mut sorted: Vec<f64> = ring.buf[..ring.filled].to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        (at(0.50), at(0.99))
+        (at(0.50), at(0.99), at(0.999))
     }
 
     /// Snapshot with the cache tiers' counters folded in (the caches keep
@@ -93,7 +93,7 @@ impl ServeMetrics {
     ) -> MetricsSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let requests = self.requests.load(Ordering::Relaxed);
-        let (p50_ms, p99_ms) = self.percentiles();
+        let (p50_ms, p99_ms, p999_ms) = self.percentiles();
         MetricsSnapshot {
             requests,
             transactions: self.transactions.load(Ordering::Relaxed),
@@ -108,6 +108,7 @@ impl ServeMetrics {
             score_entries,
             p50_ms,
             p99_ms,
+            p999_ms,
         }
     }
 }
@@ -135,6 +136,8 @@ pub struct MetricsSnapshot {
     pub p50_ms: f64,
     /// 99th-percentile request latency over the recent window.
     pub p99_ms: f64,
+    /// 99.9th-percentile request latency over the recent window.
+    pub p999_ms: f64,
 }
 
 impl MetricsSnapshot {
@@ -176,8 +179,8 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "latency: p50 {:.3} ms  p99 {:.3} ms",
-            self.p50_ms, self.p99_ms
+            "latency: p50 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms",
+            self.p50_ms, self.p99_ms, self.p999_ms
         )
     }
 }
@@ -203,6 +206,12 @@ mod tests {
         assert!((s.subgraph_hit_rate() - 0.75).abs() < 1e-12);
         assert!(s.p50_ms >= 2.0 && s.p50_ms <= 4.0, "p50 {}", s.p50_ms);
         assert!(s.p99_ms >= 50.0, "p99 {}", s.p99_ms);
+        assert!(
+            s.p999_ms >= s.p99_ms,
+            "p999 {} < p99 {}",
+            s.p999_ms,
+            s.p99_ms
+        );
         assert!(!format!("{s}").is_empty());
     }
 

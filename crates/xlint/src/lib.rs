@@ -106,7 +106,10 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
     let mut cache: BTreeMap<PathBuf, SourceFile> = BTreeMap::new();
 
     for rule_id in cfg.rules.keys() {
-        if !matches!(rule_id.as_str(), "d1" | "d2" | "p1" | "l1" | "l2" | "p2" | "d3") {
+        if !matches!(
+            rule_id.as_str(),
+            "d1" | "d2" | "p1" | "l1" | "l2" | "p2" | "d3"
+        ) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!("unknown rule `[rules.{rule_id}]` in xlint.toml"),

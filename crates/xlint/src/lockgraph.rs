@@ -56,8 +56,7 @@ impl LockGraph {
         let n = cg.fns.len();
         let mut acquired: Vec<Vec<String>> = (0..n)
             .map(|i| {
-                let mut v: Vec<String> =
-                    cg.fns[i].locks.iter().map(|l| l.id.clone()).collect();
+                let mut v: Vec<String> = cg.fns[i].locks.iter().map(|l| l.id.clone()).collect();
                 v.sort();
                 v.dedup();
                 v
@@ -90,14 +89,14 @@ impl LockGraph {
         let mut seen: BTreeMap<(String, String), usize> = BTreeMap::new();
         let mut edges: Vec<LockEdge> = Vec::new();
         let push = |edges: &mut Vec<LockEdge>,
-                        seen: &mut BTreeMap<(String, String), usize>,
-                        e: LockEdge| {
+                    seen: &mut BTreeMap<(String, String), usize>,
+                    e: LockEdge| {
             if e.from == e.to {
                 return; // re-acquisition of the same lock is L1's business
             }
             let key = (e.from.clone(), e.to.clone());
-            if !seen.contains_key(&key) {
-                seen.insert(key, edges.len());
+            if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry(key) {
+                slot.insert(edges.len());
                 edges.push(e);
             }
         };
@@ -188,7 +187,10 @@ impl LockGraph {
             }
             // Witness: BFS from the smallest node back to itself, using
             // only intra-component edges.
-            let start = *nodes.iter().min_by_key(|&&i| &self.nodes[i]).expect("non-empty");
+            let start = *nodes
+                .iter()
+                .min_by_key(|&&i| &self.nodes[i])
+                .expect("non-empty");
             if let Some(cycle) = self.cycle_from(start, &adj, &scc) {
                 out.push(cycle);
             }
@@ -296,7 +298,10 @@ fn tarjan_scc(n: usize, adj: &[Vec<(usize, usize)>]) -> Vec<usize> {
         if index[root] != usize::MAX {
             continue;
         }
-        let mut frames = vec![Frame { node: root, edge: 0 }];
+        let mut frames = vec![Frame {
+            node: root,
+            edge: 0,
+        }];
         index[root] = next_index;
         low[root] = next_index;
         next_index += 1;
@@ -386,9 +391,9 @@ mod tests {
             ),
         ]);
         assert!(
-            g.edges
-                .iter()
-                .any(|e| e.from == "xfraud_a::self.alpha" && e.to.contains("GLOBAL") && e.via.is_some()),
+            g.edges.iter().any(|e| e.from == "xfraud_a::self.alpha"
+                && e.to.contains("GLOBAL")
+                && e.via.is_some()),
             "{:#?}",
             g.edges
         );

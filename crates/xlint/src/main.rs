@@ -186,7 +186,7 @@ fn print_audit(report: &LintReport) {
     }
     if !report.burndown.is_empty() {
         println!("xlint: P1 burn-down priorities (pub APIs that can reach each panic site):");
-        println!("  {:<7} {:<44} {}", "pub-fan", "site", "in fn");
+        println!("  {:<7} {:<44} in fn", "pub-fan", "site");
         for b in &report.burndown {
             let loc = format!("{}:{}", b.file, b.line);
             println!("  {:<7} {:<44} {}", b.pub_apis, loc, b.fn_label);

@@ -120,19 +120,126 @@ const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
 /// call graph into one blob. Calls through these still resolve when
 /// written as paths (`Type::get(…)`).
 const METHOD_DENYLIST: &[&str] = &[
-    "new", "clone", "len", "is_empty", "iter", "iter_mut", "into_iter", "next", "get", "get_mut",
-    "insert", "remove", "push", "pop", "contains", "contains_key", "keys", "values", "entry",
-    "extend", "drain", "clear", "sort", "sort_by", "sort_by_key", "sort_unstable", "min", "max",
-    "map", "and_then", "or_else", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok",
-    "ok_or", "ok_or_else", "err", "expect", "unwrap", "take", "replace", "as_ref", "as_mut",
-    "as_slice", "as_str", "as_bytes", "to_string", "to_vec", "to_owned", "into", "from", "fmt",
-    "eq", "ne", "cmp", "partial_cmp", "total_cmp", "hash", "default", "drop", "clamp", "abs",
-    "min_by", "max_by", "sum", "product", "collect", "filter", "filter_map", "flat_map", "fold",
-    "zip", "rev", "skip", "chain", "count", "enumerate", "position", "find", "any", "all",
-    "split", "join", "trim", "parse", "write", "read", "flush", "lock", "borrow", "borrow_mut",
-    "load", "store", "fetch_add", "swap", "send", "recv", "try_recv", "start_send", "wait",
-    "notify_one", "notify_all", "spawn", "first", "last", "copied", "cloned", "chunks", "windows",
-    "rows", "cols", "row", "col", "dim", "shape", "is_some", "is_none", "is_ok", "is_err",
+    "new",
+    "clone",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "contains",
+    "contains_key",
+    "keys",
+    "values",
+    "entry",
+    "extend",
+    "drain",
+    "clear",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "min",
+    "max",
+    "map",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "err",
+    "expect",
+    "unwrap",
+    "take",
+    "replace",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_str",
+    "as_bytes",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "into",
+    "from",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "total_cmp",
+    "hash",
+    "default",
+    "drop",
+    "clamp",
+    "abs",
+    "min_by",
+    "max_by",
+    "sum",
+    "product",
+    "collect",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "zip",
+    "rev",
+    "skip",
+    "chain",
+    "count",
+    "enumerate",
+    "position",
+    "find",
+    "any",
+    "all",
+    "split",
+    "join",
+    "trim",
+    "parse",
+    "write",
+    "read",
+    "flush",
+    "lock",
+    "borrow",
+    "borrow_mut",
+    "load",
+    "store",
+    "fetch_add",
+    "swap",
+    "send",
+    "recv",
+    "try_recv",
+    "start_send",
+    "wait",
+    "notify_one",
+    "notify_all",
+    "spawn",
+    "first",
+    "last",
+    "copied",
+    "cloned",
+    "chunks",
+    "windows",
+    "rows",
+    "cols",
+    "row",
+    "col",
+    "dim",
+    "shape",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
 ];
 
 /// Parses one file into items. `crate_name` is the owning crate's lib
@@ -155,10 +262,7 @@ pub fn parse_file(sf: &SourceFile, crate_name: &str) -> ParsedFile {
         let t = &toks[i];
         // Close impl/trait blocks whose `}` we just passed.
         if t.text == "}" {
-            while type_stack
-                .last()
-                .is_some_and(|(_, d)| t.brace_depth <= *d)
-            {
+            while type_stack.last().is_some_and(|(_, d)| t.brace_depth <= *d) {
                 type_stack.pop();
             }
             i += 1;
@@ -416,11 +520,12 @@ fn scan_body(sf: &SourceFile, crate_name: &str, item: &mut FnItem, open: usize, 
         // Plain or path call: an ident that *starts* a path (previous
         // token is neither `.` nor the tail of `::`), followed —
         // possibly through `::seg` repetitions and a turbofish — by `(`.
+        let prev = j.checked_sub(1).map(|p| toks[p].text.as_str());
         if t.kind == TokenKind::Ident
             && !CALL_KEYWORDS.contains(&t.text.as_str())
-            && !(j >= 1 && toks[j - 1].text == ".")
-            && !(j >= 1 && toks[j - 1].text == "fn") // nested fn definition head
-            && !(j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text == ":")
+            && prev != Some(".")
+            && prev != Some("fn") // nested fn definition head
+            && !(j >= 2 && prev == Some(":") && toks[j - 2].text == ":")
         {
             if let Some((path, after)) = collect_call_path(toks, j) {
                 calls.push((
@@ -605,9 +710,9 @@ fn guard_live_end(toks: &[Token], j: usize, body_close: usize) -> usize {
     // the lock is released at the semicolon. (`unwrap`/`expect` chains
     // pass the guard through and keep let-binding semantics.)
     let chained_away = toks.get(j + 3).is_some_and(|t| t.text == ".")
-        && toks
-            .get(j + 4)
-            .is_some_and(|t| t.kind == TokenKind::Ident && t.text != "unwrap" && t.text != "expect");
+        && toks.get(j + 4).is_some_and(|t| {
+            t.kind == TokenKind::Ident && t.text != "unwrap" && t.text != "expect"
+        });
     let binding = if chained_away {
         None
     } else {
@@ -826,7 +931,10 @@ mod tests {
         );
         let calls: Vec<Vec<String>> = p.fns[0].calls.iter().map(|c| c.path.clone()).collect();
         assert!(calls.contains(&vec!["helper".to_string()]));
-        assert!(calls.contains(&vec!["xfraud_gnn".to_string(), "predict_scores".to_string()]));
+        assert!(calls.contains(&vec![
+            "xfraud_gnn".to_string(),
+            "predict_scores".to_string()
+        ]));
         assert!(calls.contains(&vec!["Self".to_string(), "assoc".to_string()]));
         assert!(calls.contains(&vec!["method_call".to_string()]));
         assert!(
@@ -916,7 +1024,8 @@ mod tests {
 
     #[test]
     fn test_gated_fns_are_marked() {
-        let p = parse("#[cfg(test)]\nmod t { fn helper() {} }\n#[test]\nfn a_test() {}\nfn lib() {}");
+        let p =
+            parse("#[cfg(test)]\nmod t { fn helper() {} }\n#[test]\nfn a_test() {}\nfn lib() {}");
         let helper = p.fns.iter().find(|f| f.name == "helper").unwrap();
         let a_test = p.fns.iter().find(|f| f.name == "a_test").unwrap();
         let lib = p.fns.iter().find(|f| f.name == "lib").unwrap();

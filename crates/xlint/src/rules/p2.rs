@@ -61,7 +61,9 @@ pub fn check_p2(cg: &CallGraph, p1_live: &[Violation], scope: &InterprocScope) -
             continue;
         }
         let path = cg.path_to(i, &target);
-        let Some(&site_fn) = path.last() else { continue };
+        let Some(&site_fn) = path.last() else {
+            continue;
+        };
         let site_line = roots
             .iter()
             .find(|(r, _)| *r == site_fn)
@@ -108,7 +110,11 @@ pub struct BurndownEntry {
 /// Ranks live P1 sites by public exposure: how many in-scope `pub`
 /// functions can transitively reach each. Sorted most-exposed first,
 /// ties by (file, line).
-pub fn burndown(cg: &CallGraph, p1_live: &[Violation], scope: &InterprocScope) -> Vec<BurndownEntry> {
+pub fn burndown(
+    cg: &CallGraph,
+    p1_live: &[Violation],
+    scope: &InterprocScope,
+) -> Vec<BurndownEntry> {
     let roots = panic_roots(cg, p1_live);
     let mut fanin: Vec<(usize, usize)> = Vec::new(); // (root fn, pub api count)
     for &(r, _) in &roots {
@@ -150,8 +156,11 @@ pub fn burndown(cg: &CallGraph, p1_live: &[Violation], scope: &InterprocScope) -
         })
         .collect();
     out.sort_by(|a, b| {
-        (std::cmp::Reverse(a.pub_apis), &a.file, a.line)
-            .cmp(&(std::cmp::Reverse(b.pub_apis), &b.file, b.line))
+        (std::cmp::Reverse(a.pub_apis), &a.file, a.line).cmp(&(
+            std::cmp::Reverse(b.pub_apis),
+            &b.file,
+            b.line,
+        ))
     });
     out
 }

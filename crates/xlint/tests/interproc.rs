@@ -29,12 +29,23 @@ fn fixture_report() -> LintReport {
 #[test]
 fn l2_flags_the_three_lock_cycle_with_a_witness_path() {
     let report = fixture_report();
-    let l2: Vec<_> = report.violations.iter().filter(|v| v.rule == "L2").collect();
+    let l2: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "L2")
+        .collect();
     assert_eq!(l2.len(), 1, "exactly one cycle (one SCC): {l2:#?}");
     let v = l2[0];
-    assert!(v.file.starts_with("crates/locks/"), "anchored in the cyclic crate: {v:#?}");
+    assert!(
+        v.file.starts_with("crates/locks/"),
+        "anchored in the cyclic crate: {v:#?}"
+    );
     for lock in ["self.a", "self.b", "self.c"] {
-        assert!(v.message.contains(lock), "witness names {lock}: {}", v.message);
+        assert!(
+            v.message.contains(lock),
+            "witness names {lock}: {}",
+            v.message
+        );
     }
     // The c -> a leg only exists through the `grab_a` call.
     assert!(
@@ -66,9 +77,18 @@ fn p2_flags_the_pub_api_reaching_a_cross_crate_panic_site() {
         .collect();
     assert_eq!(api.len(), 1, "only `api` is flagged, not `safe`: {api:#?}");
     let msg = &api[0].message;
-    assert!(msg.contains("xfraud_libp::api"), "names the entry point: {msg}");
-    assert!(msg.contains("xfraud_panico::boom"), "witness path reaches the panic site: {msg}");
-    assert!(msg.contains("crates/panico/src/lib.rs:4"), "cites the P1 site: {msg}");
+    assert!(
+        msg.contains("xfraud_libp::api"),
+        "names the entry point: {msg}"
+    );
+    assert!(
+        msg.contains("xfraud_panico::boom"),
+        "witness path reaches the panic site: {msg}"
+    );
+    assert!(
+        msg.contains("crates/panico/src/lib.rs:4"),
+        "cites the P1 site: {msg}"
+    );
 }
 
 #[test]
@@ -86,7 +106,11 @@ fn p2_burndown_ranks_the_panic_site_by_pub_fanin() {
 #[test]
 fn d3_flags_the_frontier_call_through_the_reexport() {
     let report = fixture_report();
-    let d3: Vec<_> = report.violations.iter().filter(|v| v.rule == "D3").collect();
+    let d3: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "D3")
+        .collect();
     assert_eq!(d3.len(), 1, "one frontier edge, no cascade: {d3:#?}");
     let v = d3[0];
     assert_eq!(v.file, "crates/det/src/lib.rs");
@@ -120,8 +144,7 @@ fn p1_still_fires_inside_the_fixture_workspace() {
 #[test]
 fn check_is_idempotent_once_the_baseline_is_up_to_date() {
     let root = fixture_root();
-    let cfg_text =
-        std::fs::read_to_string(root.join("xlint.toml")).expect("fixture config reads");
+    let cfg_text = std::fs::read_to_string(root.join("xlint.toml")).expect("fixture config reads");
     let report = fixture_report();
     assert!(!report.violations.is_empty(), "fixture produces findings");
 
@@ -130,17 +153,30 @@ fn check_is_idempotent_once_the_baseline_is_up_to_date() {
     let cfg2 = Config::parse(&rendered).expect("rendered config parses");
     let report2 = lint_workspace(&root, &cfg2).expect("second scan");
     assert!(report2.regressions.is_empty(), "{:#?}", report2.regressions);
-    assert!(report2.improvements.is_empty(), "{:#?}", report2.improvements);
+    assert!(
+        report2.improvements.is_empty(),
+        "{:#?}",
+        report2.improvements
+    );
 
     // Regenerating off the up-to-date tree changes nothing, byte for byte.
     let rendered_again = Config::render_with_baseline(&rendered, &report2.fresh_baseline());
-    assert_eq!(rendered, rendered_again, "--update-baseline must be a fixpoint");
+    assert_eq!(
+        rendered, rendered_again,
+        "--update-baseline must be a fixpoint"
+    );
 }
 
 fn entry_strategy() -> impl Strategy<Value = BaselineEntry> {
     (
         prop_oneof![
-            Just("D1"), Just("D2"), Just("D3"), Just("P1"), Just("P2"), Just("L1"), Just("L2"),
+            Just("D1"),
+            Just("D2"),
+            Just("D3"),
+            Just("P1"),
+            Just("P2"),
+            Just("L1"),
+            Just("L2"),
         ],
         prop_oneof![
             Just("crates/serve/src/engine.rs"),
@@ -212,12 +248,27 @@ fn whole_workspace_graphs_are_deterministic_and_sane() {
     let root = workspace_root();
     let (cg1, lg1) = build_graphs(root).expect("first build");
     let (cg2, lg2) = build_graphs(root).expect("second build");
-    assert_eq!(cg1.to_dot(), cg2.to_dot(), "call graph DOT must be deterministic");
-    assert_eq!(lg1.to_dot(), lg2.to_dot(), "lock graph DOT must be deterministic");
+    assert_eq!(
+        cg1.to_dot(),
+        cg2.to_dot(),
+        "call graph DOT must be deterministic"
+    );
+    assert_eq!(
+        lg1.to_dot(),
+        lg2.to_dot(),
+        "lock graph DOT must be deterministic"
+    );
 
-    assert!(cg1.fns.len() > 400, "the workspace has hundreds of fns, got {}", cg1.fns.len());
+    assert!(
+        cg1.fns.len() > 400,
+        "the workspace has hundreds of fns, got {}",
+        cg1.fns.len()
+    );
     let n_edges: usize = cg1.edges.iter().map(|e| e.len()).sum();
-    assert!(n_edges > 200, "expected a dense call graph, got {n_edges} edges");
+    assert!(
+        n_edges > 200,
+        "expected a dense call graph, got {n_edges} edges"
+    );
     assert!(
         lg1.nodes.len() >= 10,
         "serve/ingest/kvstore locks should all be modelled, got {:?}",

@@ -1,0 +1,170 @@
+//! The network service's headline guarantee: **scores fetched over the
+//! wire are bit-identical to `ScoringEngine::score` in-process** — for any
+//! request size, any number of concurrent clients, and any micro-batch
+//! configuration on the served engine.
+//!
+//! The reference is the strictest one available: a *separately built*
+//! engine scoring one transaction at a time. Matching it proves both the
+//! engine's cross-instance determinism and the wire codec's f32 fidelity
+//! (JSON numbers round-trip shortest-form, parsed straight to `f32` with
+//! no double rounding).
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::gnn::{CommunitySampler, DetectorConfig, XFraudDetector};
+use xfraud::hetgraph::NodeId;
+use xfraud::netserve::{NetServer, ScoreClient, ScoreOutcome, ServerConfig};
+use xfraud::serve::ScoringEngine;
+
+const GRAPH_SEED: u64 = 23;
+const DETECTOR_SEED: u64 = 5;
+const ENGINE_SEED: u64 = 11;
+
+/// A fresh engine over the same (deterministically generated) graph and
+/// detector weights; `max_batch` varies so coalescing boundaries move.
+fn build_engine(max_batch: usize, cache: bool) -> Arc<ScoringEngine> {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, GRAPH_SEED).graph;
+    let detector = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), DETECTOR_SEED));
+    let mut builder = ScoringEngine::builder(detector, g, Box::new(CommunitySampler::new(300)))
+        .seed(ENGINE_SEED)
+        .max_batch(max_batch);
+    if !cache {
+        builder = builder.no_cache();
+    }
+    Arc::new(builder.build().expect("engine builds"))
+}
+
+fn pool() -> Vec<NodeId> {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, GRAPH_SEED).graph;
+    g.labeled_txns()
+        .into_iter()
+        .map(|(v, _)| v)
+        .take(10)
+        .collect()
+}
+
+/// Sequential one-at-a-time reference bits, computed once from an engine
+/// that never serves a socket.
+fn reference() -> &'static Vec<(NodeId, u32)> {
+    static REF: OnceLock<Vec<(NodeId, u32)>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let engine = build_engine(1, false);
+        pool()
+            .into_iter()
+            .map(|t| {
+                let s = engine.score(&[t]).expect("reference scores")[0];
+                (t, s.to_bits())
+            })
+            .collect()
+    })
+}
+
+fn expected_bits(t: NodeId) -> u32 {
+    reference()
+        .iter()
+        .find(|&&(id, _)| id == t)
+        .map(|&(_, b)| b)
+        .expect("txn in reference pool")
+}
+
+fn score_bits(client: &mut ScoreClient, ids: &[NodeId]) -> Vec<u32> {
+    match client.score("equiv", ids).expect("request succeeds") {
+        ScoreOutcome::Scores(s) => s.iter().map(|v| v.to_bits()).collect(),
+        ScoreOutcome::Rejected { status, error } => {
+            panic!("unexpected rejection: {status} {error}")
+        }
+    }
+}
+
+/// One client, every request-size split of the pool: chunked requests of
+/// 1, 2, 3 and the whole pool all return the one-at-a-time bits, with and
+/// without the score cache.
+#[test]
+fn request_size_never_changes_the_bits() {
+    let ids = pool();
+    for cache in [true, false] {
+        let engine = build_engine(8, cache);
+        let server = NetServer::start(engine, ServerConfig::default()).expect("server starts");
+        let mut client =
+            ScoreClient::connect(server.local_addr(), Duration::from_secs(10)).expect("connects");
+        for chunk in [1usize, 2, 3, ids.len()] {
+            for part in ids.chunks(chunk) {
+                let got = score_bits(&mut client, part);
+                for (&t, &b) in part.iter().zip(&got) {
+                    assert_eq!(
+                        b,
+                        expected_bits(t),
+                        "txn {t} diverged over the wire (chunk={chunk} cache={cache})"
+                    );
+                }
+            }
+        }
+        server.shutdown();
+    }
+}
+
+/// Concurrent clients against a tiny micro-batch budget: requests from
+/// different connections coalesce into shared batches and split across
+/// batch boundaries, yet every response carries the reference bits.
+#[test]
+fn concurrent_clients_across_micro_batch_boundaries() {
+    let ids = pool();
+    // max_batch below the request count forces multi-request coalescing to
+    // spill over batch edges; cache on maximises cross-request sharing.
+    let engine = build_engine(3, true);
+    let server = NetServer::start(engine, ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for caller in 0..4usize {
+            let ids = &ids;
+            scope.spawn(move || {
+                let mut client =
+                    ScoreClient::connect(addr, Duration::from_secs(10)).expect("connects");
+                // Each caller rotates the pool differently so overlapping
+                // (but unequal) id sets race through the batcher; two
+                // passes hit both the miss and the hit path.
+                let rotated: Vec<NodeId> = (0..ids.len())
+                    .map(|i| ids[(i + caller) % ids.len()])
+                    .collect();
+                for pass in 0..2 {
+                    for chunk in rotated.chunks(1 + caller) {
+                        let got = score_bits(&mut client, chunk);
+                        for (&t, &b) in chunk.iter().zip(&got) {
+                            assert_eq!(
+                                b,
+                                expected_bits(t),
+                                "caller {caller} pass {pass} txn {t} diverged under concurrency"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let m = server.metrics();
+    assert_eq!(m.responses_5xx, 0, "no server errors under concurrent load");
+    assert_eq!(m.responses_4xx, 0, "no rejected requests");
+    server.shutdown();
+}
+
+/// Duplicate ids inside one request each get the same (reference) bits —
+/// the dedup inside the batcher must fan results back out faithfully.
+#[test]
+fn duplicate_ids_fan_back_out_bit_identical() {
+    let ids = pool();
+    let engine = build_engine(8, true);
+    let server = NetServer::start(engine, ServerConfig::default()).expect("server starts");
+    let mut client =
+        ScoreClient::connect(server.local_addr(), Duration::from_secs(10)).expect("connects");
+    let dup: Vec<NodeId> = vec![ids[0], ids[1], ids[0], ids[2], ids[1], ids[0]];
+    let got = score_bits(&mut client, &dup);
+    assert_eq!(got.len(), dup.len());
+    for (&t, &b) in dup.iter().zip(&got) {
+        assert_eq!(b, expected_bits(t), "duplicated txn {t} diverged");
+    }
+    server.shutdown();
+}

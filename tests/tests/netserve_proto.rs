@@ -1,0 +1,292 @@
+//! Protocol robustness for the network scoring service, as properties:
+//! the JSON codec round-trips every request and every `f32` score vector
+//! bit-for-bit, and **no sequence of bytes — arbitrary garbage or a
+//! truncation of a valid message — makes any parser panic**. Malformed
+//! bytes on a live socket cost exactly one typed 4xx, never the server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::gnn::{CommunitySampler, DetectorConfig, XFraudDetector};
+use xfraud::hetgraph::NodeId;
+use xfraud::netserve::{
+    http, json, proto, NetServer, ScoreClient, ScoreOutcome, ScoreRequest, ServerConfig,
+};
+use xfraud::serve::ScoringEngine;
+
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    // Non-empty, within MAX_TENANT_LEN; lowercase ASCII needs no escaping.
+    prop::collection::vec(97u8..123, 1..12)
+        .prop_map(|v| String::from_utf8(v).unwrap_or_else(|_| "t".into()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Requests round-trip exactly: tenant and every id survive encoding.
+    #[test]
+    fn score_requests_round_trip(
+        tenant in tenant_strategy(),
+        ids in prop::collection::vec(0usize..1_000_000_000, 0..48),
+    ) {
+        let req = ScoreRequest { tenant, ids };
+        let decoded = proto::decode_score_request(&proto::encode_score_request(&req))
+            .expect("a freshly encoded request decodes");
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// Score vectors round-trip **bit-for-bit** — the property the whole
+    /// network-equivalence contract rests on. JSON numbers are written in
+    /// shortest round-trip form and parsed straight to `f32`, so no value
+    /// is perturbed by the text representation.
+    #[test]
+    fn score_responses_round_trip_bit_exact(
+        scores in prop::collection::vec(any::<f32>(), 0..48),
+    ) {
+        let decoded = proto::decode_score_response(&proto::encode_score_response(&scores))
+            .expect("a freshly encoded response decodes");
+        let got: Vec<u32> = decoded.scores.iter().map(|s| s.to_bits()).collect();
+        let want: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Arbitrary bytes through every parser in the stack: a typed error or
+    /// a clean value, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic_any_parser(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = json::parse(&bytes);
+        let _ = http::parse_request_head(&bytes, 1024 * 1024);
+        let _ = http::parse_response_head(&bytes);
+        let _ = proto::decode_score_request(&bytes);
+        let _ = proto::decode_score_response(&bytes);
+        let _ = proto::decode_error_body(&bytes);
+    }
+
+    /// Every truncation of a valid request body parses without panicking,
+    /// and the untruncated body still decodes to the original.
+    #[test]
+    fn truncated_requests_never_panic(
+        tenant in tenant_strategy(),
+        ids in prop::collection::vec(0usize..1_000_000, 0..16),
+    ) {
+        let req = ScoreRequest { tenant, ids };
+        let body = proto::encode_score_request(&req);
+        for cut in 0..body.len() {
+            prop_assert!(
+                proto::decode_score_request(&body[..cut]).is_err(),
+                "a strict prefix must not decode as complete"
+            );
+        }
+        prop_assert_eq!(
+            proto::decode_score_request(&body).expect("full body decodes"),
+            req
+        );
+    }
+
+    /// Deeply nested JSON is bounded by the depth limit, not the stack.
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed(depth in 1usize..4000) {
+        let mut doc = Vec::with_capacity(depth * 2 + 20);
+        doc.extend_from_slice(br#"{"ids":"#);
+        doc.extend(std::iter::repeat_n(b'[', depth));
+        doc.extend(std::iter::repeat_n(b']', depth));
+        doc.push(b'}');
+        let parsed = json::parse(&doc);
+        if depth > json::MAX_DEPTH {
+            prop_assert!(parsed.is_err(), "nesting beyond MAX_DEPTH must be rejected");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket robustness: the same guarantees through a real server.
+
+fn engine() -> (Arc<ScoringEngine>, Vec<NodeId>) {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 23).graph;
+    let detector = XFraudDetector::new(DetectorConfig::small(g.feature_dim(), 5));
+    let txns: Vec<NodeId> = g
+        .labeled_txns()
+        .into_iter()
+        .map(|(v, _)| v)
+        .take(4)
+        .collect();
+    let engine = ScoringEngine::builder(detector, g, Box::new(CommunitySampler::new(300)))
+        .seed(11)
+        .build()
+        .expect("engine builds");
+    (Arc::new(engine), txns)
+}
+
+/// Writes raw bytes, reads until the peer closes, returns the reply.
+fn raw_exchange(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connects");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    s.write_all(bytes).expect("writes");
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) | Err(_) => return out,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+fn status_of(reply: &[u8]) -> u16 {
+    http::parse_response_head(reply)
+        .expect("server replies are well-formed HTTP")
+        .expect("server replies carry a complete head")
+        .status
+}
+
+/// Each class of malformed framing earns its documented status code, and
+/// after the whole gauntlet the server still serves real scores.
+#[test]
+fn malformed_framing_gets_typed_4xx_and_server_survives() {
+    let (eng, txns) = engine();
+    let server = NetServer::start(eng, ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+
+    // Garbage bytes with a head terminator: 400 Bad Request.
+    let mut garbage: Vec<u8> = (0u8..=255).collect();
+    garbage.extend_from_slice(b"\r\n\r\n");
+    assert_eq!(status_of(&raw_exchange(addr, &garbage)), 400);
+
+    // An unknown method: 405.
+    assert_eq!(
+        status_of(&raw_exchange(
+            addr,
+            b"BREW /score HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+        )),
+        405
+    );
+
+    // A POST with no Content-Length: 411.
+    assert_eq!(
+        status_of(&raw_exchange(
+            addr,
+            b"POST /score HTTP/1.1\r\nHost: t\r\n\r\n"
+        )),
+        411
+    );
+
+    // A body beyond the configured cap: 413.
+    assert_eq!(
+        status_of(&raw_exchange(
+            addr,
+            b"POST /score HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+        )),
+        413
+    );
+
+    // Chunked encoding is not implemented — a typed 501, not a hang.
+    assert_eq!(
+        status_of(&raw_exchange(
+            addr,
+            b"POST /score HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )),
+        501
+    );
+
+    // A head that never ends: bounded by MAX_HEAD_BYTES, answered 431.
+    let mut endless = b"POST /score HTTP/1.1\r\n".to_vec();
+    while endless.len() <= http::MAX_HEAD_BYTES {
+        endless.extend_from_slice(b"X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    assert_eq!(status_of(&raw_exchange(addr, &endless)), 431);
+
+    // The server took six kinds of abuse; real clients are unaffected.
+    let mut client = ScoreClient::connect(addr, Duration::from_secs(10)).expect("connects");
+    assert!(matches!(
+        client.score("proto", &txns).expect("scores after abuse"),
+        ScoreOutcome::Scores(_)
+    ));
+    let m = server.metrics();
+    // The only 5xx in the gauntlet is the RFC-mandated 501 for chunked
+    // transfer-encoding; nothing escalated to an internal error.
+    assert_eq!(m.responses_5xx, 1, "only the deliberate 501: {m:?}");
+    assert_eq!(
+        m.responses_4xx, 5,
+        "every framing abuse earned its 4xx: {m:?}"
+    );
+    server.shutdown();
+}
+
+/// Well-framed HTTP with a malformed JSON body is a *protocol* error, not
+/// a framing error: 400 on a connection that stays open for the next
+/// (valid) request.
+#[test]
+fn malformed_body_is_400_and_keeps_the_connection() {
+    let (eng, txns) = engine();
+    let server = NetServer::start(eng, ServerConfig::default()).expect("server starts");
+
+    let mut s = TcpStream::connect(server.local_addr()).expect("connects");
+    s.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    let bad_bodies: [&[u8]; 3] = [
+        b"{\"ids\": [1, 2",                 // truncated JSON
+        b"{\"ids\": \"not-an-array\"}",     // wrong type
+        b"{\"tenant\": \"\", \"ids\": []}", // empty tenant
+    ];
+    let mut buf = Vec::new();
+    for body in bad_bodies {
+        let head = format!(
+            "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        s.write_all(head.as_bytes()).expect("writes head");
+        s.write_all(body).expect("writes body");
+        // Read exactly one response off the keep-alive stream.
+        let head = loop {
+            if let Some(h) = http::parse_response_head(&buf).expect("well-formed reply") {
+                break h;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = s.read(&mut chunk).expect("reads");
+            assert!(n > 0, "connection must stay open after a body error");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        assert_eq!(head.status, 400);
+        assert!(head.keep_alive, "a body error must not cost the connection");
+        let total = head.head_len + head.content_length;
+        while buf.len() < total {
+            let mut chunk = [0u8; 4096];
+            let n = s.read(&mut chunk).expect("reads body");
+            assert!(n > 0);
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        buf.drain(..total);
+    }
+
+    // The same connection then serves a valid request.
+    let body = proto::encode_score_request(&ScoreRequest {
+        tenant: "proto".into(),
+        ids: txns.clone(),
+    });
+    let head = format!(
+        "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).expect("writes head");
+    s.write_all(&body).expect("writes body");
+    let head = loop {
+        if let Some(h) = http::parse_response_head(&buf).expect("well-formed reply") {
+            break h;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = s.read(&mut chunk).expect("reads");
+        assert!(n > 0);
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    assert_eq!(head.status, 200, "the connection recovered for valid work");
+    server.shutdown();
+}
