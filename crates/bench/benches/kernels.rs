@@ -1,0 +1,109 @@
+//! Criterion: GAP kernels over the simulated transaction graph.
+//!
+//! Each kernel runs serially and on 4 threads over the same `FlatCsr`
+//! snapshot of an `EbaySmallSim` graph. Outputs are bit-identical across the
+//! rows by construction (fixed chunk geometry + in-order reduction), so the
+//! comparison is pure wall-clock: on a multi-core host the 4-thread rows of
+//! the O(E)-sweep kernels (PageRank, CC, betweenness) should pull ahead; on
+//! a single-core CI runner the rows tie.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use xfraud::datagen::{Dataset, DatasetPreset};
+use xfraud::kernels::{
+    betweenness, bfs, connected_components, core_numbers, pagerank, FlatCsr, KernelConfig,
+};
+
+fn flat() -> FlatCsr {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 3).graph;
+    FlatCsr::from_view(&g).expect("graph fits the u32 arena")
+}
+
+fn cfg(threads: usize) -> KernelConfig {
+    KernelConfig::builder()
+        .threads(threads)
+        .max_iters(20)
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = flat();
+    // Transaction graphs are forests of small communities (the largest
+    // component holds ~3% of the nodes), so a single-source BFS is all
+    // depth-array init and no traversal. Sweep 64 evenly spread sources per
+    // iteration instead, covering components of every size.
+    let sources: Vec<usize> = (0..64).map(|i| i * g.n_nodes() / 64).collect();
+    let mut group = c.benchmark_group("kernel_bfs_64_sources");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        let cfg = cfg(threads);
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                for &s in &sources {
+                    std::hint::black_box(bfs(&g, s, &cfg)).ok();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = flat();
+    let mut group = c.benchmark_group("kernel_pagerank_20_iters");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let cfg = cfg(threads);
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            b.iter(|| std::hint::black_box(pagerank(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let g = flat();
+    let mut group = c.benchmark_group("kernel_cc");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        let cfg = cfg(threads);
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            b.iter(|| std::hint::black_box(connected_components(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kcore(c: &mut Criterion) {
+    let g = flat();
+    let mut group = c.benchmark_group("kernel_kcore");
+    group.sample_size(20);
+    group.bench_function("serial_bz_peel", |b| {
+        b.iter(|| std::hint::black_box(core_numbers(&g)))
+    });
+    group.finish();
+}
+
+fn bench_betweenness(c: &mut Criterion) {
+    let g = flat();
+    let mut group = c.benchmark_group("kernel_betweenness");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let cfg = cfg(threads);
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            b.iter(|| std::hint::black_box(betweenness(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_pagerank,
+    bench_components,
+    bench_kcore,
+    bench_betweenness
+);
+criterion_main!(benches);

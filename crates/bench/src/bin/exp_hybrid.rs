@@ -66,6 +66,30 @@ fn main() {
         "GNNExplainer better on {e_wins}, centrality better on {c_wins} (trade-off ⇔ both > 0)"
     );
 
+    // Alternative centrality arms: the kernel-backed feature sources
+    // (GAP PageRank / k-core on the line graph) scored with the same
+    // hit-rate protocol as the paper's edge-betweenness arm.
+    section("Kernel centrality arms — mean hit rate over all communities");
+    println!("{:<24} {:>8} {:>8} {:>8}", "arm", "H@5", "H@10", "H@25");
+    for m in [
+        Measure::EdgeBetweenness,
+        Measure::KernelPageRank,
+        Measure::KernelKCore,
+    ] {
+        let arm = study.to_community_weights(m);
+        let row: Vec<f64> = [5usize, 10, 25]
+            .iter()
+            .map(|&k| mean_hit(&arm, |c| c.centrality.clone(), k, &mut rng))
+            .collect();
+        println!(
+            "{:<24} {:>8.4} {:>8.4} {:>8.4}",
+            m.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+
     // Ridge fit (single coefficient pair across ranks).
     let ridge = HybridExplainer::fit_ridge(&train, &[5, 10, 15, 20, 25], 30, &mut rng);
     println!(

@@ -47,6 +47,7 @@ pub use xfraud_explain as explain;
 pub use xfraud_gnn as gnn;
 pub use xfraud_hetgraph as hetgraph;
 pub use xfraud_ingest as ingest;
+pub use xfraud_kernels as kernels;
 pub use xfraud_kvstore as kvstore;
 pub use xfraud_metrics as metrics;
 pub use xfraud_netserve as netserve;

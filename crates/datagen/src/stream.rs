@@ -197,7 +197,7 @@ mod tests {
                 NodeType::Txn
             );
             // Each txn is linked to pmt + email + addr (+ buyer).
-            let deg = delta.view_degree(arrival.txn_node);
+            let deg = delta.degree(arrival.txn_node);
             assert!(deg == 3 || deg == 4, "unexpected degree {deg}");
         }
         let compacted = delta.compact().unwrap();

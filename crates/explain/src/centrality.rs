@@ -484,7 +484,30 @@ pub fn current_flow_closeness(g: &SimpleGraph) -> Vec<f64> {
         .collect()
 }
 
-/// The thirteen Table-1 centrality rows.
+/// PageRank of the line-graph nodes, computed by the parallel GAP kernel
+/// (`xfraud_kernels::pagerank`). Not a Table-1 row — an additional feature
+/// source layered on the paper's thirteen.
+pub fn kernel_pagerank(g: &SimpleGraph) -> Vec<f64> {
+    match xfraud_kernels::FlatCsr::from_adj(&g.adj) {
+        Ok(flat) => xfraud_kernels::pagerank(&flat, &xfraud_kernels::KernelConfig::default()),
+        Err(_) => vec![0.0; g.n()],
+    }
+}
+
+/// k-core numbers of the line-graph nodes via the Batagelj–Zaveršnik kernel
+/// (`xfraud_kernels::core_numbers`). Not a Table-1 row.
+pub fn kernel_kcore(g: &SimpleGraph) -> Vec<f64> {
+    match xfraud_kernels::FlatCsr::from_adj(&g.adj) {
+        Ok(flat) => xfraud_kernels::core_numbers(&flat)
+            .into_iter()
+            .map(f64::from)
+            .collect(),
+        Err(_) => vec![0.0; g.n()],
+    }
+}
+
+/// The thirteen Table-1 centrality rows, plus two kernel-backed extras
+/// ([`Measure::KernelPageRank`], [`Measure::KernelKCore`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Measure {
     EdgeBetweenness,
@@ -500,6 +523,10 @@ pub enum Measure {
     Harmonic,
     Load,
     Subgraph,
+    /// GAP-kernel PageRank on the line graph (extra feature source).
+    KernelPageRank,
+    /// GAP-kernel k-core numbers on the line graph (extra feature source).
+    KernelKCore,
 }
 
 /// All measures in the row order of Table 1.
@@ -519,6 +546,26 @@ pub const ALL_MEASURES: [Measure; 13] = [
     Measure::Subgraph,
 ];
 
+/// Table 1 plus the kernel-backed extras — the full feature-source sweep the
+/// hit-rate harness reports.
+pub const EXTENDED_MEASURES: [Measure; 15] = [
+    Measure::EdgeBetweenness,
+    Measure::EdgeLoad,
+    Measure::ApproxCurrentFlowBetweenness,
+    Measure::Betweenness,
+    Measure::Closeness,
+    Measure::CommunicabilityBetweenness,
+    Measure::CurrentFlowBetweenness,
+    Measure::CurrentFlowCloseness,
+    Measure::Degree,
+    Measure::Eigenvector,
+    Measure::Harmonic,
+    Measure::Load,
+    Measure::Subgraph,
+    Measure::KernelPageRank,
+    Measure::KernelKCore,
+];
+
 impl Measure {
     pub fn name(self) -> &'static str {
         match self {
@@ -535,6 +582,8 @@ impl Measure {
             Measure::Harmonic => "harmonic",
             Measure::Load => "load",
             Measure::Subgraph => "subgraph",
+            Measure::KernelPageRank => "pagerank (kernel)",
+            Measure::KernelKCore => "k-core (kernel)",
         }
     }
 }
@@ -574,6 +623,8 @@ pub fn community_edge_weights(g: &HetGraph, measure: Measure, rng: &mut StdRng) 
                 Measure::Harmonic => harmonic(&lg),
                 Measure::Load => load(&lg),
                 Measure::Subgraph => subgraph(&lg),
+                Measure::KernelPageRank => kernel_pagerank(&lg),
+                Measure::KernelKCore => kernel_kcore(&lg),
                 _ => unreachable!("edge measures handled above"),
             };
             // Align line-graph scores with undirected_links() order.
@@ -751,6 +802,23 @@ mod tests {
     }
 
     #[test]
+    fn kernel_measures_rank_hubs_like_their_classic_cousins() {
+        // PageRank should agree with degree on who the star hub is, and
+        // k-core must put the triangle above the tail.
+        let pr = kernel_pagerank(&star5());
+        assert!(pr[0] > pr[1] && (pr[1] - pr[4]).abs() < 1e-12);
+
+        let mut tri = SimpleGraph::new(5);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(2, 0);
+        tri.add_edge(2, 3);
+        tri.add_edge(3, 4);
+        let kc = kernel_kcore(&tri);
+        assert_eq!(kc, vec![2.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
     fn communicability_betweenness_star_centre_dominates() {
         let cb = communicability_betweenness(&star5());
         assert!(cb[0] > cb[1] * 2.0, "{cb:?}");
@@ -770,7 +838,7 @@ mod tests {
         let g = b.finish().unwrap();
         let n_links = g.n_links();
         let mut rng = StdRng::seed_from_u64(2);
-        for m in ALL_MEASURES {
+        for m in EXTENDED_MEASURES {
             let w = community_edge_weights(&g, m, &mut rng);
             assert_eq!(w.len(), n_links, "{} returned wrong arity", m.name());
             assert!(

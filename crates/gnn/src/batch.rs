@@ -52,8 +52,7 @@ impl SubgraphBatch {
         let mut edge_dst = Vec::new();
         let mut edge_ty = Vec::new();
         for (i, &v) in nodes.iter().enumerate() {
-            for e in g.out_edge_ids(v) {
-                let edge = g.edge(e);
+            for edge in g.edges_of(v) {
                 if let Some(j) = local[edge.dst] {
                     edge_src.push(i);
                     edge_dst.push(j);

@@ -99,7 +99,7 @@ impl Sampler for SageSampler {
             let mut next = Vec::new();
             for &v in &frontier {
                 scratch.clear();
-                scratch.extend(g.view_neighbors(v).filter(|&u| !in_set[u]));
+                scratch.extend(g.neighbors(v).filter(|&u| !in_set[u]));
                 // The candidate list must hold each neighbour once or the
                 // draw is biased towards parallel-edge neighbours; CSR
                 // adjacency is not sorted, so dedup alone is not enough.
@@ -162,8 +162,8 @@ impl HgSampler {
     }
 
     fn add_budget(g: &dyn GraphView, v: NodeId, in_set: &[bool], budget: &mut [f32]) {
-        let deg = g.view_degree(v).max(1) as f32;
-        for u in g.view_neighbors(v) {
+        let deg = g.degree(v).max(1) as f32;
+        for u in g.neighbors(v) {
             if !in_set[u] {
                 budget[u] += 1.0 / deg;
             }
@@ -298,7 +298,7 @@ impl Sampler for CommunitySampler {
             while cursor < nodes.len() && nodes.len() - start < self.max_nodes {
                 let v = nodes[cursor];
                 cursor += 1;
-                for u in g.view_neighbors(v) {
+                for u in g.neighbors(v) {
                     if !in_set[u] {
                         in_set[u] = true;
                         nodes.push(u);

@@ -1,6 +1,7 @@
 use xfraud_tensor::Tensor;
 
-use crate::graph::{build_csr, HetGraph};
+use crate::csr::{Csr, FeatureIndex};
+use crate::graph::HetGraph;
 use crate::types::{EdgeType, NodeId, NodeType};
 use crate::{GraphError, Result};
 
@@ -128,19 +129,21 @@ impl GraphBuilder {
                     feature_rows: usize::MAX,
                 }
             })?;
-        let (in_offsets, in_edge_ids) = build_csr(n, &self.edge_dst);
-        let (out_offsets, out_edge_ids) = build_csr(n, &self.edge_src);
+        let incoming = Csr::build(n, &self.edge_dst, &self.edge_src);
+        let outgoing = Csr::build(n, &self.edge_src, &self.edge_dst);
+        let mut feature_row = FeatureIndex::with_capacity(n);
+        for row in &self.txn_row {
+            feature_row.push(*row);
+        }
         let g = HetGraph {
             node_types: self.node_types,
             edge_src: self.edge_src,
             edge_dst: self.edge_dst,
             edge_types: self.edge_types,
-            in_offsets,
-            in_edge_ids,
-            out_offsets,
-            out_edge_ids,
+            incoming,
+            outgoing,
             features,
-            txn_row: self.txn_row,
+            feature_row,
             txn_nodes: self.txn_nodes,
             labels: self.labels,
         };

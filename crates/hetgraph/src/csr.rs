@@ -1,0 +1,195 @@
+//! The flat CSR/arena adjacency core.
+//!
+//! [`Csr`] is the storage behind every frozen [`crate::HetGraph`]: one
+//! offsets array plus two parallel arenas — edge ids and the opposite
+//! endpoint of each edge — laid out contiguously so a node's adjacency is a
+//! pair of cache-friendly slices. Keeping the *endpoint arena* next to the
+//! edge-id arena is what makes neighbour iteration allocation-free and
+//! pointer-chase-free: samplers and kernels read `targets(v)` straight out
+//! of one contiguous run instead of mapping every edge id through the edge
+//! list.
+//!
+//! [`FeatureIndex`] is the companion node→feature-row index: a dense `u32`
+//! array with a sentinel for featureless (entity) nodes, replacing the old
+//! `Vec<Option<usize>>` (half the memory, no niche lookups on the serve
+//! path, and O(1) row resolution inside `induced_subgraph`).
+
+use crate::types::NodeId;
+
+/// Compressed-sparse-row adjacency over one edge direction.
+///
+/// For each node `v`, `edge_ids(v)` are the ids of `v`'s incident directed
+/// edges (in ascending edge-id order — the order every sampler and the
+/// [`crate::DeltaGraph`] overlay contract depend on) and `targets(v)` are
+/// the opposite endpoints of those edges, aligned index-for-index.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    edge_ids: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds the CSR keyed by `key_per_edge` (one entry per directed edge:
+    /// the endpoint the edge is filed under), recording `other_per_edge` as
+    /// the arena of opposite endpoints. Counting sort, so `edge_ids(v)` is
+    /// ascending for every `v`.
+    pub fn build(n_nodes: usize, key_per_edge: &[NodeId], other_per_edge: &[NodeId]) -> Csr {
+        debug_assert_eq!(key_per_edge.len(), other_per_edge.len());
+        let mut counts = vec![0usize; n_nodes + 1];
+        for &k in key_per_edge {
+            counts[k + 1] += 1;
+        }
+        for i in 0..n_nodes {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut edge_ids = vec![0usize; key_per_edge.len()];
+        let mut targets = vec![0 as NodeId; key_per_edge.len()];
+        for (e, &k) in key_per_edge.iter().enumerate() {
+            edge_ids[cursor[k]] = e;
+            targets[cursor[k]] = other_per_edge[e];
+            cursor[k] += 1;
+        }
+        Csr {
+            offsets,
+            edge_ids,
+            targets,
+        }
+    }
+
+    /// Number of nodes indexed.
+    pub fn n_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total directed edges in the arena.
+    pub fn n_edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// Ids of `v`'s incident edges, ascending.
+    #[inline]
+    pub fn edge_ids(&self, v: NodeId) -> &[usize] {
+        &self.edge_ids[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Opposite endpoints of `v`'s incident edges, aligned with
+    /// [`Csr::edge_ids`] — the allocation-free neighbour slice.
+    #[inline]
+    pub fn targets(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Incident-edge count of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Structural consistency against the flat edge list this CSR indexes:
+    /// offsets are monotone and exhaustive, and for every position the
+    /// recorded target matches `other_per_edge[edge_id]`.
+    pub fn is_consistent(&self, n_nodes: usize, other_per_edge: &[NodeId]) -> bool {
+        if self.offsets.len() != n_nodes + 1 {
+            return false;
+        }
+        if self.offsets.first().copied() != Some(0)
+            || self.offsets.last().copied() != Some(self.edge_ids.len())
+            || self.edge_ids.len() != self.targets.len()
+            || self.edge_ids.len() != other_per_edge.len()
+        {
+            return false;
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        self.edge_ids
+            .iter()
+            .zip(self.targets.iter())
+            .all(|(&e, &t)| other_per_edge.get(e) == Some(&t))
+    }
+}
+
+/// Sentinel marking a node with no feature row (entities).
+const NO_ROW: u32 = u32::MAX;
+
+/// Dense node → feature-row index (`u32` with a sentinel), the CSR-era
+/// replacement for `Vec<Option<usize>>`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureIndex {
+    rows: Vec<u32>,
+}
+
+impl FeatureIndex {
+    pub fn with_capacity(nodes: usize) -> FeatureIndex {
+        FeatureIndex {
+            rows: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Appends the next node's row (`None` for featureless nodes).
+    pub fn push(&mut self, row: Option<usize>) {
+        self.rows.push(match row {
+            // Graphs stay far below u32::MAX feature rows; debug-checked.
+            Some(r) => {
+                debug_assert!(r < NO_ROW as usize, "feature-row index overflow");
+                r as u32
+            }
+            None => NO_ROW,
+        });
+    }
+
+    /// Feature row of node `v`, if any. Out-of-range ids read as `None`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> Option<usize> {
+        match self.rows.get(v) {
+            Some(&r) if r != NO_ROW => Some(r as usize),
+            _ => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_build_orders_edges_and_aligns_targets() {
+        // Directed edges: 0->1, 1->0, 0->2, 2->0 (two links on node 0).
+        let src = vec![0usize, 1, 0, 2];
+        let dst = vec![1usize, 0, 2, 0];
+        let out = Csr::build(3, &src, &dst);
+        assert_eq!(out.n_nodes(), 3);
+        assert_eq!(out.n_edges(), 4);
+        assert_eq!(out.edge_ids(0), &[0, 2]);
+        assert_eq!(out.targets(0), &[1, 2]);
+        assert_eq!(out.edge_ids(1), &[1]);
+        assert_eq!(out.targets(1), &[0]);
+        assert_eq!(out.degree(2), 1);
+        assert!(out.is_consistent(3, &dst));
+        assert!(!out.is_consistent(3, &src), "targets keyed to dst, not src");
+    }
+
+    #[test]
+    fn feature_index_roundtrips_options() {
+        let mut idx = FeatureIndex::with_capacity(3);
+        idx.push(Some(0));
+        idx.push(None);
+        idx.push(Some(7));
+        assert_eq!(idx.get(0), Some(0));
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.get(2), Some(7));
+        assert_eq!(idx.get(99), None, "out of range reads as featureless");
+        assert_eq!(idx.len(), 3);
+    }
+}

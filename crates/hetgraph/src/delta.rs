@@ -4,7 +4,7 @@ use std::sync::Arc;
 use crate::builder::GraphBuilder;
 use crate::graph::{EdgeRef, HetGraph};
 use crate::types::{EdgeType, NodeId, NodeType};
-use crate::view::GraphView;
+use crate::view::{sealed, GraphSnapshot, GraphView};
 use crate::{GraphError, Result};
 
 /// One append-only mutation of the live transaction graph — the unit both
@@ -72,8 +72,19 @@ pub struct DeltaGraph {
     new_edge_dst: Vec<NodeId>,
     new_edge_types: Vec<EdgeType>,
     /// Per-node overlay adjacency: overlay out-edge ids in append order
-    /// (ascending, and all greater than any base edge id).
-    overlay_out: HashMap<NodeId, Vec<usize>>,
+    /// (ascending, and all greater than any base edge id), plus the aligned
+    /// endpoint arena so neighbour reads stay slice-backed like the base
+    /// CSR's.
+    overlay_out: HashMap<NodeId, OverlayAdj>,
+}
+
+/// One node's overlay adjacency: edge ids and their opposite endpoints,
+/// aligned index-for-index (the overlay twin of the base [`crate::Csr`]
+/// arenas).
+#[derive(Debug, Clone, Default)]
+struct OverlayAdj {
+    edge_ids: Vec<usize>,
+    targets: Vec<NodeId>,
 }
 
 impl DeltaGraph {
@@ -179,8 +190,12 @@ impl DeltaGraph {
         self.new_edge_src.push(b);
         self.new_edge_dst.push(a);
         self.new_edge_types.push(fwd.reverse());
-        self.overlay_out.entry(a).or_default().push(first_id);
-        self.overlay_out.entry(b).or_default().push(first_id + 1);
+        let adj_a = self.overlay_out.entry(a).or_default();
+        adj_a.edge_ids.push(first_id);
+        adj_a.targets.push(b);
+        let adj_b = self.overlay_out.entry(b).or_default();
+        adj_b.edge_ids.push(first_id + 1);
+        adj_b.targets.push(a);
         Ok(())
     }
 
@@ -305,18 +320,38 @@ impl GraphView for DeltaGraph {
 
     fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]) {
         let base = if v < self.base.n_nodes() {
-            self.base.out_edges(v)
+            self.base.outgoing().edge_ids(v)
         } else {
             &[]
         };
         let overlay = self
             .overlay_out
             .get(&v)
-            .map(|ids| ids.as_slice())
+            .map(|adj| adj.edge_ids.as_slice())
             .unwrap_or(&[]);
         (base, overlay)
     }
+
+    fn neighbor_parts(&self, v: NodeId) -> (&[NodeId], &[NodeId]) {
+        let base = if v < self.base.n_nodes() {
+            self.base.neighbor_slice(v)
+        } else {
+            &[]
+        };
+        let overlay = self
+            .overlay_out
+            .get(&v)
+            .map(|adj| adj.targets.as_slice())
+            .unwrap_or(&[]);
+        (base, overlay)
+    }
+
+    fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot::new(Arc::new(self.clone()), 0)
+    }
 }
+
+impl sealed::Sealed for DeltaGraph {}
 
 #[cfg(test)]
 mod tests {
@@ -359,10 +394,10 @@ mod tests {
         assert_eq!(GraphView::n_directed_edges(&d), base.n_directed_edges() + 4);
 
         // New txn sees both its links, in append order.
-        let nbrs: Vec<NodeId> = d.view_neighbors(t).collect();
+        let nbrs: Vec<NodeId> = d.neighbors(t).collect();
         assert_eq!(nbrs, vec![e, 2]);
         // The base pmt keeps its CSR neighbours first, then the new txn.
-        let nbrs: Vec<NodeId> = d.view_neighbors(2).collect();
+        let nbrs: Vec<NodeId> = d.neighbors(2).collect();
         assert_eq!(nbrs, vec![0, 1, t]);
     }
 
@@ -410,7 +445,7 @@ mod tests {
             assert_eq!(GraphView::node_type(&d, v), c.node_type(v));
             assert_eq!(GraphView::label(&d, v), c.label(v));
             assert_eq!(
-                d.view_neighbors(v).collect::<Vec<_>>(),
+                d.neighbors(v).collect::<Vec<_>>(),
                 c.neighbors(v).collect::<Vec<_>>(),
                 "adjacency order must survive compaction (node {v})"
             );
@@ -446,7 +481,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(GraphView::label(&d, t), Some(true));
-        assert_eq!(d.view_degree(t), 1);
+        assert_eq!(d.degree(t), 1);
         assert!(GraphEvent::AddEntity { ty: NodeType::Pmt }.is_structural());
         assert!(!GraphEvent::Label {
             node: 0,

@@ -1,0 +1,340 @@
+//! Epoch-based reclamation for shared graph snapshots.
+//!
+//! [`EpochCell<T>`] holds one logically-current value and lets any number of
+//! reader threads access it **without taking a lock**: a reader *pins* the
+//! cell ([`EpochCell::pin`]), which announces the global epoch in a reader
+//! slot and hands back a [`Pinned`] guard dereferencing straight into the
+//! current value. Writers ([`EpochCell::update`] / [`EpochCell::set`])
+//! build a replacement off to the side, swap the current pointer, advance
+//! the epoch and *retire* the old value; a retired value is freed only once
+//! every reader slot has announced an epoch at or past the retire epoch —
+//! i.e. after the last reader that could possibly still hold it unpins.
+//!
+//! The protocol (a hand-rolled, allocation-per-publish flavour of classic
+//! EBR, in the spirit of crossbeam-epoch):
+//!
+//! * **Pin:** claim a slot, store the global epoch into it (`SeqCst`), then
+//!   re-check the global epoch and re-announce until it is stable. Only then
+//!   load the current pointer. This closes the race where a reader loads a
+//!   pointer that a concurrent writer retires before the reader's
+//!   announcement becomes visible.
+//! * **Publish:** swap the pointer first, *then* advance the epoch to `E`,
+//!   then retire the old pointer at `E`. Any reader that announced an epoch
+//!   `>= E` necessarily loaded the *new* pointer (the swap is ordered before
+//!   the epoch bump under `SeqCst`), so holders of the old pointer all sit
+//!   in slots announcing `< E`.
+//! * **Reclaim:** free every retired `(epoch, ptr)` with
+//!   `epoch <= min(active announcements)`; with no active readers,
+//!   everything retired is freed. Reclamation is attempted at each publish
+//!   and can be forced with [`EpochCell::try_reclaim`].
+//!
+//! Readers therefore never block writers and writers never block readers;
+//! writers serialize among themselves on one internal mutex. Guards are
+//! intentionally `!Send` (they hold a raw pointer and a slot claim) and
+//! cheap: a pin is two atomic stores and two loads, no allocation.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A reader slot is free (claimable) when it announces this sentinel.
+const QUIESCENT: u64 = u64::MAX;
+
+/// Fixed reader-slot table. Pins outnumbering slots spin-wait for a free
+/// slot; 128 comfortably covers every thread the serving stack spawns.
+const SLOTS: usize = 128;
+
+struct Slot {
+    /// The epoch this slot's reader pinned at, or [`QUIESCENT`].
+    active: AtomicU64,
+}
+
+/// An epoch-reclaimed shared cell: lock-free pinned reads of the current
+/// value, serialized copy-on-write publication.
+pub struct EpochCell<T> {
+    current: AtomicPtr<T>,
+    epoch: AtomicU64,
+    slots: Box<[Slot]>,
+    /// Retired values awaiting the readers that might still hold them:
+    /// `(retire epoch, pointer)`.
+    retired: Mutex<Vec<(u64, *mut T)>>,
+    /// Serializes writers so `update` closures read a stable current value.
+    writer: Mutex<()>,
+}
+
+// SAFETY: the cell hands `&T` to many threads (so `T: Sync` is required)
+// and frees `T` on whichever thread reclaims it (so `T: Send`). The raw
+// pointers in `current`/`retired` are owned by the cell and only ever freed
+// once, guarded by the epoch protocol above.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    pub fn new(value: T) -> Self {
+        let slots: Vec<Slot> = (0..SLOTS)
+            .map(|_| Slot {
+                active: AtomicU64::new(QUIESCENT),
+            })
+            .collect();
+        EpochCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            epoch: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+            retired: Mutex::new(Vec::new()),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Pins the current value for reading. Never blocks on writers; may
+    /// spin briefly when more than [`SLOTS`] readers are pinned at once.
+    pub fn pin(&self) -> Pinned<'_, T> {
+        // Claim a free slot by CASing its announcement away from QUIESCENT.
+        let slot = 'claim: loop {
+            for slot in self.slots.iter() {
+                let e = self.epoch.load(Ordering::SeqCst);
+                if slot
+                    .active
+                    .compare_exchange(QUIESCENT, e, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break 'claim slot;
+                }
+            }
+            std::thread::yield_now();
+        };
+        // Re-announce until the global epoch is stable: once our
+        // announcement of epoch `e` is visible *and* the global epoch still
+        // reads `e`, any later publish retires at an epoch > e and will keep
+        // whatever pointer we now load alive until we unpin.
+        loop {
+            let announced = slot.active.load(Ordering::SeqCst);
+            let now = self.epoch.load(Ordering::SeqCst);
+            if announced == now {
+                break;
+            }
+            slot.active.store(now, Ordering::SeqCst);
+        }
+        let ptr = self.current.load(Ordering::SeqCst);
+        Pinned { slot, ptr }
+    }
+
+    /// Publishes `next(current)` as the new value, retiring the old one.
+    /// Writers serialize; readers keep reading the old value until they
+    /// unpin. Returns the closure's second output.
+    pub fn update<R>(&self, next: impl FnOnce(&T) -> (T, R)) -> R {
+        let guard = self.writer.lock();
+        // SAFETY: only writers replace `current`, and we hold the writer
+        // lock, so the pointee is stable for the closure's duration.
+        let cur = unsafe { &*self.current.load(Ordering::SeqCst) };
+        let (value, out) = next(cur);
+        self.publish_locked(value);
+        drop(guard);
+        out
+    }
+
+    /// Replaces the value unconditionally (a non-reading [`Self::update`]).
+    pub fn set(&self, value: T) {
+        let guard = self.writer.lock();
+        self.publish_locked(value);
+        drop(guard);
+    }
+
+    /// Swap → epoch bump → retire → reclaim. Caller holds the writer lock.
+    fn publish_locked(&self, value: T) {
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        let retire_epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.retired.lock().push((retire_epoch, old));
+        self.try_reclaim();
+    }
+
+    /// Frees every retired value no pinned reader can still hold; returns
+    /// how many were freed. Safe to call from any thread at any time.
+    pub fn try_reclaim(&self) -> usize {
+        let mut retired = self.retired.lock();
+        if retired.is_empty() {
+            return 0;
+        }
+        let min_active = self
+            .slots
+            .iter()
+            .map(|s| s.active.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(QUIESCENT);
+        let before = retired.len();
+        retired.retain(|&(epoch, ptr)| {
+            if epoch <= min_active {
+                // SAFETY: every reader holding this pointer announced an
+                // epoch < `epoch` (see the publish ordering); `min_active >=
+                // epoch` means no such announcement remains, and retired
+                // entries are popped exactly once under the `retired` lock.
+                drop(unsafe { Box::from_raw(ptr) });
+                false
+            } else {
+                true
+            }
+        });
+        before - retired.len()
+    }
+
+    /// Retired-but-not-yet-freed values (observability for tests/metrics).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().len()
+    }
+
+    /// Epoch advances since creation — equals the number of publishes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no readers or writers remain.
+        let cur = *self.current.get_mut();
+        // SAFETY: sole owner; `cur` was leaked by `new`/`publish_locked`
+        // and never freed (it is not in `retired`).
+        drop(unsafe { Box::from_raw(cur) });
+        for (_, ptr) in self.retired.lock().drain(..) {
+            // SAFETY: retired pointers are distinct from `cur` and from
+            // each other, each leaked exactly once.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+/// A pinned read guard: dereferences to the value that was current when
+/// [`EpochCell::pin`] ran. Holding it keeps that value alive (the cell will
+/// not free it) but never blocks writers from publishing successors.
+///
+/// Deliberately `!Send`: the slot claim is released on drop from the
+/// pinning thread.
+pub struct Pinned<'a, T> {
+    slot: &'a Slot,
+    ptr: *const T,
+}
+
+impl<T> Deref for Pinned<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the epoch protocol keeps `ptr` alive while this guard's
+        // slot announcement is active.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for Pinned<'_, T> {
+    fn drop(&mut self) {
+        self.slot.active.store(QUIESCENT, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pin_reads_current_and_update_publishes() {
+        let cell = EpochCell::new(1u64);
+        assert_eq!(*cell.pin(), 1);
+        let out = cell.update(|&cur| (cur + 10, cur));
+        assert_eq!(out, 1);
+        assert_eq!(*cell.pin(), 11);
+        cell.set(99);
+        assert_eq!(*cell.pin(), 99);
+        assert_eq!(cell.epoch(), 2);
+    }
+
+    #[test]
+    fn pinned_reader_keeps_old_value_alive_until_unpin() {
+        let cell = EpochCell::new(String::from("old"));
+        let pinned = cell.pin();
+        cell.set(String::from("new"));
+        // The old value is retired but must not be freed: we still read it.
+        assert_eq!(&*pinned, "old");
+        assert_eq!(cell.retired_len(), 1);
+        assert_eq!(cell.try_reclaim(), 0, "reader still pinned");
+        drop(pinned);
+        assert_eq!(cell.try_reclaim(), 1, "last reader gone ⇒ freed");
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(&*cell.pin(), "new");
+    }
+
+    #[test]
+    fn publish_reclaims_when_no_readers_are_pinned() {
+        let cell = EpochCell::new(0usize);
+        for i in 1..=10 {
+            cell.set(i);
+        }
+        // Each publish retires the predecessor and immediately reclaims it.
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(*cell.pin(), 10);
+    }
+
+    #[test]
+    fn drop_frees_retired_and_current() {
+        // Counts live instances to prove Drop releases everything.
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let cell = EpochCell::new(Counted::new());
+        let pinned = cell.pin();
+        cell.set(Counted::new());
+        cell.set(Counted::new());
+        assert_eq!(LIVE.load(Ordering::SeqCst), 3, "two retired + current");
+        drop(pinned);
+        drop(cell);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_never_observe_torn_values() {
+        // The value is a pair that must stay internally consistent; readers
+        // pin while a writer churns publishes.
+        let cell = EpochCell::new((0u64, 0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..2000 {
+                        let p = cell.pin();
+                        let (a, b) = *p;
+                        assert_eq!(a * 2, b, "reader saw a torn snapshot");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 1..=2000u64 {
+                    cell.update(|_| ((i, i * 2), ()));
+                }
+            });
+        });
+        let p = cell.pin();
+        assert_eq!(*p, (2000, 4000));
+        drop(p);
+        cell.try_reclaim();
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn many_pins_on_one_thread_share_the_slot_table() {
+        let cell = EpochCell::new(7u32);
+        let pins: Vec<_> = (0..64).map(|_| cell.pin()).collect();
+        assert!(pins.iter().all(|p| **p == 7));
+        drop(pins);
+        cell.set(8);
+        assert_eq!(cell.retired_len(), 0, "all slots released");
+    }
+}

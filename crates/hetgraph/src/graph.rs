@@ -1,5 +1,6 @@
 use xfraud_tensor::Tensor;
 
+use crate::csr::{Csr, FeatureIndex};
 use crate::types::{EdgeType, NodeId, NodeType};
 
 /// One directed edge, resolved for convenient pattern matching.
@@ -13,33 +14,33 @@ pub struct EdgeRef {
 
 /// An immutable heterogeneous transaction graph.
 ///
-/// Storage is flat and CSR-indexed (Performance-Book style: no per-node
-/// allocations on hot paths):
+/// Storage is a flat CSR/arena layout (no per-node allocations and no
+/// pointer chasing on hot paths):
 ///
 /// * `edge_src/edge_dst/edge_types` — one entry per *directed* edge. Links
 ///   are stored in both directions so message passing can aggregate into
-///   either endpoint.
-/// * `in_offsets/in_edge_ids` — CSR over incoming edges per node (the
-///   detector aggregates messages into targets, eq. 1).
-/// * `out_offsets/out_edge_ids` — CSR over outgoing edges (used by samplers
-///   and BFS).
+///   either endpoint. The builder appends links as consecutive
+///   `(forward, reverse)` pairs, so forward edges always carry even ids —
+///   an invariant `induced_subgraph` and `DeltaGraph::compact` exploit.
+/// * `incoming` — [`Csr`] over incoming edges per node (the detector
+///   aggregates messages into targets, eq. 1).
+/// * `outgoing` — [`Csr`] over outgoing edges; its target arena is the
+///   allocation-free neighbour slice samplers and kernels iterate.
 ///
-/// Only `txn` nodes have feature rows; `txn_row[v]` maps a node to its row in
-/// the `[n_txn, d]` feature matrix. Labels are `Option<bool>`: the
-/// construction protocol leaves most benign transactions unlabelled after
-/// down-sampling (Appendix B step 3), exactly like the paper.
+/// Only `txn` nodes have feature rows; the [`FeatureIndex`] maps a node to
+/// its row in the `[n_txn, d]` feature matrix. Labels are `Option<bool>`:
+/// the construction protocol leaves most benign transactions unlabelled
+/// after down-sampling (Appendix B step 3), exactly like the paper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HetGraph {
     pub(crate) node_types: Vec<NodeType>,
     pub(crate) edge_src: Vec<NodeId>,
     pub(crate) edge_dst: Vec<NodeId>,
     pub(crate) edge_types: Vec<EdgeType>,
-    pub(crate) in_offsets: Vec<usize>,
-    pub(crate) in_edge_ids: Vec<usize>,
-    pub(crate) out_offsets: Vec<usize>,
-    pub(crate) out_edge_ids: Vec<usize>,
+    pub(crate) incoming: Csr,
+    pub(crate) outgoing: Csr,
     pub(crate) features: Tensor,
-    pub(crate) txn_row: Vec<Option<usize>>,
+    pub(crate) feature_row: FeatureIndex,
     pub(crate) txn_nodes: Vec<NodeId>,
     pub(crate) labels: Vec<Option<bool>>,
 }
@@ -93,24 +94,51 @@ impl HetGraph {
     }
 
     /// Ids of edges pointing *into* `v`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GraphView (`in_edge_slice` is internal; message passing reads the CSR via SubgraphBatch)"
+    )]
     pub fn in_edges(&self, v: NodeId) -> &[usize] {
-        &self.in_edge_ids[self.in_offsets[v]..self.in_offsets[v + 1]]
+        self.incoming.edge_ids(v)
     }
 
     /// Ids of edges pointing *out of* `v`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use GraphView: `out_edge_parts`/`GraphViewExt::edges_of`, or `neighbor_slice` for endpoints"
+    )]
     pub fn out_edges(&self, v: NodeId) -> &[usize] {
-        &self.out_edge_ids[self.out_offsets[v]..self.out_offsets[v + 1]]
+        self.outgoing.edge_ids(v)
+    }
+
+    /// Incoming CSR (edge ids + source arena) — the message-passing index.
+    #[inline]
+    pub fn incoming(&self) -> &Csr {
+        &self.incoming
+    }
+
+    /// Outgoing CSR (edge ids + target arena) — the sampler/kernel index.
+    #[inline]
+    pub fn outgoing(&self) -> &Csr {
+        &self.outgoing
+    }
+
+    /// Undirected neighbours of `v` as one contiguous arena slice — the
+    /// allocation-free fast path behind [`HetGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        self.outgoing.targets(v)
     }
 
     /// Undirected neighbours of `v` (successors; the graph stores both
     /// directions so this covers every link).
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_edges(v).iter().map(move |&e| self.edge_dst[e])
+        self.neighbor_slice(v).iter().copied()
     }
 
     /// Undirected degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.out_edges(v).len()
+        self.outgoing.degree(v)
     }
 
     /// The `[n_txn, d]` transaction feature matrix.
@@ -124,7 +152,7 @@ impl HetGraph {
 
     /// Feature row of a node, if it is a transaction.
     pub fn feature_row_of(&self, v: NodeId) -> Option<usize> {
-        self.txn_row.get(v).copied().flatten()
+        self.feature_row.get(v)
     }
 
     /// Node ids of all transactions, in feature-row order.
@@ -160,6 +188,12 @@ impl HetGraph {
     /// Induced subgraph over `keep` (need not be sorted; duplicates are a
     /// programmer error). Returns the subgraph and the old→new id mapping as
     /// a `Vec<Option<usize>>` over original ids.
+    ///
+    /// Cost is `O(keep + incident edges)` — kept nodes' adjacency lists are
+    /// walked through the CSR and feature rows resolved through the
+    /// [`FeatureIndex`]; the full edge list and `txn_nodes` are never
+    /// scanned, so extracting a small community from a huge graph no longer
+    /// pays `O(E_total)`.
     pub fn induced_subgraph(&self, keep: &[NodeId]) -> (HetGraph, Vec<Option<NodeId>>) {
         let mut old_to_new: Vec<Option<NodeId>> = vec![None; self.n_nodes()];
         for (new, &old) in keep.iter().enumerate() {
@@ -170,26 +204,47 @@ impl HetGraph {
         let node_types: Vec<NodeType> = keep.iter().map(|&v| self.node_types[v]).collect();
         let labels: Vec<Option<bool>> = keep.iter().map(|&v| self.labels[v]).collect();
 
+        // Candidate links: forward edge ids incident to any kept node.
+        // Links are stored as consecutive (forward, reverse) pairs, so the
+        // forward id of any incident directed edge is `e & !1`. Sorting +
+        // deduping restores global edge-id order, which makes the emitted
+        // directed-edge sequence bit-identical to a full edge-list scan.
+        let mut fwd_candidates: Vec<usize> = Vec::new();
+        for &old in keep {
+            for &e in self.outgoing.edge_ids(old) {
+                fwd_candidates.push(e & !1);
+            }
+        }
+        fwd_candidates.sort_unstable();
+        fwd_candidates.dedup();
+
         let mut edge_src = Vec::new();
         let mut edge_dst = Vec::new();
         let mut edge_types = Vec::new();
-        for e in self.edges() {
-            if let (Some(s), Some(d)) = (old_to_new[e.src], old_to_new[e.dst]) {
-                edge_src.push(s);
-                edge_dst.push(d);
-                edge_types.push(e.ty);
+        for f in fwd_candidates {
+            for e in [f, f + 1] {
+                if let (Some(s), Some(d)) =
+                    (old_to_new[self.edge_src[e]], old_to_new[self.edge_dst[e]])
+                {
+                    edge_src.push(s);
+                    edge_dst.push(d);
+                    edge_types.push(self.edge_types[e]);
+                }
             }
         }
 
-        // Gather feature rows for retained transactions.
-        let mut txn_row = vec![None; keep.len()];
+        // Gather feature rows for retained transactions via the row index.
+        let mut feature_row = FeatureIndex::with_capacity(keep.len());
         let mut txn_nodes = Vec::new();
         let mut rows: Vec<usize> = Vec::new();
         for (new, &old) in keep.iter().enumerate() {
-            if let Some(r) = self.txn_row[old] {
-                txn_row[new] = Some(rows.len());
-                txn_nodes.push(new);
-                rows.push(r);
+            match self.feature_row.get(old) {
+                Some(r) => {
+                    feature_row.push(Some(rows.len()));
+                    txn_nodes.push(new);
+                    rows.push(r);
+                }
+                None => feature_row.push(None),
             }
         }
         let mut features = Tensor::zeros(rows.len(), self.features.cols());
@@ -199,83 +254,62 @@ impl HetGraph {
                 .copy_from_slice(self.features.row(src));
         }
 
-        let (in_offsets, in_edge_ids) = build_csr(keep.len(), &edge_dst);
-        let (out_offsets, out_edge_ids) = build_csr(keep.len(), &edge_src);
+        let incoming = Csr::build(keep.len(), &edge_dst, &edge_src);
+        let outgoing = Csr::build(keep.len(), &edge_src, &edge_dst);
 
         let sub = HetGraph {
             node_types,
             edge_src,
             edge_dst,
             edge_types,
-            in_offsets,
-            in_edge_ids,
-            out_offsets,
-            out_edge_ids,
+            incoming,
+            outgoing,
             features,
-            txn_row,
+            feature_row,
             txn_nodes,
             labels,
         };
         (sub, old_to_new)
     }
 
-    /// Checks the structural invariants (CSR consistency, paired directed
-    /// edges, features only on txns). Used by tests and `debug_assert`ed by
-    /// the builder.
+    /// Checks the structural invariants (CSR/arena consistency, paired
+    /// directed edges, features only on txns). Used by tests and
+    /// `debug_assert`ed by the builder.
     pub fn validate(&self) -> bool {
         let n = self.n_nodes();
-        if self.in_offsets.len() != n + 1 || self.out_offsets.len() != n + 1 {
+        if !self.incoming.is_consistent(n, &self.edge_src) {
             return false;
         }
-        if self.in_offsets.last().copied() != Some(self.edge_src.len()) {
+        if !self.outgoing.is_consistent(n, &self.edge_dst) {
             return false;
-        }
-        for (v, w) in self.in_offsets.iter().zip(self.in_offsets.iter().skip(1)) {
-            if v > w {
-                return false;
-            }
         }
         for v in 0..n {
-            for &e in self.in_edges(v) {
+            for &e in self.incoming.edge_ids(v) {
                 if self.edge_dst[e] != v {
                     return false;
                 }
             }
-            for &e in self.out_edges(v) {
-                if self.edge_src[e] != v {
+            for (&e, &t) in self
+                .outgoing
+                .edge_ids(v)
+                .iter()
+                .zip(self.outgoing.targets(v))
+            {
+                if self.edge_src[e] != v || self.edge_dst[e] != t {
                     return false;
                 }
             }
         }
-        for (v, &row) in self.txn_row.iter().enumerate() {
-            match (self.node_types[v], row) {
+        for v in 0..n {
+            match (self.node_types[v], self.feature_row.get(v)) {
                 (NodeType::Txn, Some(_)) => {}
                 (NodeType::Txn, None) => return false,
                 (_, Some(_)) => return false,
                 (_, None) => {}
             }
         }
-        self.features.rows() == self.txn_nodes.len()
+        self.feature_row.len() == n && self.features.rows() == self.txn_nodes.len()
     }
-}
-
-/// Builds offsets + edge-id lists for a CSR keyed by `key_per_edge`.
-pub(crate) fn build_csr(n_nodes: usize, key_per_edge: &[NodeId]) -> (Vec<usize>, Vec<usize>) {
-    let mut counts = vec![0usize; n_nodes + 1];
-    for &k in key_per_edge {
-        counts[k + 1] += 1;
-    }
-    for i in 0..n_nodes {
-        counts[i + 1] += counts[i];
-    }
-    let offsets = counts.clone();
-    let mut cursor = counts;
-    let mut ids = vec![0usize; key_per_edge.len()];
-    for (e, &k) in key_per_edge.iter().enumerate() {
-        ids[cursor[k]] = e;
-        cursor[k] += 1;
-    }
-    (offsets, ids)
 }
 
 #[cfg(test)]
@@ -312,17 +346,35 @@ mod tests {
     fn csr_in_and_out_edges_agree_with_edge_list() {
         let g = toy();
         for v in 0..g.n_nodes() {
-            for &e in g.in_edges(v) {
+            for &e in g.incoming().edge_ids(v) {
                 assert_eq!(g.edge(e).dst, v);
             }
-            for &e in g.out_edges(v) {
+            for &e in g.outgoing().edge_ids(v) {
                 assert_eq!(g.edge(e).src, v);
             }
+            // The arena slice is the edge-id walk's endpoints, in order.
+            let via_edges: Vec<_> = g
+                .outgoing()
+                .edge_ids(v)
+                .iter()
+                .map(|&e| g.edge(e).dst)
+                .collect();
+            assert_eq!(g.neighbor_slice(v), &via_edges[..]);
         }
         // Shared payment token has two incoming txn edges.
         let pmt = 2;
         assert_eq!(g.node_type(pmt), NodeType::Pmt);
-        assert_eq!(g.in_edges(pmt).len(), 2);
+        assert_eq!(g.incoming().degree(pmt), 2);
+    }
+
+    #[test]
+    fn deprecated_slice_accessors_still_serve_the_old_contract() {
+        let g = toy();
+        #[allow(deprecated)]
+        for v in 0..g.n_nodes() {
+            assert_eq!(g.in_edges(v), g.incoming().edge_ids(v));
+            assert_eq!(g.out_edges(v), g.outgoing().edge_ids(v));
+        }
     }
 
     #[test]
@@ -351,6 +403,47 @@ mod tests {
         assert_eq!(sub.label(2), Some(false));
         let row = sub.feature_row_of(2).unwrap();
         assert_eq!(sub.features().row(row), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn induced_subgraph_matches_full_scan_reference() {
+        // Regression for the O(E_total) edge scan: the incident-edge walk
+        // must emit exactly what filtering the whole edge list does, on a
+        // graph big enough to have plenty of non-incident edges.
+        let mut b = GraphBuilder::new(1);
+        let mut txns = Vec::new();
+        let mut pmts = Vec::new();
+        for i in 0..40 {
+            txns.push(b.add_txn([i as f32], if i % 3 == 0 { Some(i % 2 == 0) } else { None }));
+        }
+        for _ in 0..10 {
+            pmts.push(b.add_entity(NodeType::Pmt));
+        }
+        for (i, &t) in txns.iter().enumerate() {
+            b.link(t, pmts[i % pmts.len()]).unwrap();
+            b.link(t, pmts[(i * 7 + 3) % pmts.len()]).unwrap();
+        }
+        let g = b.finish().unwrap();
+
+        let keep: Vec<usize> = vec![txns[0], txns[3], pmts[0], pmts[3], txns[9], pmts[1]];
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert!(sub.validate());
+
+        // Reference: scan every directed edge in id order.
+        let mut want_src = Vec::new();
+        let mut want_dst = Vec::new();
+        let mut want_ty = Vec::new();
+        for e in g.edges() {
+            if let (Some(s), Some(d)) = (map[e.src], map[e.dst]) {
+                want_src.push(s);
+                want_dst.push(d);
+                want_ty.push(e.ty);
+            }
+        }
+        assert_eq!(sub.edge_sources(), &want_src[..]);
+        assert_eq!(sub.edge_targets(), &want_dst[..]);
+        assert_eq!(sub.edge_types(), &want_ty[..]);
+        assert!(sub.n_links() >= 3, "kept nodes share links");
     }
 
     #[test]

@@ -20,7 +20,9 @@
 
 mod builder;
 mod community;
+mod csr;
 mod delta;
+mod epoch;
 mod error;
 mod graph;
 mod line;
@@ -30,12 +32,14 @@ mod view;
 
 pub use builder::GraphBuilder;
 pub use community::{community_of, khop_neighborhood, Community};
+pub use csr::{Csr, FeatureIndex};
 pub use delta::{DeltaGraph, GraphEvent};
+pub use epoch::{EpochCell, Pinned};
 pub use error::GraphError;
 pub use graph::{EdgeRef, HetGraph};
 pub use line::{line_graph, LineGraph};
 pub use stats::GraphStats;
 pub use types::{EdgeType, NodeId, NodeType, ALL_EDGE_TYPES, ALL_NODE_TYPES};
-pub use view::{GraphView, GraphViewExt, ViewNeighbors};
+pub use view::{EdgesOf, GraphSnapshot, GraphView, GraphViewExt, Neighbors};
 
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,14 +1,28 @@
+use std::sync::Arc;
+
 use crate::graph::{EdgeRef, HetGraph};
 use crate::types::{NodeId, NodeType};
 
-/// Read-only view of a heterogeneous transaction graph — the abstraction
-/// that lets subgraph sampling and scoring run over *both* representations
-/// of the live graph:
+/// Private supertrait sealing [`GraphView`]: the three implementations
+/// ([`HetGraph`], [`crate::DeltaGraph`], [`GraphSnapshot`]) share adjacency
+/// invariants (edge-id order, paired directed edges) that external
+/// implementors could silently break, so the trait cannot be implemented
+/// outside this crate.
+pub(crate) mod sealed {
+    pub trait Sealed {}
+}
+
+/// Read-only view of a heterogeneous transaction graph — the single read
+/// abstraction every consumer (samplers, kernels, the explainer, the
+/// scoring engine) goes through. It covers all representations of the live
+/// graph:
 ///
-/// * [`HetGraph`] — the frozen CSR image produced by
+/// * [`HetGraph`] — the frozen CSR/arena image produced by
 ///   [`crate::GraphBuilder::finish`];
 /// * [`crate::DeltaGraph`] — an append-only overlay of streamed-in nodes,
-///   links and feature rows over an immutable CSR base.
+///   links and feature rows over an immutable CSR base;
+/// * [`GraphSnapshot`] — an owned, immutable, shareable image of either,
+///   the currency of lock-free epoch-pinned serving reads.
 ///
 /// The trait is object-safe (serving engines hold `&dyn GraphView`), and its
 /// accessors are designed so that a `DeltaGraph` and the [`HetGraph`] it
@@ -16,9 +30,11 @@ use crate::types::{NodeId, NodeType};
 /// identical: same node ids, same edge ids, same adjacency *order*. That
 /// order guarantee is what makes sampling over the overlay bit-identical to
 /// sampling over the compacted graph — samplers walk adjacency in edge-id
-/// order, and [`GraphView::out_edge_parts`] exposes exactly that order as
-/// `(base CSR slice, overlay slice)`.
-pub trait GraphView {
+/// order, and [`GraphView::out_edge_parts`] / [`GraphView::neighbor_parts`]
+/// expose exactly that order as `(base CSR slice, overlay slice)`.
+///
+/// The trait is **sealed**: it cannot be implemented outside this crate.
+pub trait GraphView: sealed::Sealed {
     fn n_nodes(&self) -> usize;
 
     /// Number of *directed* edges (twice the number of undirected links).
@@ -46,7 +62,24 @@ pub trait GraphView {
     /// id, so `base ++ overlay` is the edge-id-ordered adjacency of `v` —
     /// the same order a compacted CSR yields.
     fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]);
+
+    /// Neighbour endpoints of `v`, split as `(base, overlay)` and aligned
+    /// entry-for-entry with [`GraphView::out_edge_parts`] — the
+    /// allocation-free arena slices behind [`GraphViewExt::neighbors`].
+    /// No per-neighbour edge resolution happens on this path.
+    fn neighbor_parts(&self, v: NodeId) -> (&[NodeId], &[NodeId]);
+
+    /// An owned, immutable, cheaply clonable image of this view, suitable
+    /// for handing to other threads (kernels, pinned serving reads). For a
+    /// [`GraphSnapshot`] this is a reference-count bump; for `HetGraph` /
+    /// `DeltaGraph` it clones the graph once into shared ownership.
+    fn snapshot(&self) -> GraphSnapshot;
 }
+
+/// Neighbour iterator of [`GraphViewExt::neighbors`]: a copy-free chain of
+/// the two arena slices from [`GraphView::neighbor_parts`].
+pub type Neighbors<'a> =
+    std::iter::Copied<std::iter::Chain<std::slice::Iter<'a, NodeId>, std::slice::Iter<'a, NodeId>>>;
 
 /// Iterator conveniences over any [`GraphView`] (including `dyn GraphView`).
 /// A blanket extension trait instead of provided methods so `GraphView`
@@ -63,48 +96,158 @@ pub trait GraphViewExt: GraphView {
     }
 
     /// Undirected neighbours of `v` (successors; both edge directions are
-    /// stored, so this covers every link), in edge-id order.
-    fn view_neighbors(&self, v: NodeId) -> ViewNeighbors<'_, Self> {
-        let (base, overlay) = self.out_edge_parts(v);
-        ViewNeighbors {
-            view: self,
-            base: base.iter(),
-            overlay: overlay.iter(),
-        }
+    /// stored, so this covers every link), in edge-id order. Reads straight
+    /// from the CSR target arena — no edge-id indirection.
+    fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let (base, overlay) = self.neighbor_parts(v);
+        base.iter().chain(overlay.iter()).copied()
     }
 
     /// Undirected degree of `v`.
-    fn view_degree(&self, v: NodeId) -> usize {
+    fn degree(&self, v: NodeId) -> usize {
         let (base, overlay) = self.out_edge_parts(v);
         base.len() + overlay.len()
+    }
+
+    /// Resolved out-edges of `v` ([`EdgeRef`]s), in edge-id order — the
+    /// iterator form batch assembly walks.
+    fn edges_of(&self, v: NodeId) -> EdgesOf<'_, Self> {
+        let (base, overlay) = self.out_edge_parts(v);
+        EdgesOf {
+            view: self,
+            ids: base.iter().chain(overlay.iter()),
+        }
+    }
+
+    /// Former name of [`GraphViewExt::neighbors`].
+    #[deprecated(since = "0.1.0", note = "renamed to `neighbors`")]
+    fn view_neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        self.neighbors(v)
+    }
+
+    /// Former name of [`GraphViewExt::degree`].
+    #[deprecated(since = "0.1.0", note = "renamed to `degree`")]
+    fn view_degree(&self, v: NodeId) -> usize {
+        self.degree(v)
     }
 }
 
 impl<G: GraphView + ?Sized> GraphViewExt for G {}
 
-/// Iterator of [`GraphViewExt::view_neighbors`].
-pub struct ViewNeighbors<'a, G: ?Sized> {
+/// Iterator of [`GraphViewExt::edges_of`].
+pub struct EdgesOf<'a, G: ?Sized> {
     view: &'a G,
-    base: std::slice::Iter<'a, usize>,
-    overlay: std::slice::Iter<'a, usize>,
+    ids: std::iter::Chain<std::slice::Iter<'a, usize>, std::slice::Iter<'a, usize>>,
 }
 
-impl<'a, G: GraphView + ?Sized> Iterator for ViewNeighbors<'a, G> {
-    type Item = NodeId;
+impl<'a, G: GraphView + ?Sized> Iterator for EdgesOf<'a, G> {
+    type Item = EdgeRef;
 
-    fn next(&mut self) -> Option<NodeId> {
-        let e = match self.base.next() {
-            Some(&e) => e,
-            None => *self.overlay.next()?,
-        };
-        Some(self.view.edge(e).dst)
+    fn next(&mut self) -> Option<EdgeRef> {
+        Some(self.view.edge(*self.ids.next()?))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.base.len() + self.overlay.len();
-        (n, Some(n))
+        self.ids.size_hint()
     }
 }
+
+impl<'a, G: GraphView + ?Sized> ExactSizeIterator for EdgesOf<'a, G> {}
+
+/// An owned, immutable image of a graph at a point in time, tagged with the
+/// graph version it was taken at. Cloning is a reference-count bump, so a
+/// snapshot can be pinned, shipped to worker threads and dropped freely —
+/// the shared image lives until the last holder releases it.
+///
+/// This is the value type the serving engine publishes through
+/// [`crate::EpochCell`]: readers pin the cell, get a consistent
+/// `(graph, version)` pair and never take a lock.
+#[derive(Clone)]
+pub struct GraphSnapshot {
+    view: Arc<dyn GraphView + Send + Sync>,
+    version: u64,
+}
+
+impl GraphSnapshot {
+    /// Wraps a shared graph image at `version`.
+    pub fn new(view: Arc<dyn GraphView + Send + Sync>, version: u64) -> GraphSnapshot {
+        GraphSnapshot { view, version }
+    }
+
+    /// The graph version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The same image re-tagged with a new version (shares storage).
+    pub fn at_version(&self, version: u64) -> GraphSnapshot {
+        GraphSnapshot {
+            view: Arc::clone(&self.view),
+            version,
+        }
+    }
+
+    /// The underlying shared view.
+    pub fn view(&self) -> &(dyn GraphView + Send + Sync) {
+        self.view.as_ref()
+    }
+}
+
+impl std::fmt::Debug for GraphSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphSnapshot")
+            .field("version", &self.version)
+            .field("n_nodes", &self.view.n_nodes())
+            .field("n_directed_edges", &self.view.n_directed_edges())
+            .finish()
+    }
+}
+
+impl sealed::Sealed for GraphSnapshot {}
+
+impl GraphView for GraphSnapshot {
+    fn n_nodes(&self) -> usize {
+        self.view.n_nodes()
+    }
+
+    fn n_directed_edges(&self) -> usize {
+        self.view.n_directed_edges()
+    }
+
+    fn node_type(&self, v: NodeId) -> NodeType {
+        self.view.node_type(v)
+    }
+
+    fn label(&self, v: NodeId) -> Option<bool> {
+        self.view.label(v)
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.view.feature_dim()
+    }
+
+    fn copy_features_into(&self, v: NodeId, out: &mut [f32]) -> bool {
+        self.view.copy_features_into(v, out)
+    }
+
+    fn edge(&self, id: usize) -> EdgeRef {
+        self.view.edge(id)
+    }
+
+    fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]) {
+        self.view.out_edge_parts(v)
+    }
+
+    fn neighbor_parts(&self, v: NodeId) -> (&[NodeId], &[NodeId]) {
+        self.view.neighbor_parts(v)
+    }
+
+    fn snapshot(&self) -> GraphSnapshot {
+        self.clone()
+    }
+}
+
+impl sealed::Sealed for HetGraph {}
 
 impl GraphView for HetGraph {
     fn n_nodes(&self) -> usize {
@@ -146,7 +289,15 @@ impl GraphView for HetGraph {
     }
 
     fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]) {
-        (self.out_edges(v), &[])
+        (self.outgoing().edge_ids(v), &[])
+    }
+
+    fn neighbor_parts(&self, v: NodeId) -> (&[NodeId], &[NodeId]) {
+        (self.neighbor_slice(v), &[])
+    }
+
+    fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot::new(Arc::new(self.clone()), 0)
     }
 }
 
@@ -177,13 +328,33 @@ mod tests {
             assert_eq!(v.node_type(node), g.node_type(node));
             assert_eq!(v.label(node), g.label(node));
             assert_eq!(
-                v.view_neighbors(node).collect::<Vec<_>>(),
+                v.neighbors(node).collect::<Vec<_>>(),
                 g.neighbors(node).collect::<Vec<_>>()
             );
-            assert_eq!(v.view_degree(node), g.degree(node));
+            assert_eq!(GraphViewExt::degree(v, node), g.degree(node));
             let (base, overlay) = v.out_edge_parts(node);
-            assert_eq!(base, g.out_edges(node));
+            assert_eq!(base, g.outgoing().edge_ids(node));
             assert!(overlay.is_empty());
+            let (nbase, noverlay) = v.neighbor_parts(node);
+            assert_eq!(nbase, g.neighbor_slice(node));
+            assert!(noverlay.is_empty());
+            // edges_of resolves the same edges the id walk does.
+            let via_ids: Vec<EdgeRef> = v.out_edge_ids(node).map(|e| g.edge(e)).collect();
+            assert_eq!(v.edges_of(node).collect::<Vec<_>>(), via_ids);
+        }
+    }
+
+    #[test]
+    fn deprecated_view_aliases_still_answer() {
+        let g = toy();
+        let v: &dyn GraphView = &g;
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                v.view_neighbors(1).collect::<Vec<_>>(),
+                v.neighbors(1).collect::<Vec<_>>()
+            );
+            assert_eq!(v.view_degree(1), GraphViewExt::degree(v, 1));
         }
     }
 
@@ -196,5 +367,25 @@ mod tests {
         assert_eq!(row, [1.0, 2.0]);
         assert!(!v.copy_features_into(2, &mut row));
         assert_eq!(row, [0.0, 0.0], "stale contents must be overwritten");
+    }
+
+    #[test]
+    fn snapshots_share_storage_and_delegate_reads() {
+        let g = toy();
+        let snap = GraphView::snapshot(&g);
+        assert_eq!(snap.version(), 0);
+        let retagged = snap.at_version(7);
+        assert_eq!(retagged.version(), 7);
+        assert_eq!(snap.n_nodes(), g.n_nodes());
+        for node in 0..g.n_nodes() {
+            assert_eq!(
+                snap.neighbors(node).collect::<Vec<_>>(),
+                g.neighbors(node).collect::<Vec<_>>()
+            );
+        }
+        // snapshot-of-snapshot is a cheap rc bump, same image.
+        let again = GraphView::snapshot(&retagged);
+        assert_eq!(again.version(), 7);
+        assert_eq!(again.n_directed_edges(), g.n_directed_edges());
     }
 }

@@ -1,0 +1,176 @@
+//! Betweenness centrality (Brandes), parallel over fixed source chunks.
+//!
+//! One Brandes pass per source: a BFS records visit order, shortest-path
+//! counts `sigma` and distances; the reverse sweep accumulates dependencies
+//! without predecessor lists (a neighbor `u` of `w` is a predecessor iff
+//! `dist[u] == dist[w] - 1`). Sources are processed in fixed chunks of
+//! [`SOURCE_CHUNK`]; each chunk accumulates into its own partial vector in
+//! source order, and partials are folded in chunk order — the usual trick in
+//! this crate for a thread-count-invariant floating-point result.
+//!
+//! Scores count ordered pairs: on a symmetric graph every unordered pair
+//! `{s, t}` contributes twice (once per direction), matching the convention
+//! of running Brandes over all sources of a directed graph.
+
+use crate::config::KernelConfig;
+use crate::flat::FlatCsr;
+use crate::par::map_chunks;
+use crate::queue::SlidingQueue;
+
+/// Sources per parallel work unit; fixed so the reduction order (and hence
+/// the bits of the result) never depends on the thread count.
+const SOURCE_CHUNK: usize = 16;
+
+/// Betweenness of every node over all-pairs shortest paths (unweighted,
+/// ordered pairs, endpoints excluded).
+pub fn betweenness(g: &FlatCsr, cfg: &KernelConfig) -> Vec<f64> {
+    let n = g.n_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    let partials = map_chunks(n, SOURCE_CHUNK, cfg.threads(), |sources| {
+        let mut acc = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut delta = vec![0.0f64; n];
+        let mut order = SlidingQueue::with_capacity(n);
+        for s in sources {
+            brandes_pass(
+                g, s, &mut acc, &mut dist, &mut sigma, &mut delta, &mut order,
+            );
+        }
+        acc
+    });
+
+    let mut bc = vec![0.0f64; n];
+    for acc in partials {
+        for (b, a) in bc.iter_mut().zip(acc) {
+            *b += a;
+        }
+    }
+    bc
+}
+
+/// One source's dependency accumulation into `acc`. Scratch buffers are
+/// caller-owned so a chunk reuses its allocations across sources.
+fn brandes_pass(
+    g: &FlatCsr,
+    s: usize,
+    acc: &mut [f64],
+    dist: &mut [i64],
+    sigma: &mut [f64],
+    delta: &mut [f64],
+    order: &mut SlidingQueue,
+) {
+    for d in dist.iter_mut() {
+        *d = -1;
+    }
+    for x in sigma.iter_mut() {
+        *x = 0.0;
+    }
+    for x in delta.iter_mut() {
+        *x = 0.0;
+    }
+    order.reset();
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    order.push(s as u32);
+    order.slide_window();
+    while !order.window_is_empty() {
+        let (start, end) = (
+            order.total_pushed() - order.window_len(),
+            order.total_pushed(),
+        );
+        let mut i = start;
+        while i < end {
+            let u = order.history()[i] as usize;
+            let du = dist[u];
+            for &w in g.neighbors(u) {
+                let w = w as usize;
+                if dist[w] < 0 {
+                    dist[w] = du + 1;
+                    order.push(w as u32);
+                }
+                if dist[w] == du + 1 {
+                    sigma[w] += sigma[u];
+                }
+            }
+            i += 1;
+        }
+        order.slide_window();
+    }
+
+    // Reverse sweep over the visit order (history is sorted by distance).
+    for &wu in order.history().iter().rev() {
+        let w = wu as usize;
+        let coeff = (1.0 + delta[w]) / sigma[w];
+        for &u in g.neighbors(w) {
+            let u = u as usize;
+            if dist[u] == dist[w] - 1 {
+                delta[u] += sigma[u] * coeff;
+            }
+        }
+        if w != s {
+            acc[w] += delta[w];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: usize, edges: &[(usize, usize)]) -> FlatCsr {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        FlatCsr::from_adj(&adj).unwrap()
+    }
+
+    #[test]
+    fn path_middle_node_carries_all_pairs() {
+        // Path 0-1-2: the only shortest path between 0 and 2 runs through 1,
+        // counted in both directions.
+        let g = sym(3, &[(0, 1), (1, 2)]);
+        let bc = betweenness(&g, &KernelConfig::default());
+        assert_eq!(bc, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn star_center_carries_every_leaf_pair() {
+        // Star with 4 leaves: 4*3 ordered leaf pairs all route via the hub.
+        let g = sym(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let bc = betweenness(&g, &KernelConfig::default());
+        assert_eq!(bc[0], 12.0);
+        assert!(bc[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn square_splits_dependency_between_two_paths() {
+        // Cycle 0-1-2-3: opposite corners are linked by two equal paths, so
+        // each intermediate node gets 1/2 per direction = 1.0 total.
+        let g = sym(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let bc = betweenness(&g, &KernelConfig::default());
+        assert_eq!(bc, vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_the_bits() {
+        let n = 200usize;
+        let mut edges = Vec::new();
+        for v in 1..n {
+            edges.push((v, v * 7 % v.max(1)));
+            if v + 1 < n {
+                edges.push((v, v + 1));
+            }
+        }
+        let g = sym(n, &edges);
+        let serial = betweenness(&g, &KernelConfig::default());
+        let threaded = betweenness(&g, &KernelConfig::builder().threads(5).build().unwrap());
+        assert_eq!(serial, threaded);
+    }
+}

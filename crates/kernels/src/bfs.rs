@@ -1,0 +1,187 @@
+//! Direction-optimizing BFS (Beamer's hybrid, as in the GAP benchmark).
+//!
+//! Top-down steps scan the frontier's out-edges; bottom-up steps scan the
+//! *unvisited* nodes asking "is any of my neighbors on the frontier?". On
+//! low-diameter graphs the frontier briefly covers most of the graph and
+//! bottom-up skips the vast majority of edge checks. The switch heuristics
+//! are GAP's: go bottom-up when the frontier's outgoing edges exceed
+//! `unexplored / alpha`, return top-down when the frontier shrinks below
+//! `n / beta`.
+//!
+//! Determinism: a node's depth is `parent_depth + 1` no matter which frontier
+//! node discovers it, so depths are independent of visit order; top-down runs
+//! serially over the [`SlidingQueue`] window, and bottom-up parallelizes over
+//! fixed node chunks whose outputs are concatenated in chunk order. The
+//! result is bit-identical for every thread count and every alpha/beta.
+
+use crate::config::KernelConfig;
+use crate::error::KernelError;
+use crate::flat::FlatCsr;
+use crate::par::{map_chunks, NODE_CHUNK};
+use crate::queue::SlidingQueue;
+
+/// Depth of the node not yet reached.
+const UNSEEN: i64 = -1;
+
+/// BFS depths from `source`: `depths[v]` is the hop distance, `-1` if
+/// unreachable.
+pub fn bfs(g: &FlatCsr, source: usize, cfg: &KernelConfig) -> Result<Vec<i64>, KernelError> {
+    let n = g.n_nodes();
+    if source >= n {
+        return Err(KernelError::SourceOutOfRange { source, n_nodes: n });
+    }
+
+    let mut depths = vec![UNSEEN; n];
+    depths[source] = 0;
+    let mut queue = SlidingQueue::with_capacity(n);
+    queue.push(source as u32);
+    queue.slide_window();
+
+    // Frontier state for the bottom-up phase (kept outside the loop so the
+    // allocation is reused across direction switches).
+    let mut bottom_up_frontier: Vec<u32> = Vec::new();
+    let mut top_down = true;
+    let mut depth: i64 = 0;
+    // Out-edges not yet scanned from a frontier; drives the alpha switch.
+    let mut edges_unexplored = g.n_edges();
+
+    loop {
+        let frontier_len = if top_down {
+            queue.window_len()
+        } else {
+            bottom_up_frontier.len()
+        };
+        if frontier_len == 0 {
+            break;
+        }
+
+        if top_down {
+            // Serial top-down step over the sliding-queue window.
+            let mut scout = 0usize;
+            let (win_start, win_end) = (
+                queue.total_pushed() - queue.window_len(),
+                queue.total_pushed(),
+            );
+            let mut i = win_start;
+            while i < win_end {
+                let u = queue.history()[i] as usize;
+                edges_unexplored = edges_unexplored.saturating_sub(g.degree(u));
+                for &w in g.neighbors(u) {
+                    let w = w as usize;
+                    if depths[w] == UNSEEN {
+                        depths[w] = depth + 1;
+                        queue.push(w as u32);
+                        scout += g.degree(w);
+                    }
+                }
+                i += 1;
+            }
+            queue.slide_window();
+            depth += 1;
+            // GAP alpha heuristic: the next frontier's outgoing edges vs the
+            // edges still unexplored.
+            if scout > edges_unexplored / cfg.alpha() && queue.window_len() > 0 {
+                top_down = false;
+                bottom_up_frontier.clear();
+                bottom_up_frontier.extend_from_slice(queue.window());
+                bottom_up_frontier.sort_unstable();
+            }
+        } else {
+            // Parallel bottom-up step: every unvisited node checks whether a
+            // neighbor sits at the current depth. Chunks write disjoint
+            // outputs; concatenation in chunk order keeps the next frontier
+            // sorted and thread-count independent.
+            let d = depth;
+            let found = map_chunks(n, NODE_CHUNK, cfg.threads(), |r| {
+                let mut local: Vec<u32> = Vec::new();
+                for v in r {
+                    if depths[v] != UNSEEN {
+                        continue;
+                    }
+                    for &u in g.neighbors(v) {
+                        if depths[u as usize] == d {
+                            local.push(v as u32);
+                            break;
+                        }
+                    }
+                }
+                local
+            });
+            bottom_up_frontier.clear();
+            for chunk in found {
+                bottom_up_frontier.extend_from_slice(&chunk);
+            }
+            for &v in &bottom_up_frontier {
+                depths[v as usize] = depth + 1;
+                edges_unexplored = edges_unexplored.saturating_sub(g.degree(v as usize));
+            }
+            depth += 1;
+            // GAP beta heuristic: back to top-down once the frontier is small.
+            if bottom_up_frontier.len() < n / cfg.beta().max(1) {
+                top_down = true;
+                queue.extend_from_slice(&bottom_up_frontier);
+                queue.slide_window();
+            }
+        }
+    }
+
+    Ok(depths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> FlatCsr {
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                let mut a = Vec::new();
+                if v > 0 {
+                    a.push(v - 1);
+                }
+                if v + 1 < n {
+                    a.push(v + 1);
+                }
+                a
+            })
+            .collect();
+        FlatCsr::from_adj(&adj).unwrap()
+    }
+
+    #[test]
+    fn path_graph_depths_are_distances() {
+        let g = path(6);
+        let cfg = KernelConfig::default();
+        let d = bfs(&g, 2, &cfg).unwrap();
+        assert_eq!(d, vec![2, 1, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_minus_one() {
+        let g = FlatCsr::from_adj(&[vec![1], vec![0], vec![]]).unwrap();
+        let d = bfs(&g, 0, &KernelConfig::default()).unwrap();
+        assert_eq!(d, vec![0, 1, -1]);
+    }
+
+    #[test]
+    fn source_out_of_range_is_an_error() {
+        let g = path(3);
+        assert_eq!(
+            bfs(&g, 9, &KernelConfig::default()),
+            Err(KernelError::SourceOutOfRange {
+                source: 9,
+                n_nodes: 3
+            })
+        );
+    }
+
+    #[test]
+    fn forced_bottom_up_matches_forced_top_down() {
+        // alpha=1 flips to bottom-up at the first opportunity; a huge alpha
+        // stays top-down throughout. Depths must agree bit for bit.
+        let g = path(64);
+        let eager = KernelConfig::builder().alpha(1).beta(1000).build().unwrap();
+        let never = KernelConfig::builder().alpha(usize::MAX).build().unwrap();
+        assert_eq!(bfs(&g, 0, &eager).unwrap(), bfs(&g, 0, &never).unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! The GAP sliding queue: all BFS frontiers live in one append-only buffer;
+//! the "current frontier" is a window over it. Pushes go past the window,
+//! [`SlidingQueue::slide_window`] advances the window over exactly the nodes
+//! pushed since the last slide. Compared to two ping-pong `Vec`s this keeps
+//! every frontier contiguous (the whole traversal order is `shared` at the
+//! end) and never re-allocates once the buffer has grown.
+
+#[derive(Debug, Clone, Default)]
+pub struct SlidingQueue {
+    shared: Vec<u32>,
+    window_start: usize,
+    window_end: usize,
+}
+
+impl SlidingQueue {
+    pub fn new() -> SlidingQueue {
+        SlidingQueue::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> SlidingQueue {
+        SlidingQueue {
+            shared: Vec::with_capacity(cap),
+            window_start: 0,
+            window_end: 0,
+        }
+    }
+
+    /// Appends a node beyond the current window (visible after the next
+    /// [`SlidingQueue::slide_window`]).
+    pub fn push(&mut self, v: u32) {
+        self.shared.push(v);
+    }
+
+    /// Bulk append, preserving order.
+    pub fn extend_from_slice(&mut self, vs: &[u32]) {
+        self.shared.extend_from_slice(vs);
+    }
+
+    /// Advances the window to cover everything pushed since the last slide.
+    pub fn slide_window(&mut self) {
+        self.window_start = self.window_end;
+        self.window_end = self.shared.len();
+    }
+
+    /// The current frontier.
+    pub fn window(&self) -> &[u32] {
+        &self.shared[self.window_start..self.window_end]
+    }
+
+    pub fn window_len(&self) -> usize {
+        self.window_end - self.window_start
+    }
+
+    pub fn window_is_empty(&self) -> bool {
+        self.window_start == self.window_end
+    }
+
+    /// Total nodes ever pushed — at BFS completion this is the number of
+    /// reached nodes, and `shared` is the full visit order.
+    pub fn total_pushed(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Everything pushed so far, in push order.
+    pub fn history(&self) -> &[u32] {
+        &self.shared
+    }
+
+    /// Empties the queue, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.shared.clear();
+        self.window_start = 0;
+        self.window_end = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_successive_push_generations() {
+        let mut q = SlidingQueue::new();
+        q.push(7);
+        assert!(q.window_is_empty(), "pushes are invisible until a slide");
+        q.slide_window();
+        assert_eq!(q.window(), &[7]);
+
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.window(), &[7], "window is stable while pushing");
+        q.slide_window();
+        assert_eq!(q.window(), &[1, 2]);
+
+        q.slide_window();
+        assert!(
+            q.window_is_empty(),
+            "sliding with no pushes empties the window"
+        );
+        assert_eq!(q.history(), &[7, 1, 2]);
+        assert_eq!(q.total_pushed(), 3);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_clears_state() {
+        let mut q = SlidingQueue::with_capacity(16);
+        q.extend_from_slice(&[1, 2, 3]);
+        q.slide_window();
+        q.reset();
+        assert!(q.window_is_empty());
+        assert_eq!(q.total_pushed(), 0);
+        assert!(q.shared.capacity() >= 16);
+    }
+}

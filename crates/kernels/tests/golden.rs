@@ -1,0 +1,273 @@
+//! Kernel golden tests: every kernel is checked against an independent
+//! straight-line reference implementation, both on hand-built fixtures and
+//! on a generated transaction graph, and across thread counts.
+
+use std::collections::VecDeque;
+
+use xfraud_datagen::{Dataset, DatasetPreset};
+use xfraud_hetgraph::GraphView;
+use xfraud_kernels::{
+    betweenness, bfs, connected_components, core_numbers, pagerank, FlatCsr, KernelConfig,
+};
+
+fn txn_graph() -> FlatCsr {
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 11).graph;
+    FlatCsr::from_view(&g).unwrap()
+}
+
+fn adjacency(g: &FlatCsr) -> Vec<Vec<usize>> {
+    (0..g.n_nodes())
+        .map(|v| g.neighbors(v).iter().map(|&w| w as usize).collect())
+        .collect()
+}
+
+/// Textbook queue BFS.
+fn reference_bfs(adj: &[Vec<usize>], source: usize) -> Vec<i64> {
+    let mut depths = vec![-1i64; adj.len()];
+    depths[source] = 0;
+    let mut q = VecDeque::from([source]);
+    while let Some(u) = q.pop_front() {
+        for &w in &adj[u] {
+            if depths[w] < 0 {
+                depths[w] = depths[u] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    depths
+}
+
+/// Dense power iteration with the same dangling-mass redistribution.
+fn reference_pagerank(adj: &[Vec<usize>], damping: f64, iters: usize) -> Vec<f64> {
+    let n = adj.len();
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let mut next = vec![0.0f64; n];
+        let mut dangling = 0.0;
+        for (v, nbrs) in adj.iter().enumerate() {
+            if nbrs.is_empty() {
+                dangling += rank[v];
+            } else {
+                let share = rank[v] / nbrs.len() as f64;
+                for &w in nbrs {
+                    next[w] += share;
+                }
+            }
+        }
+        for x in next.iter_mut() {
+            *x = (1.0 - damping) / n as f64 + damping * (*x + dangling / n as f64);
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Union-find component labels normalized to min member id.
+fn reference_components(adj: &[Vec<usize>]) -> Vec<u32> {
+    let n = adj.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for (v, nbrs) in adj.iter().enumerate() {
+        for &w in nbrs {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, w));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    let mut min_label = vec![u32::MAX; n];
+    for v in 0..n {
+        let r = find(&mut parent, v);
+        min_label[r] = min_label[r].min(v as u32);
+    }
+    (0..n).map(|v| min_label[find(&mut parent, v)]).collect()
+}
+
+#[test]
+fn bfs_matches_queue_reference_on_txn_graph() {
+    let g = txn_graph();
+    let adj = adjacency(&g);
+    let cfg = KernelConfig::builder().threads(4).build().unwrap();
+    for source in [0usize, 1, g.n_nodes() / 2, g.n_nodes() - 1] {
+        assert_eq!(
+            bfs(&g, source, &cfg).unwrap(),
+            reference_bfs(&adj, source),
+            "bfs from {source} diverged from the reference"
+        );
+    }
+}
+
+#[test]
+fn bfs_direction_switches_do_not_change_depths() {
+    let g = txn_graph();
+    let baseline = bfs(&g, 0, &KernelConfig::default()).unwrap();
+    for (alpha, beta, threads) in [(1, 1000, 1), (1, 2, 4), (usize::MAX, 18, 2)] {
+        let cfg = KernelConfig::builder()
+            .alpha(alpha)
+            .beta(beta)
+            .threads(threads)
+            .build()
+            .unwrap();
+        assert_eq!(bfs(&g, 0, &cfg).unwrap(), baseline);
+    }
+}
+
+#[test]
+fn pagerank_matches_power_iteration() {
+    let g = txn_graph();
+    let adj = adjacency(&g);
+    let iters = 60;
+    let cfg = KernelConfig::builder()
+        .threads(4)
+        .max_iters(iters)
+        .tolerance(0.0) // run all sweeps, like the reference
+        .build()
+        .unwrap();
+    let fast = pagerank(&g, &cfg);
+    let slow = reference_pagerank(&adj, cfg.damping(), iters);
+    assert_eq!(fast.len(), slow.len());
+    for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-10,
+            "rank[{i}] diverged: kernel {a} vs reference {b}"
+        );
+    }
+    let mass: f64 = fast.iter().sum();
+    assert!(
+        (mass - 1.0).abs() < 1e-9,
+        "rank mass should be ~1, got {mass}"
+    );
+}
+
+#[test]
+fn connected_components_match_union_find() {
+    let g = txn_graph();
+    let adj = adjacency(&g);
+    let cfg = KernelConfig::builder().threads(4).build().unwrap();
+    assert_eq!(connected_components(&g, &cfg), reference_components(&adj));
+}
+
+#[test]
+fn kernels_are_bit_identical_across_thread_counts_on_txn_graph() {
+    let g = txn_graph();
+    let serial = KernelConfig::default();
+    for threads in [2usize, 8] {
+        let t = KernelConfig::builder().threads(threads).build().unwrap();
+        assert_eq!(bfs(&g, 0, &serial).unwrap(), bfs(&g, 0, &t).unwrap());
+        assert_eq!(pagerank(&g, &serial), pagerank(&g, &t));
+        assert_eq!(
+            connected_components(&g, &serial),
+            connected_components(&g, &t)
+        );
+    }
+}
+
+#[test]
+fn core_numbers_respect_degeneracy_invariants_on_txn_graph() {
+    let g = txn_graph();
+    let cores = core_numbers(&g);
+    // A node's core number never exceeds its degree, and the k-core
+    // subgraph really has min degree >= k for the max k observed.
+    for (v, &c) in cores.iter().enumerate() {
+        assert!(c as usize <= g.degree(v));
+    }
+    let kmax = cores.iter().copied().max().unwrap_or(0);
+    let members: Vec<usize> = (0..g.n_nodes()).filter(|&v| cores[v] >= kmax).collect();
+    assert!(!members.is_empty());
+    for &v in &members {
+        let inside = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| cores[w as usize] >= kmax)
+            .count();
+        assert!(
+            inside >= kmax as usize,
+            "node {v} has only {inside} neighbors inside the {kmax}-core"
+        );
+    }
+}
+
+#[test]
+fn betweenness_matches_hand_values_on_barbell() {
+    // Two triangles {0,1,2} and {3,4,5} joined by the bridge 2-3. All nine
+    // ordered cross pairs traverse the bridge endpoints.
+    let mut adj = vec![Vec::new(); 6];
+    for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let g = FlatCsr::from_adj(&adj).unwrap();
+    let bc = betweenness(&g, &KernelConfig::default());
+    let expected = brute_force_betweenness(&adj);
+    for (i, (a, b)) in bc.iter().zip(&expected).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "bc[{i}] diverged: kernel {a} vs brute force {b}"
+        );
+    }
+    assert!(bc[2] > bc[0] && bc[3] > bc[4], "bridge endpoints dominate");
+}
+
+/// O(V^3)-ish brute force: count shortest paths through each node by BFS
+/// path enumeration (sigma forward, sigma backward).
+fn brute_force_betweenness(adj: &[Vec<usize>]) -> Vec<f64> {
+    let n = adj.len();
+    let mut bc = vec![0.0f64; n];
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            let ds = reference_bfs(adj, s);
+            let dt = reference_bfs(adj, t);
+            if ds[t] < 0 {
+                continue;
+            }
+            let sigma_st = count_paths(adj, &ds, s, t);
+            for v in 0..n {
+                if v == s || v == t {
+                    continue;
+                }
+                if ds[v] >= 0 && dt[v] >= 0 && ds[v] + dt[v] == ds[t] {
+                    let through = count_paths(adj, &ds, s, v) * count_paths(adj, &dt, t, v);
+                    bc[v] += through / sigma_st;
+                }
+            }
+        }
+    }
+    bc
+}
+
+/// Number of shortest paths from `s` (with depths `d`) to `t`, by DP over
+/// increasing depth.
+fn count_paths(adj: &[Vec<usize>], d: &[i64], s: usize, t: usize) -> f64 {
+    let mut order: Vec<usize> = (0..adj.len()).filter(|&v| d[v] >= 0).collect();
+    order.sort_by_key(|&v| d[v]);
+    let mut sigma = vec![0.0f64; adj.len()];
+    sigma[s] = 1.0;
+    for &v in &order {
+        for &w in &adj[v] {
+            if d[w] == d[v] + 1 {
+                sigma[w] += sigma[v];
+            }
+        }
+    }
+    sigma[t]
+}
+
+#[test]
+fn flatcsr_from_live_snapshot_equals_from_base_graph() {
+    use xfraud_hetgraph::DeltaGraph;
+    let g = Dataset::generate(DatasetPreset::EbaySmallSim, 11).graph;
+    let flat_direct = FlatCsr::from_view(&g).unwrap();
+    let delta = DeltaGraph::new(std::sync::Arc::new(g));
+    let snap = GraphView::snapshot(&delta);
+    let flat_snap = FlatCsr::from_view(&snap).unwrap();
+    assert_eq!(flat_direct, flat_snap);
+}

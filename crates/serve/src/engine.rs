@@ -26,8 +26,17 @@
 //! `Pipeline::score_transaction`). This holds because the per-node sampling
 //! RNG is derived from `(seed, SERVE stream, graph version, node)` — never
 //! from arrival order — and eval-mode forwards draw nothing from the RNG.
+//!
+//! **Lock-free graph reads:** the live graph is published through an
+//! [`EpochCell`] rather than guarded by a `RwLock`. Scoring pins the
+//! current `(graph, version)` snapshot — two atomic stores, no lock, never
+//! blocked by writers — while `apply_events`/`compact` build a successor
+//! image off to the side and publish it; the old image is retired and freed
+//! only after the last pinned reader drops. Ingest therefore never stalls
+//! the scoring hot path, and a reader always observes an immutable,
+//! internally consistent graph.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -36,7 +45,9 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 
 use xfraud_gnn::{batch_rng, predict_scores, streams, Sampler, SubgraphBatch, XFraudDetector};
-use xfraud_hetgraph::{DeltaGraph, GraphEvent, GraphView, HetGraph, NodeId, NodeType};
+use xfraud_hetgraph::{
+    DeltaGraph, EpochCell, GraphEvent, GraphSnapshot, GraphView, HetGraph, NodeId, NodeType,
+};
 use xfraud_kvstore::FeatureStore;
 
 use crate::cache::{CacheKey, ShardedLru};
@@ -112,19 +123,27 @@ struct Request {
     reply: mpsc::Sender<Result<Vec<f32>, ServeError>>,
 }
 
+/// The unit the engine publishes through its [`EpochCell`]: one immutable
+/// delta image tagged with the version it was published at. Readers pin the
+/// cell and get both halves consistently, with no lock.
+struct LiveGraph {
+    graph: DeltaGraph,
+    version: u64,
+}
+
 struct Shared {
     detector: RwLock<XFraudDetector>,
-    /// The live graph: a frozen CSR base plus the streamed-in overlay.
-    /// Readers (scoring) hold the read lock for the whole sample; writers
-    /// ([`ScoringEngine::apply_events`]) mutate, bump the version and clear
-    /// the caches under the write lock, so every reader observes a
-    /// consistent `(graph, version)` pair.
-    graph: RwLock<DeltaGraph>,
+    /// The live graph: a frozen CSR base plus the streamed-in overlay,
+    /// behind epoch-based reclamation. Readers (scoring) pin the current
+    /// `(graph, version)` snapshot for the whole sample — never a lock, so
+    /// writers cannot stall them; writers ([`ScoringEngine::apply_events`])
+    /// clone the image, mutate the clone and publish it, and the superseded
+    /// image is freed after its last pinned reader drops.
+    graph: EpochCell<LiveGraph>,
     sampler: Box<dyn Sampler + Send + Sync>,
     features: Option<Arc<FeatureStore>>,
     subgraphs: Option<ShardedLru<Arc<SubgraphBatch>>>,
     scores: Option<ShardedLru<f32>>,
-    version: AtomicU64,
     metrics: ServeMetrics,
     cfg: ServeConfig,
 }
@@ -147,16 +166,18 @@ impl Shared {
         batch
     }
 
-    /// Scores one unique id through both cache tiers.
+    /// Scores one unique id through both cache tiers. The graph is read
+    /// through an epoch pin — no lock, and the pinned `(graph, version)`
+    /// pair is consistent even while ingest publishes successors.
     fn score_unique(&self, detector: &XFraudDetector, node: NodeId) -> Result<f32, ServeError> {
-        let graph = self.graph.read();
-        if node >= graph.n_nodes() {
+        let live = self.graph.pin();
+        let version = live.version;
+        if node >= live.graph.n_nodes() {
             return Err(ServeError::UnknownNode(node));
         }
-        if graph.node_type(node) != NodeType::Txn {
+        if live.graph.node_type(node) != NodeType::Txn {
             return Err(ServeError::NotATransaction(node));
         }
-        let version = self.version.load(Ordering::Acquire);
         let key = CacheKey {
             node,
             shape: self.sampler.shape_key(),
@@ -171,16 +192,16 @@ impl Shared {
             Some(cache) => match cache.get(&key) {
                 Some(b) => b,
                 None => {
-                    let b = Arc::new(self.sample(&graph, node, version));
+                    let b = Arc::new(self.sample(&live.graph, node, version));
                     cache.insert(key, Arc::clone(&b));
                     b
                 }
             },
-            None => Arc::new(self.sample(&graph, node, version)),
+            None => Arc::new(self.sample(&live.graph, node, version)),
         };
-        drop(graph); // the forward pass needs the batch, not the graph
-                     // Fresh derivation, untouched on the cached path: eval-mode
-                     // forwards draw nothing from it, so hit and miss paths agree.
+        drop(live); // the forward pass needs the batch, not the graph
+                    // Fresh derivation, untouched on the cached path: eval-mode
+                    // forwards draw nothing from it, so hit and miss paths agree.
         let mut rng = serve_rng(self.cfg.seed, version, node);
         let score = predict_scores(detector, &batch, &mut rng)[0];
         if let Some(scores) = &self.scores {
@@ -372,14 +393,16 @@ impl ScoringEngineBuilder {
 
         let shared = Arc::new(Shared {
             detector: RwLock::new(self.detector),
-            graph: RwLock::new(DeltaGraph::new(Arc::new(self.graph))),
+            graph: EpochCell::new(LiveGraph {
+                graph: DeltaGraph::new(Arc::new(self.graph)),
+                version: 0,
+            }),
             sampler: self.sampler,
             features: self.features,
             subgraphs: (self.cfg.subgraph_cache > 0)
                 .then(|| ShardedLru::new(self.cfg.subgraph_cache, self.cfg.cache_shards)),
             scores: (self.cfg.score_cache > 0)
                 .then(|| ShardedLru::new(self.cfg.score_cache, self.cfg.cache_shards)),
-            version: AtomicU64::new(0),
             metrics: ServeMetrics::new(),
             cfg: self.cfg,
         });
@@ -462,7 +485,7 @@ impl ScoringEngine {
     /// pure function it memoised changed — while cached subgraphs survive,
     /// because the graph did not move.
     pub fn swap_detector(&self, detector: XFraudDetector) -> Result<(), ServeError> {
-        let g_dim = self.shared.graph.read().feature_dim();
+        let g_dim = self.shared.graph.pin().graph.feature_dim();
         if detector.cfg.feature_dim != g_dim {
             return Err(ServeError::DetectorMismatch {
                 detector_dim: detector.cfg.feature_dim,
@@ -496,12 +519,21 @@ impl ScoringEngine {
         dropped
     }
 
-    /// Advances the graph version: every cached subgraph and score becomes
-    /// unreachable (and is dropped), and subsequent sampling RNG streams are
-    /// re-keyed — the hook for "a new graph snapshot was swapped in".
-    /// Returns the new version.
+    /// Advances the graph version: a re-tagged snapshot is published, every
+    /// cached subgraph and score becomes unreachable (and is dropped), and
+    /// subsequent sampling RNG streams are re-keyed — the hook for "a new
+    /// graph snapshot was swapped in". Returns the new version.
     pub fn bump_graph_version(&self) -> u64 {
-        let v = self.shared.version.fetch_add(1, Ordering::AcqRel) + 1;
+        let v = self.shared.graph.update(|cur| {
+            let version = cur.version + 1;
+            (
+                LiveGraph {
+                    graph: cur.graph.clone(),
+                    version,
+                },
+                version,
+            )
+        });
         if let Some(c) = &self.shared.subgraphs {
             c.clear();
         }
@@ -513,7 +545,15 @@ impl ScoringEngine {
 
     /// Current graph version (starts at 0).
     pub fn graph_version(&self) -> u64 {
-        self.shared.version.load(Ordering::Acquire)
+        self.shared.graph.pin().version
+    }
+
+    /// An owned, shareable image of the live graph at its current version —
+    /// the [`GraphView::snapshot`] surface of the engine, for callers (e.g.
+    /// kernels, audits) that want a stable graph beyond one pinned read.
+    pub fn graph_snapshot(&self) -> GraphSnapshot {
+        let live = self.shared.graph.pin();
+        GraphView::snapshot(&live.graph).at_version(live.version)
     }
 
     /// Appends a batch of streamed-in [`GraphEvent`]s to the live graph —
@@ -521,13 +561,15 @@ impl ScoringEngine {
     /// `xfraud_datagen::event_stream`). Returns the node ids assigned to
     /// the batch's `AddTxn` events, ready to be scored on arrival.
     ///
-    /// The whole batch is applied under the graph write lock and finishes
-    /// by driving the existing invalidation hook
-    /// ([`bump_graph_version`](Self::bump_graph_version)): one version bump
-    /// per non-empty call, so cached subgraphs and scores sampled against
-    /// the pre-batch graph can never serve a post-batch request. When a
-    /// feature store is attached, new transactions' feature rows are
-    /// written through to it.
+    /// The whole batch is applied to a private clone of the live image and
+    /// published atomically with a bumped version: scoring reads pinned to
+    /// the pre-batch snapshot finish against it undisturbed, and every read
+    /// that starts after the publish sees the post-batch graph and version
+    /// together. Cached subgraphs and scores sampled against the pre-batch
+    /// graph can never serve a post-batch request (cache keys carry the
+    /// version), and both tiers are dropped eagerly. When a feature store is
+    /// attached, new transactions' feature rows are written through to it
+    /// before the batch becomes visible.
     ///
     /// On a rejected event the error is returned and the batch stops
     /// there; previously applied events of the batch remain (the overlay is
@@ -536,29 +578,37 @@ impl ScoringEngine {
         if events.is_empty() {
             return Ok(Vec::new());
         }
-        let mut graph = self.shared.graph.write();
-        let mut new_txns = Vec::new();
-        let mut failure = None;
-        for event in events {
-            match graph.apply(event) {
-                Ok(assigned) => {
-                    if let (Some(id), GraphEvent::AddTxn { features, .. }) = (assigned, event) {
-                        if let Some(fs) = &self.shared.features {
-                            fs.put_features(id, features);
+        let (new_txns, failure) = self.shared.graph.update(|cur| {
+            let mut graph = cur.graph.clone();
+            let mut new_txns = Vec::new();
+            let mut failure = None;
+            for event in events {
+                match graph.apply(event) {
+                    Ok(assigned) => {
+                        if let (Some(id), GraphEvent::AddTxn { features, .. }) = (assigned, event) {
+                            if let Some(fs) = &self.shared.features {
+                                fs.put_features(id, features);
+                            }
+                            new_txns.push(id);
                         }
-                        new_txns.push(id);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
                     }
                 }
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
             }
+            let version = cur.version + 1;
+            (LiveGraph { graph, version }, (new_txns, failure))
+        });
+        // Entries keyed by the pre-batch version are unreachable now; drop
+        // them eagerly rather than letting them age out of the LRU.
+        if let Some(c) = &self.shared.subgraphs {
+            c.clear();
         }
-        // Still holding the write lock: readers wake to the new version and
-        // the new graph together.
-        self.bump_graph_version();
-        drop(graph);
+        if let Some(c) = &self.shared.scores {
+            c.clear();
+        }
         match failure {
             Some(e) => Err(e.into()),
             None => Ok(new_txns),
@@ -568,29 +618,51 @@ impl ScoringEngine {
     /// Folds the streamed-in overlay into a fresh frozen CSR base
     /// (`DeltaGraph::compact`). Purely a representation change — the view
     /// is bit-identical before and after — so the graph version does *not*
-    /// move and cached subgraphs/scores stay valid.
+    /// move and cached subgraphs/scores stay valid. The compacted image is
+    /// published like any other write; pinned readers drain on the overlay
+    /// image and the epoch scheme frees it after the last one drops.
     pub fn compact(&self) -> Result<(), ServeError> {
-        let mut graph = self.shared.graph.write();
-        if graph.is_compact() {
+        if self.shared.graph.pin().graph.is_compact() {
             return Ok(());
         }
-        let frozen = graph.compact()?;
-        // xlint: allow(l1, reason = "the representation swap must happen under the write lock or readers could see a half-compacted graph")
-        *graph = DeltaGraph::new(Arc::new(frozen));
-        Ok(())
+        self.shared.graph.update(|cur| {
+            let version = cur.version;
+            match cur.graph.compact() {
+                Ok(frozen) => (
+                    LiveGraph {
+                        graph: DeltaGraph::new(Arc::new(frozen)),
+                        version,
+                    },
+                    Ok(()),
+                ),
+                Err(e) => (
+                    LiveGraph {
+                        graph: cur.graph.clone(),
+                        version,
+                    },
+                    Err(e.into()),
+                ),
+            }
+        })
     }
 
     /// `(overlay nodes, overlay directed edges)` accumulated since the last
     /// compaction — the "how big has the delta grown" gauge a compaction
     /// policy watches.
     pub fn overlay_stats(&self) -> (usize, usize) {
-        let g = self.shared.graph.read();
-        (g.n_overlay_nodes(), g.n_overlay_edges())
+        let live = self.shared.graph.pin();
+        (live.graph.n_overlay_nodes(), live.graph.n_overlay_edges())
     }
 
     /// Total nodes currently in the live graph (base + overlay).
     pub fn n_nodes(&self) -> usize {
-        self.shared.graph.read().n_nodes()
+        self.shared.graph.pin().graph.n_nodes()
+    }
+
+    /// Superseded graph images retired but not yet freed (they drain as
+    /// pinned readers drop) — observability for the epoch scheme.
+    pub fn retired_graphs(&self) -> usize {
+        self.shared.graph.retired_len()
     }
 
     /// Point-in-time counters: requests, batch sizes, per-tier cache hit

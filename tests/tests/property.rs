@@ -381,6 +381,91 @@ proptest! {
         prop_assert_eq!(compacted, reference_build(&events));
     }
 
+    /// Lock-free epoch-pinned snapshot reads observe exactly a prefix state:
+    /// while a writer thread publishes event batches (interleaved with
+    /// `compact()` republications) through an `EpochCell`, concurrent readers
+    /// pin snapshots and flatten their adjacency. Every flattened CSR must be
+    /// bit-identical to a quiesced rebuild of the same event prefix —
+    /// compaction being a pure representation change, readers cannot even
+    /// tell whether they pinned pre- or post-compact.
+    #[test]
+    fn concurrent_snapshot_reads_match_quiesced_rebuild(
+        tape in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0.0f32..1.0), 4..60),
+        n_batches in 2usize..5,
+        compact_mask in any::<u8>(),
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use xfraud::hetgraph::EpochCell;
+        use xfraud::kernels::FlatCsr;
+
+        let events = events_from_tape(&tape);
+        prop_assume!(!events.is_empty());
+        let batch_len = events.len().div_ceil(n_batches);
+        let batches: Vec<&[GraphEvent]> = events.chunks(batch_len).collect();
+
+        // (prefix length in batches, live graph)
+        let cell = EpochCell::new((0usize, DeltaGraph::empty(EVT_DIM)));
+        let done = AtomicBool::new(false);
+        let mut observed: Vec<(usize, FlatCsr)> = Vec::new();
+
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = &cell;
+                    let done = &done;
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        while !done.load(Ordering::Acquire) && seen.len() < 10_000 {
+                            let live = cell.pin();
+                            let flat = FlatCsr::from_view(&live.1)
+                                .expect("test graphs fit the u32 arena");
+                            seen.push((live.0, flat));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+
+            for (i, batch) in batches.iter().enumerate() {
+                cell.update(|cur| {
+                    let mut g = cur.1.clone();
+                    for e in *batch {
+                        g.apply(e).expect("tape events are valid");
+                    }
+                    ((i + 1, g), ())
+                });
+                if compact_mask >> (i % 8) & 1 == 1 {
+                    cell.update(|cur| {
+                        let frozen = cur.1.clone().compact().expect("compaction succeeds");
+                        ((cur.0, DeltaGraph::new(std::sync::Arc::new(frozen))), ())
+                    });
+                }
+            }
+            done.store(true, Ordering::Release);
+            for r in readers {
+                observed.extend(r.join().expect("reader thread joins"));
+            }
+        });
+
+        // Quiesced reference per prefix: replay the first k batches serially.
+        let mut reference = Vec::with_capacity(batches.len() + 1);
+        let mut g = DeltaGraph::empty(EVT_DIM);
+        reference.push(FlatCsr::from_view(&g).expect("fits"));
+        for batch in &batches {
+            for e in *batch {
+                g.apply(e).expect("tape events are valid");
+            }
+            reference.push(FlatCsr::from_view(&g).expect("fits"));
+        }
+        for (prefix, flat) in &observed {
+            prop_assert_eq!(
+                flat, &reference[*prefix],
+                "snapshot at prefix {} diverged from quiesced rebuild", prefix
+            );
+        }
+    }
+
     /// The same holds when the stream is cut at an arbitrary point into a
     /// compacted base plus a live overlay — including label rewrites in the
     /// suffix that override labels frozen into the base.
