@@ -14,6 +14,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use xfraud::diskstore::{BlockStore, DiskStore, DiskStoreOptions};
 use xfraud::kvstore::{FeatureStore, KvStore, LogStore, ShardedStore, SingleLockStore};
 use xfraud_bench::section;
 
@@ -93,6 +94,29 @@ fn main() {
         reps,
     );
     let _ = std::fs::remove_file(log_path);
+
+    // The out-of-core store: real files, real mmap — the LMDB side of the
+    // paper's comparison on disk instead of as an in-RAM profile. The
+    // feature rows overflow the memtable budget many times over, so most
+    // reads are zero-copy gets from mapped segment pages, with the newest
+    // tail still in the memtable — the store's steady state.
+    let disk_dir = std::env::temp_dir().join(format!("xfraud-exp-kv-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    let disk =
+        Arc::new(DiskStore::open(&disk_dir, DiskStoreOptions::default()).expect("diskstore"));
+    bench_store(Arc::clone(&disk) as Arc<dyn KvStore>, dim, n_nodes, reps);
+    let st = disk.storage_stats();
+    println!(
+        "  (on disk: {} segments, {} segment bytes, reads via {})",
+        st.n_segments,
+        st.segment_bytes,
+        if st.mmap_active {
+            "mmap"
+        } else {
+            "buffered files"
+        }
+    );
+    let _ = std::fs::remove_dir_all(&disk_dir);
 
     println!("\npaper: LevelDB-style single-threaded loading was the epoch bottleneck");
     println!("(45 min/epoch) until replaced by LMDB-style multi-reader loading (~1 min).");

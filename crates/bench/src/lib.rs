@@ -92,6 +92,20 @@ pub fn trained_study(scale: Scale) -> (Pipeline, xfraud::study::CommunityStudy) 
 /// The paper's hit-rate ranks.
 pub const TOPKS: [usize; 5] = [5, 10, 15, 20, 25];
 
+/// Resident-set size from `/proc/self/status`, in MiB (0.0 where absent) —
+/// the bounded-memory evidence the out-of-core experiments report.
+pub fn rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
 /// Prints a horizontal rule + section title (uniform experiment output).
 pub fn section(title: &str) {
     println!("\n{}", "=".repeat(72));

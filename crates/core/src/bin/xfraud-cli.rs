@@ -9,6 +9,8 @@
 //! xfraud-cli load-bench  [--preset ...] [--epochs N] [--seed S] [--rate R]
 //!                        [--duration-secs D] [--pattern constant|diurnal|bursts]
 //!                        [--connections C] [--batch B] [--smoke]
+//! xfraud-cli datagen     --out-dir DIR [--nodes N] [--seed S] [--dim D]
+//! xfraud-cli diskstore-bench [--out-dir DIR] [--nodes N] [--dim D] [--workers W]
 //! ```
 //!
 //! `train` reports held-out metrics; `explain` additionally explains the
@@ -31,6 +33,13 @@
 //! hard assertions (zero 5xx, zero transport errors, nonzero goodput,
 //! wire scores bit-identical to the engine) and exits non-zero on any
 //! violation — the CI gate.
+//!
+//! `datagen` streams a scaled eBay-large world straight to disk in bounded
+//! memory — events log, graph topology and a disk-backed feature store —
+//! sized so the surviving graph lands near `--nodes`; `diskstore-bench`
+//! measures the out-of-core read path (sequential scan, random gets,
+//! parallel feature loaders) against the in-RAM sharded store, reporting
+//! resident-set size so the bounded-memory claim is checkable.
 //!
 //! Pipeline failures (bad flags, out-of-range config, unknown ids) print a
 //! one-line diagnostic and exit non-zero — no panics, no backtraces.
@@ -73,6 +82,12 @@ struct Args {
     connections: usize,
     /// load-bench: single short pass with hard pass/fail assertions.
     smoke: bool,
+    /// datagen / diskstore-bench: dataset directory ("" = temp).
+    out_dir: String,
+    /// datagen: target graph size; diskstore-bench: feature rows.
+    nodes: usize,
+    /// datagen / diskstore-bench: feature width (0 = preset default).
+    dim: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -96,6 +111,9 @@ fn parse_args() -> Result<Args, String> {
         pattern: "bursts".to_string(),
         connections: 16,
         smoke: false,
+        out_dir: String::new(),
+        nodes: 0,
+        dim: 0,
     };
     while let Some(flag) = args.next() {
         if flag == "--no-cache" {
@@ -131,6 +149,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--pattern" => parsed.pattern = value()?,
             "--connections" => parsed.connections = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--out-dir" => parsed.out_dir = value()?,
+            "--nodes" => parsed.nodes = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--dim" => parsed.dim = value()?.parse().map_err(|e| format!("{e}"))?,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -138,12 +159,14 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: xfraud-cli <train|explain|stats|serve-bench|stream-bench|load-bench> \
+    "usage: xfraud-cli <train|explain|stats|serve-bench|stream-bench|load-bench\
+     |datagen|diskstore-bench> \
      [--preset small|large|xlarge] [--epochs N] [--seed S] [--top K] [--workers W] \
      [--callers C] [--requests R] [--batch B] [--no-cache] \
      [--stream-txns T] [--wal-shards K] \
      [--rate R] [--duration-secs D] [--pattern constant|diurnal|bursts] \
-     [--connections C] [--smoke]"
+     [--connections C] [--smoke] \
+     [--out-dir DIR] [--nodes N] [--dim D]"
         .to_string()
 }
 
@@ -542,6 +565,152 @@ fn stream_bench(args: &Args) -> Result<(), xfraud::Error> {
     Ok(())
 }
 
+/// Resident-set size from `/proc/self/status`, in MiB (0.0 where absent).
+fn rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Storage failures rendered into the CLI's error type.
+fn store_err(e: impl std::fmt::Display) -> xfraud::Error {
+    xfraud::Error::Serve(xfraud::serve::ServeError::InvalidConfig(format!("{e}")))
+}
+
+fn datagen_cmd(args: &Args) -> Result<(), xfraud::Error> {
+    use xfraud::datagen::{scaled_large_config, stream_dataset_to_dir};
+    if args.out_dir.is_empty() {
+        return Err(store_err("datagen requires --out-dir"));
+    }
+    let target = if args.nodes == 0 { 100_000 } else { args.nodes };
+    let mut cfg = scaled_large_config(target, args.seed);
+    if args.dim > 0 {
+        cfg.feature_dim = args.dim;
+    }
+    println!(
+        "datagen: streaming a ~{target}-node eBay-large world to {} (seed {}, dim {})",
+        args.out_dir, args.seed, cfg.feature_dim
+    );
+    let started = Instant::now();
+    let ds = stream_dataset_to_dir(&cfg, std::path::Path::new(&args.out_dir)).map_err(store_err)?;
+    let s = &ds.stats;
+    println!(
+        "  records: {} emitted, {} kept after the small-neighbourhood filter",
+        s.records_emitted, s.records_kept
+    );
+    println!(
+        "  graph:   {} nodes ({} transactions, {} entities)",
+        s.n_nodes,
+        s.n_nodes - s.n_entities,
+        s.n_entities
+    );
+    println!(
+        "  store:   {} feature bytes in segments (dim {})",
+        s.segment_bytes, s.feature_dim
+    );
+    println!(
+        "  done in {:.1}s, RSS {:.0} MiB",
+        started.elapsed().as_secs_f64(),
+        rss_mib()
+    );
+    Ok(())
+}
+
+fn diskstore_bench(args: &Args) -> Result<(), xfraud::Error> {
+    use std::sync::Arc;
+    use xfraud::diskstore::{BlockStore, DiskStore, DiskStoreOptions};
+    use xfraud::kvstore::{FeatureStore, KvStore, ShardedStore};
+
+    let rows = if args.nodes == 0 { 50_000 } else { args.nodes };
+    let dim = if args.dim == 0 { 48 } else { args.dim };
+    let base = if args.out_dir.is_empty() {
+        std::env::temp_dir()
+    } else {
+        std::path::PathBuf::from(&args.out_dir)
+    };
+    let dir = base.join(format!("diskstore-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "diskstore-bench: {rows} rows x {dim} f32 features in {}",
+        dir.display()
+    );
+    let disk = Arc::new(DiskStore::open(&dir, DiskStoreOptions::default()).map_err(store_err)?);
+    let dfs = FeatureStore::new(Arc::clone(&disk) as Arc<dyn KvStore>, dim);
+    let row: Vec<f32> = (0..dim).map(|i| i as f32 * 0.5).collect();
+    let started = Instant::now();
+    for i in 0..rows {
+        dfs.put_features(i, &row);
+    }
+    disk.flush().map_err(store_err)?;
+    disk.compact().map_err(store_err)?;
+    disk.sync().map_err(store_err)?;
+    let st = disk.storage_stats();
+    println!(
+        "  write+seal: {:.1}s ({} segments, {} bytes, mmap {})",
+        started.elapsed().as_secs_f64(),
+        st.n_segments,
+        st.segment_bytes,
+        if st.mmap_active { "on" } else { "off" }
+    );
+
+    // Sequential scan over sealed segments (the compaction/backup path).
+    let started = Instant::now();
+    let mut n = 0usize;
+    let mut bytes = 0usize;
+    disk.scan(&mut |k, v| {
+        n += 1;
+        bytes += k.len() + v.len();
+    });
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "  sequential scan: {n} records, {:.1} MiB in {secs:.3}s = {:.0} rows/s",
+        bytes as f64 / (1 << 20) as f64,
+        n as f64 / secs.max(1e-9)
+    );
+
+    // Random single-row gets (the online feature-lookup path).
+    let n_gets = rows.min(100_000);
+    let started = Instant::now();
+    let mut x = 0x243f_6a88_85a3_08d3u64; // splitmix-style index walk
+    for _ in 0..n_gets {
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let got = dfs.get_features((x % rows as u64) as usize);
+        assert_eq!(got.len(), dim, "bench rows must exist");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "  random get: {n_gets} rows in {secs:.3}s = {:.0} rows/s",
+        n_gets as f64 / secs.max(1e-9)
+    );
+
+    // Parallel loaders, disk-backed vs in-RAM sharded — Fig. 13 on files.
+    let ids: Vec<usize> = (0..rows).cycle().take(rows * 2).collect();
+    let sharded = Arc::new(ShardedStore::new(64));
+    let sfs = FeatureStore::new(Arc::clone(&sharded) as Arc<dyn KvStore>, dim);
+    for i in 0..rows {
+        sfs.put_features(i, &row);
+    }
+    println!("  parallel loaders ({} ids per pass):", ids.len());
+    for threads in [1usize, 2, 4, 8] {
+        let (_, dsecs, dtput) = dfs.load_parallel(&ids, threads);
+        let (_, ssecs, stput) = sfs.load_parallel(&ids, threads);
+        println!(
+            "    {threads} thread(s): diskstore {dtput:>9.0} rows/s ({dsecs:.3}s)   \
+             sharded {stput:>9.0} rows/s ({ssecs:.3}s)"
+        );
+    }
+    println!("  RSS {:.0} MiB", rss_mib());
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 fn real_main(args: &Args) -> Result<(), xfraud::Error> {
     match args.command.as_str() {
         "stats" => {
@@ -551,6 +720,8 @@ fn real_main(args: &Args) -> Result<(), xfraud::Error> {
         "serve-bench" => serve_bench(args)?,
         "stream-bench" => stream_bench(args)?,
         "load-bench" => load_bench(args)?,
+        "datagen" => datagen_cmd(args)?,
+        "diskstore-bench" => diskstore_bench(args)?,
         "train" | "explain" => {
             let pipeline = train_pipeline(args)?;
             for e in &pipeline.history {

@@ -36,12 +36,14 @@
 //! | [`gnn`] | `xfraud-gnn` | §3.2 detector(+), baselines, samplers |
 //! | [`explain`] | `xfraud-explain` | §3.4/§5 explainers |
 //! | [`kvstore`] | `xfraud-kvstore` | §3.3.3 data loading |
+//! | [`diskstore`] | `xfraud-diskstore` | §3.3.3 out-of-core storage (mmap block store) |
 //! | [`ingest`] | `xfraud-ingest` | streaming ingestion + WAL replay |
 //! | [`dist`] | `xfraud-dist` | §3.3 distributed training |
 //! | [`metrics`] | `xfraud-metrics` | §4 evaluation |
 //! | [`serve`] | `xfraud-serve` | §3.3 online near-real-time scoring |
 
 pub use xfraud_datagen as datagen;
+pub use xfraud_diskstore as diskstore;
 pub use xfraud_dist as dist;
 pub use xfraud_explain as explain;
 pub use xfraud_gnn as gnn;

@@ -159,7 +159,11 @@ pub fn build_dataset(world: &World, cfg: &WorldConfig) -> Dataset {
 }
 
 /// Nodes of components containing at least `min_txns` transactions.
-fn filter_small_components(g: &xfraud_hetgraph::HetGraph, min_txns: usize) -> Vec<NodeId> {
+/// Shared with the out-of-core build in [`crate::ondisk`].
+pub(crate) fn filter_small_components(
+    g: &xfraud_hetgraph::HetGraph,
+    min_txns: usize,
+) -> Vec<NodeId> {
     let n = g.n_nodes();
     let mut comp = vec![usize::MAX; n];
     let mut n_comp = 0usize;

@@ -30,13 +30,20 @@ mod construct;
 mod dataset;
 mod features;
 mod generator;
+mod ondisk;
 mod records;
 mod stream;
+mod streamgen;
 
 pub use config::{DatasetPreset, WorldConfig};
 pub use construct::build_dataset;
 pub use dataset::Dataset;
 pub use features::gaussian;
 pub use generator::generate_log;
+pub use ondisk::{open_feature_store, stream_dataset_to_dir, BuildStats, OnDiskDataset};
 pub use records::{FraudMechanism, TxnRecord};
 pub use stream::{event_stream, flatten_events, TxnArrival};
+pub use streamgen::{
+    pool_sizes, record_features, record_label, scaled_large_config, stream_records, PoolSizes,
+    StreamRecord,
+};

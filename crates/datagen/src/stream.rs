@@ -23,9 +23,6 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use xfraud_hetgraph::{GraphEvent, NodeId, NodeType};
 
 use crate::config::WorldConfig;
@@ -122,31 +119,10 @@ pub fn flatten_events(arrivals: &[TxnArrival]) -> Vec<GraphEvent> {
 
 /// Appendix-B label protocol with a per-record RNG: the label a record gets
 /// is a pure function of `(cfg.seed, record index)`, independent of where
-/// the record lands in the time-sorted stream.
+/// the record lands in the time-sorted stream. The derivation is shared
+/// with the out-of-core streaming generator.
 fn stream_label(rec: &TxnRecord, rec_idx: usize, cfg: &WorldConfig) -> Option<bool> {
-    let mut rng = StdRng::seed_from_u64(
-        (cfg.seed ^ 0x57ae_a81a_be15_eed5)
-            .wrapping_add((rec_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-    );
-    let clean = if rec.is_fraud() {
-        Some(true)
-    } else if rng.gen_bool(cfg.benign_label_rate) {
-        Some(false)
-    } else {
-        None
-    };
-    clean.map(|y| {
-        let flip_prob = if y {
-            cfg.label_noise
-        } else {
-            cfg.label_noise * 0.1
-        };
-        if rng.gen_bool(flip_prob) {
-            !y
-        } else {
-            y
-        }
-    })
+    crate::streamgen::record_label(cfg, rec_idx as u64, rec.is_fraud())
 }
 
 #[cfg(test)]

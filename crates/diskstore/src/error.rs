@@ -1,0 +1,42 @@
+use std::fmt;
+use std::path::PathBuf;
+
+/// Typed failures of the on-disk store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file failed structural validation (bad magic, checksum mismatch,
+    /// out-of-bounds index entry). `detail` says which check failed.
+    Corrupt { path: PathBuf, detail: String },
+    /// [`crate::SegmentBuilder::add`] was called with keys out of ascending
+    /// order — segments are sorted by construction.
+    UnsortedKeys,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {}: {detail}", path.display())
+            }
+            StoreError::UnsortedKeys => write!(f, "segment keys must be added in ascending order"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,240 @@
+//! A thin read-only `mmap` wrapper: the multi-reader zero-copy substrate of
+//! the paper's LMDB finding (§3.3.3, Fig. 13), hand-rolled because the
+//! offline workspace has no `memmap2`.
+//!
+//! # Safety argument
+//!
+//! Memory-mapping a file hands out `&[u8]` into storage the OS may change
+//! under us; soundness therefore rests on a *protocol*, not on the wrapper:
+//!
+//! 1. **Only sealed files are mapped.** The store maps exactly the segment
+//!    files it (or a previous incarnation) produced via
+//!    write-temp → `fsync` → atomic `rename`. A `.seg` file is never
+//!    written to again after the rename — compaction writes *new* files and
+//!    deletes old ones.
+//! 2. **Deletion does not invalidate live mappings.** On Linux, unlinking a
+//!    mapped file keeps its pages valid until the last `munmap` — the inode
+//!    outlives the directory entry. So compaction can delete a segment
+//!    while readers still hold it.
+//! 3. **The mapping is `PROT_READ`/`MAP_SHARED`.** Nothing in this process
+//!    writes through it, and immutability of the file (point 1) means
+//!    nothing outside does either. An external actor truncating or
+//!    rewriting a segment in place violates the store's ownership of its
+//!    directory and is outside the trust boundary (same class as `rm -rf`
+//!    on a database directory).
+//! 4. **Every read is bounds-checked** against the length captured at map
+//!    time (`as_slice` is an ordinary slice).
+//!
+//! When mapping is unavailable (non-unix target, `prefer_mmap = false`, or
+//! the syscall fails) the wrapper falls back to reading the whole file into
+//! an owned buffer — same interface, no zero-copy.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+
+    /// Maps `len` bytes of `file` read-only. `len` must be non-zero.
+    pub(super) fn map(file: &File, len: usize) -> io::Result<*const u8> {
+        // SAFETY: a fresh anonymous-address read-only shared mapping of a
+        // file descriptor we hold open; the kernel validates fd/len. The
+        // returned pages are only ever read (PROT_READ), and module docs
+        // argue the mapped file is immutable for the mapping's lifetime.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr as *const u8)
+    }
+
+    /// Unmaps a region previously returned by [`map`].
+    pub(super) fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: (ptr, len) came from a successful `map` call and is
+        // unmapped exactly once, by `Mmap::drop`.
+        unsafe {
+            munmap(ptr as *mut c_void, len);
+        }
+    }
+}
+
+enum Backing {
+    /// Pages mapped straight from the file — shared, zero-copy.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Whole-file copy in heap memory — the portable fallback.
+    Owned(Vec<u8>),
+}
+
+/// A read-only view of an entire file, memory-mapped when possible.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// SAFETY: the mapped variant is an immutable region (PROT_READ, and the
+// module-level protocol makes the underlying file immutable); concurrent
+// reads from any number of threads are safe, and ownership transfer moves
+// only the pointer. The owned variant is a plain Vec.
+unsafe impl Send for Mmap {}
+// SAFETY: see above — shared `&Mmap` access only ever reads.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety. With `prefer_mmap = false`
+    /// (or on targets without `mmap`, or if the syscall fails) the file is
+    /// read into an owned buffer instead.
+    pub fn open(file: &mut File, prefer_mmap: bool) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file larger than address space")
+        })?;
+        if len == 0 {
+            // mmap(len = 0) is EINVAL; an empty view needs no pages.
+            return Ok(Mmap {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        if prefer_mmap {
+            if let Ok(ptr) = sys::map(file, len) {
+                return Ok(Mmap {
+                    backing: Backing::Mapped { ptr, len },
+                });
+            }
+        }
+        let _ = prefer_mmap;
+        file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// Whether this view is a live page mapping (vs an owned copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+
+    /// The file contents.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: (ptr, len) is a live PROT_READ mapping owned by
+                // self; unmapped only on drop, so the slice's lifetime
+                // (tied to &self) cannot outlive the pages.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned(v) => v,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => sys::unmap(*ptr, *len),
+            Backing::Owned(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("xfraud-mmap-test-{name}-{}", contents.len()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_view_reads_file_bytes() {
+        let path = temp_file("mapped", b"hello mapped world");
+        let mut f = File::open(&path).unwrap();
+        let m = Mmap::open(&mut f, true).unwrap();
+        assert_eq!(m.as_slice(), b"hello mapped world");
+        #[cfg(unix)]
+        assert!(m.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn owned_fallback_reads_file_bytes() {
+        let path = temp_file("owned", b"fallback contents");
+        let mut f = File::open(&path).unwrap();
+        let m = Mmap::open(&mut f, false).unwrap();
+        assert_eq!(m.as_slice(), b"fallback contents");
+        assert!(!m.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", b"");
+        let mut f = File::open(&path).unwrap();
+        let m = Mmap::open(&mut f, true).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), b"");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_survives_unlink_of_the_file() {
+        let path = temp_file("unlinked", b"still readable after unlink");
+        let mut f = File::open(&path).unwrap();
+        let m = Mmap::open(&mut f, true).unwrap();
+        drop(f);
+        std::fs::remove_file(&path).unwrap();
+        // The inode lives until the last unmap (safety argument, point 2).
+        assert_eq!(m.as_slice(), b"still readable after unlink");
+    }
+}

@@ -1,0 +1,121 @@
+//! Compaction determinism, proptest-pinned: merging any pile of segments
+//! must produce a segment file **bit-identical** to building one from
+//! scratch out of the final live map. This is the property that makes
+//! compaction safe to reason about — the on-disk image is a pure function
+//! of (live map, block geometry), never of merge history, segment ids, or
+//! timing.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use xfraud_diskstore::{BlockStore, DiskStore, DiskStoreOptions};
+use xfraud_kvstore::KvStore;
+
+fn temp_dir(tag: &str, salt: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xfraud-ceq-{tag}-{}-{salt:016x}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> DiskStoreOptions {
+    DiskStoreOptions {
+        block_bytes: 256,
+        memtable_bytes: 1 << 30,
+        compact_at_segments: usize::MAX,
+        prefer_mmap: true,
+    }
+}
+
+/// The single sealed segment of a store directory.
+fn single_segment_bytes(dir: &Path) -> Vec<u8> {
+    let segs: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    assert_eq!(segs.len(), 1, "expected exactly one segment in {dir:?}");
+    fs::read(&segs[0]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multi-round overwriting history, flushed into several segments and
+    /// compacted, versus the final live map flushed once into a fresh
+    /// store: identical segment bytes, identical scans.
+    #[test]
+    fn compacted_segment_is_bit_identical_to_fresh_build(
+        rounds in prop::collection::vec(
+            prop::collection::vec(
+                (any::<u8>(), prop::collection::vec(any::<u8>(), 0..16)),
+                1..40),
+            2..5),
+        salt in any::<u64>(),
+    ) {
+        let dir_hist = temp_dir("hist", salt);
+        let dir_fresh = temp_dir("fresh", salt);
+
+        // History store: several flushed generations, then one compaction.
+        let hist = DiskStore::open(&dir_hist, opts()).unwrap();
+        let mut live: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for round in &rounds {
+            for (k, v) in round {
+                hist.put(&[*k], v);
+                live.insert(vec![*k], v.clone());
+            }
+            hist.flush().unwrap();
+        }
+        prop_assert!(hist.storage_stats().n_segments >= 2);
+        hist.compact().unwrap();
+        prop_assert_eq!(hist.storage_stats().n_segments, 1);
+
+        // Fresh store: the live map, one flush, no history.
+        let fresh = DiskStore::open(&dir_fresh, opts()).unwrap();
+        for (k, v) in &live {
+            fresh.put(k, v);
+        }
+        fresh.flush().unwrap();
+        prop_assert_eq!(fresh.storage_stats().n_segments, 1);
+
+        let a = single_segment_bytes(&dir_hist);
+        let b = single_segment_bytes(&dir_fresh);
+        prop_assert!(a == b, "compacted and fresh segment images diverge \
+                              ({} vs {} bytes)", a.len(), b.len());
+
+        let mut got = BTreeMap::new();
+        hist.scan(&mut |k, v| {
+            got.insert(k.to_vec(), v.to_vec());
+        });
+        prop_assert_eq!(got, live);
+
+        fs::remove_dir_all(&dir_hist).unwrap();
+        fs::remove_dir_all(&dir_fresh).unwrap();
+    }
+
+    /// Compacting a single-segment store is a no-op: same file, same bytes.
+    #[test]
+    fn compaction_is_idempotent(
+        puts in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..16)), 1..60),
+        salt in any::<u64>(),
+    ) {
+        let dir = temp_dir("idem", salt);
+        let store = DiskStore::open(&dir, opts()).unwrap();
+        for (k, v) in &puts {
+            store.put(&[*k], v);
+        }
+        store.flush().unwrap();
+        store.compact().unwrap();
+        let first = single_segment_bytes(&dir);
+        store.compact().unwrap();
+        let second = single_segment_bytes(&dir);
+        prop_assert!(first == second);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! Crash-recovery proptests: a [`DiskStore`] directory is mutilated the way
+//! a kill at an arbitrary instant would leave it — torn WAL tails, orphaned
+//! `.tmp` segment builds, compaction interrupted before or after its rename
+//! — and reopening must (a) succeed, (b) drop exactly the torn suffix, and
+//! (c) never lose an acknowledged write.
+//!
+//! "Acknowledged" means `put` returned and the bytes reached the WAL (the
+//! tests `sync()` before simulating the crash, standing in for the OS
+//! surviving — these tests model *process* death, not device-level
+//! write-reordering).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use xfraud_diskstore::{BlockStore, DiskStore, DiskStoreOptions};
+use xfraud_kvstore::{framing, KvStore};
+
+fn temp_dir(tag: &str, salt: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xfraud-crash-{tag}-{}-{salt:016x}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// No auto-flush, no auto-compaction: the tests drive both explicitly so
+/// the simulated crash point is exact.
+fn opts() -> DiskStoreOptions {
+    DiskStoreOptions {
+        block_bytes: 256,
+        memtable_bytes: 1 << 30,
+        compact_at_segments: usize::MAX,
+        prefer_mmap: true,
+    }
+}
+
+fn scan_map(store: &DiskStore) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut got = BTreeMap::new();
+    store.scan(&mut |k, v| {
+        got.insert(k.to_vec(), v.to_vec());
+    });
+    got
+}
+
+/// The store keeps exactly one live WAL outside of a flush window.
+fn sole_wal(dir: &Path) -> PathBuf {
+    let mut wals: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let n = p.file_name().unwrap().to_string_lossy();
+            n.starts_with("wal-") && n.ends_with(".log")
+        })
+        .collect();
+    wals.sort();
+    assert_eq!(wals.len(), 1, "expected exactly one live WAL");
+    wals.pop().unwrap()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for e in fs::read_dir(src).unwrap().filter_map(|e| e.ok()) {
+        fs::copy(e.path(), dst.join(e.file_name())).unwrap();
+    }
+}
+
+fn put_strategy() -> impl Strategy<Value = (u8, Vec<u8>)> {
+    (any::<u8>(), prop::collection::vec(any::<u8>(), 0..12))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Kill mid-WAL-append: truncate the live WAL at an arbitrary byte.
+    /// Reopening must keep the flushed prefix plus exactly the complete
+    /// WAL frames before the cut — byte-for-byte the state a replay of the
+    /// acknowledged history predicts — and report the torn remainder.
+    #[test]
+    fn torn_wal_tail_recovers_every_complete_frame(
+        puts in prop::collection::vec(put_strategy(), 1..60),
+        flush_seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let dir = temp_dir("torn", salt);
+        let n_flush = (flush_seed as usize) % (puts.len() + 1);
+        {
+            let store = DiskStore::open(&dir, opts()).unwrap();
+            for (i, (k, v)) in puts.iter().enumerate() {
+                if i == n_flush {
+                    store.flush().unwrap();
+                }
+                store.put(&[*k], v);
+            }
+            store.sync().unwrap();
+        }
+
+        // Simulate the kill: drop an arbitrary suffix of the live WAL.
+        let wal = sole_wal(&dir);
+        let buf = fs::read(&wal).unwrap();
+        let cut = (cut_seed as usize) % (buf.len() + 1);
+        let keep_len = buf.len() - cut;
+        fs::write(&wal, &buf[..keep_len]).unwrap();
+
+        // Expected state: flushed prefix, then every complete WAL frame.
+        // (If the flush point was 0 or past the end it was a no-op and the
+        // WAL covers everything — the frame walk below handles both.)
+        let wal_from = if n_flush >= puts.len() { puts.len() } else { n_flush };
+        let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (k, v) in &puts[..wal_from] {
+            expect.insert(vec![*k], v.clone());
+        }
+        let mut off = 0usize;
+        for (k, v) in &puts[wal_from..] {
+            let frame = framing::encoded_len(1, v.len());
+            if off + frame > keep_len {
+                break;
+            }
+            expect.insert(vec![*k], v.clone());
+            off += frame;
+        }
+
+        let store = DiskStore::open(&dir, opts()).unwrap();
+        prop_assert_eq!(store.recovery_stats().torn_bytes, (keep_len - off) as u64);
+        prop_assert_eq!(scan_map(&store), expect);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Kill mid-segment-build: the crash leaves a partial `.tmp` image, and
+    /// the frozen records' WAL is still on disk (flush deletes it only
+    /// after the rename lands). Recovery must discard the `.tmp` and serve
+    /// every acknowledged write from segments + WAL replay.
+    #[test]
+    fn kill_during_segment_write_loses_nothing(
+        puts in prop::collection::vec(put_strategy(), 1..80),
+        flush_seed in any::<u64>(),
+        garbage in prop::collection::vec(any::<u8>(), 1..200),
+        salt in any::<u64>(),
+    ) {
+        let dir = temp_dir("segtmp", salt);
+        let n_flush = (flush_seed as usize) % (puts.len() + 1);
+        let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        {
+            let store = DiskStore::open(&dir, opts()).unwrap();
+            for (i, (k, v)) in puts.iter().enumerate() {
+                if i == n_flush {
+                    store.flush().unwrap();
+                }
+                store.put(&[*k], v);
+                expect.insert(vec![*k], v.clone());
+            }
+            store.sync().unwrap();
+        }
+        // A partial image of the build that never finished.
+        fs::write(dir.join("seg-00009999.tmp"), &garbage).unwrap();
+
+        let store = DiskStore::open(&dir, opts()).unwrap();
+        prop_assert_eq!(store.recovery_stats().removed_tmp, 1);
+        prop_assert!(!dir.join("seg-00009999.tmp").exists());
+        prop_assert_eq!(scan_map(&store), expect);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Kill during compaction, both windows: (a) before the merged
+    /// segment's rename (only a `.tmp` exists), and (b) after the rename
+    /// but before the old segments are deleted (merged + old coexist).
+    /// Either way the live set must read back unchanged.
+    #[test]
+    fn kill_during_compaction_preserves_the_live_set(
+        rounds in prop::collection::vec(
+            prop::collection::vec(put_strategy(), 1..25), 2..5),
+        garbage in prop::collection::vec(any::<u8>(), 1..300),
+        salt in any::<u64>(),
+    ) {
+        let dir = temp_dir("compact", salt);
+        let mut expect: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        {
+            let store = DiskStore::open(&dir, opts()).unwrap();
+            for round in &rounds {
+                for (k, v) in round {
+                    store.put(&[*k], v);
+                    expect.insert(vec![*k], v.clone());
+                }
+                store.flush().unwrap();
+            }
+            prop_assert!(store.storage_stats().n_segments >= 2);
+        }
+
+        // Window (b) needs the merged segment: run the compaction to
+        // completion in a scratch copy and steal its output file.
+        let dir_done = temp_dir("compact-done", salt);
+        copy_dir(&dir, &dir_done);
+        let merged = {
+            let store = DiskStore::open(&dir_done, opts()).unwrap();
+            store.compact().unwrap();
+            prop_assert_eq!(store.storage_stats().n_segments, 1);
+            let mut segs: Vec<PathBuf> = fs::read_dir(&dir_done).unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+                .collect();
+            prop_assert_eq!(segs.len(), 1);
+            segs.pop().unwrap()
+        };
+
+        // (a) crash before rename: partial merged image as `.tmp`.
+        let dir_a = temp_dir("compact-a", salt);
+        copy_dir(&dir, &dir_a);
+        fs::write(dir_a.join("seg-00009999.tmp"), &garbage).unwrap();
+        let store = DiskStore::open(&dir_a, opts()).unwrap();
+        prop_assert_eq!(store.recovery_stats().removed_tmp, 1);
+        prop_assert_eq!(scan_map(&store), expect.clone());
+        drop(store);
+
+        // (b) crash after rename, before the old-segment deletes: the
+        // merged segment (newest id) coexists with everything it shadows.
+        let dir_b = temp_dir("compact-b", salt);
+        copy_dir(&dir, &dir_b);
+        fs::copy(&merged, dir_b.join(merged.file_name().unwrap())).unwrap();
+        let store = DiskStore::open(&dir_b, opts()).unwrap();
+        prop_assert!(store.recovery_stats().segments_open > 1);
+        prop_assert_eq!(scan_map(&store), expect);
+        drop(store);
+
+        for d in [&dir, &dir_done, &dir_a, &dir_b] {
+            fs::remove_dir_all(d).unwrap();
+        }
+    }
+}
+
+/// External corruption (a flipped byte in a sealed segment's footer) is
+/// outside the crash model, but the store must fail safe: exclude the
+/// segment that fails structural validation, open anyway, and report it —
+/// never refuse to start over one bad file.
+#[test]
+fn corrupted_segment_is_dropped_not_served() {
+    let dir = temp_dir("flip", 0);
+    {
+        let store = DiskStore::open(&dir, opts()).unwrap();
+        for i in 0..200u64 {
+            store.put(&i.to_be_bytes(), format!("v{i}").as_bytes());
+        }
+        store.flush().unwrap();
+    }
+    let seg: PathBuf = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "seg"))
+        .unwrap();
+    let mut bytes = fs::read(&seg).unwrap();
+    let magic_byte = bytes.len() - 5; // inside the trailing magic
+    bytes[magic_byte] ^= 0x40;
+    fs::write(&seg, &bytes).unwrap();
+
+    let store = DiskStore::open(&dir, opts()).unwrap();
+    assert_eq!(store.recovery_stats().dropped_segments, 1);
+    assert_eq!(store.recovery_stats().segments_open, 0);
+    assert_eq!(store.len(), 0, "a failed-validation segment must not serve");
+    fs::remove_dir_all(&dir).unwrap();
+}

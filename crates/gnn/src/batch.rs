@@ -22,6 +22,54 @@ pub struct SubgraphBatch {
     pub global_ids: Vec<NodeId>,
 }
 
+/// Global → local id map of one batch. Small batches over huge graphs
+/// (the million-node regime) would pay `O(n_nodes)` per batch for a dense
+/// table, so tiny batches switch to a sorted-pair map; dense stays for the
+/// common case where the batch covers a meaningful fraction of the graph.
+/// Lookup-only (never iterated), so both variants are determinism-safe.
+enum LocalIndex {
+    Dense(Vec<Option<u32>>),
+    Sparse(Vec<(NodeId, u32)>),
+}
+
+impl LocalIndex {
+    /// Dense costs `n_graph` option-slots; sparse costs `n_batch log
+    /// n_batch`. The crossover: go sparse when the batch is under ~1/64th
+    /// of the graph (and the graph is big enough for the table to matter).
+    fn build(n_graph: usize, nodes: &[NodeId]) -> LocalIndex {
+        if n_graph <= 1 << 16 || nodes.len() >= n_graph / 64 {
+            let mut local: Vec<Option<u32>> = vec![None; n_graph];
+            for (i, &v) in nodes.iter().enumerate() {
+                debug_assert!(local[v].is_none(), "duplicate node in batch");
+                local[v] = Some(i as u32);
+            }
+            LocalIndex::Dense(local)
+        } else {
+            let mut pairs: Vec<(NodeId, u32)> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
+            pairs.sort_unstable();
+            debug_assert!(
+                pairs.windows(2).all(|w| w[0].0 != w[1].0),
+                "duplicate node in batch"
+            );
+            LocalIndex::Sparse(pairs)
+        }
+    }
+
+    fn get(&self, v: NodeId) -> Option<usize> {
+        match self {
+            LocalIndex::Dense(t) => t[v].map(|i| i as usize),
+            LocalIndex::Sparse(pairs) => pairs
+                .binary_search_by_key(&v, |&(g, _)| g)
+                .ok()
+                .map(|idx| pairs[idx].1 as usize),
+        }
+    }
+}
+
 impl SubgraphBatch {
     pub fn n_nodes(&self) -> usize {
         self.node_types.len()
@@ -36,11 +84,7 @@ impl SubgraphBatch {
     ///
     /// `nodes` must be duplicate-free. Edges are the induced directed edges.
     pub fn from_nodes(g: &dyn GraphView, nodes: &[NodeId], targets: &[NodeId]) -> SubgraphBatch {
-        let mut local: Vec<Option<usize>> = vec![None; g.n_nodes()];
-        for (i, &v) in nodes.iter().enumerate() {
-            debug_assert!(local[v].is_none(), "duplicate node in batch");
-            local[v] = Some(i);
-        }
+        let local = LocalIndex::build(g.n_nodes(), nodes);
         let node_types: Vec<NodeType> = nodes.iter().map(|&v| g.node_type(v)).collect();
 
         let mut features = Tensor::zeros(nodes.len(), g.feature_dim());
@@ -53,7 +97,7 @@ impl SubgraphBatch {
         let mut edge_ty = Vec::new();
         for (i, &v) in nodes.iter().enumerate() {
             for edge in g.edges_of(v) {
-                if let Some(j) = local[edge.dst] {
+                if let Some(j) = local.get(edge.dst) {
                     edge_src.push(i);
                     edge_dst.push(j);
                     edge_ty.push(edge.ty);
@@ -64,7 +108,9 @@ impl SubgraphBatch {
         let mut tgt_local = Vec::with_capacity(targets.len());
         let mut labels = Vec::with_capacity(targets.len());
         for &t in targets {
-            let l = local[t].expect("target must be inside the sampled node set");
+            let l = local
+                .get(t)
+                .expect("target must be inside the sampled node set");
             tgt_local.push(l);
             labels.push(usize::from(g.label(t) == Some(true)));
         }

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use xfraud_hetgraph::{HetGraph, NodeId};
+use xfraud_hetgraph::{GraphView, NodeId};
 
 use crate::batch::SubgraphBatch;
 use crate::model::{predict_scores, Model};
@@ -108,7 +108,7 @@ impl BatchEngine {
     /// the sequential schedule.
     pub fn sample_ordered<S, F, C>(
         &self,
-        g: &HetGraph,
+        g: &(dyn GraphView + Sync),
         sampler: &S,
         chunks: &[&[NodeId]],
         make_rng: F,
@@ -169,7 +169,7 @@ impl BatchEngine {
     pub fn score_ordered<M, S>(
         &self,
         model: &M,
-        g: &HetGraph,
+        g: &(dyn GraphView + Sync),
         sampler: &S,
         chunks: &[&[NodeId]],
         make_rng: impl Fn(usize) -> StdRng + Sync,
@@ -232,6 +232,7 @@ mod tests {
     use crate::detector::{DetectorConfig, XFraudDetector};
     use crate::sampler::SageSampler;
     use xfraud_datagen::{Dataset, DatasetPreset};
+    use xfraud_hetgraph::HetGraph;
 
     fn setup() -> (HetGraph, Vec<NodeId>) {
         let g = Dataset::generate(DatasetPreset::EbaySmallSim, 11).graph;

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use xfraud_hetgraph::{HetGraph, NodeId};
+use xfraud_hetgraph::{GraphView, HetGraph, NodeId};
 use xfraud_metrics::roc_auc;
 use xfraud_nn::AdamW;
 
@@ -83,10 +83,12 @@ impl Trainer {
     /// forward/backward on the current one. Every batch's sampling and
     /// dropout RNGs are derived from `(seed, stream, epoch, batch index)`,
     /// so the result is bit-identical whatever `num_workers` is.
+    /// The graph is any [`GraphView`] — an in-RAM [`HetGraph`] or an
+    /// `ExternalFeatureGraph` whose feature rows are paged in from disk.
     pub fn fit<M: Model + Sync, S: Sampler + Sync>(
         &self,
         model: &mut M,
-        g: &HetGraph,
+        g: &(dyn GraphView + Sync),
         sampler: &S,
         train_nodes: &[NodeId],
         val_nodes: &[NodeId],
@@ -146,7 +148,7 @@ impl Trainer {
     pub fn evaluate<M: Model + Sync, S: Sampler + Sync>(
         &self,
         model: &M,
-        g: &HetGraph,
+        g: &(dyn GraphView + Sync),
         sampler: &S,
         nodes: &[NodeId],
         seed: u64,
@@ -168,7 +170,7 @@ impl Trainer {
     pub fn time_inference<M: Model, S: Sampler>(
         &self,
         model: &M,
-        g: &HetGraph,
+        g: &dyn GraphView,
         sampler: &S,
         nodes: &[NodeId],
         seed: u64,

@@ -87,7 +87,7 @@ impl<T> EpochCell<T> {
     }
 
     /// Pins the current value for reading. Never blocks on writers; may
-    /// spin briefly when more than [`SLOTS`] readers are pinned at once.
+    /// spin briefly when more than `SLOTS` readers are pinned at once.
     pub fn pin(&self) -> Pinned<'_, T> {
         // Claim a free slot by CASing its announcement away from QUIESCENT.
         let slot = 'claim: loop {

@@ -1,0 +1,213 @@
+//! Out-of-core feature serving: a [`GraphView`] whose topology lives in RAM
+//! but whose transaction feature rows come from an external store (a
+//! memory-mapped disk segment, a KV store, …).
+//!
+//! At paper scale (§3.3.3, Fig. 12/13) the feature matrix is the part of the
+//! graph that does not fit in memory — eBay-large is ~1.1 B nodes with
+//! hundreds of float features per transaction, while the topology (CSR
+//! offsets + targets) is comparatively small. [`ExternalFeatureGraph`] splits
+//! the two: it wraps any graph for its adjacency/labels/types and delegates
+//! [`GraphView::copy_features_into`] to a [`FeatureSource`], so samplers,
+//! batch assembly and the trainer run unchanged over a graph whose features
+//! are paged in on demand.
+//!
+//! `GraphView` stays sealed: external crates implement the *open*
+//! [`FeatureSource`] trait (a pure row-fetch contract with no adjacency
+//! invariants to break), and this module provides the one sealed wrapper.
+
+use std::sync::Arc;
+
+use crate::graph::EdgeRef;
+use crate::types::{NodeId, NodeType};
+use crate::view::{sealed, GraphSnapshot, GraphView};
+
+/// A source of dense per-node feature rows, independent of graph topology.
+///
+/// Implementations must be cheap to call concurrently (`&self` from many
+/// loader threads) and total: `fill_features` reports via its return value
+/// whether a row was present, and must leave `out` fully overwritten either
+/// way (stored bytes or zeros).
+pub trait FeatureSource: Send + Sync {
+    /// Width of the rows this source serves.
+    fn feature_dim(&self) -> usize;
+
+    /// Overwrites `out` (which is `feature_dim` long) with `v`'s row.
+    /// Returns `true` iff the source had a stored row for `v`; on `false`,
+    /// `out` must be zeroed.
+    fn fill_features(&self, v: NodeId, out: &mut [f32]) -> bool;
+}
+
+impl<T: FeatureSource + ?Sized> FeatureSource for Arc<T> {
+    fn feature_dim(&self) -> usize {
+        (**self).feature_dim()
+    }
+
+    fn fill_features(&self, v: NodeId, out: &mut [f32]) -> bool {
+        (**self).fill_features(v, out)
+    }
+}
+
+/// A [`GraphView`] that reads topology/labels/types from `graph` and
+/// transaction feature rows from `features` — the out-of-core training and
+/// scoring view. Entity nodes read as zeros without consulting the source,
+/// preserving the §3.2.1 "initial node features are empty" contract.
+///
+/// The wrapped graph is normally built with `feature_dim == 0` (topology
+/// only); this wrapper reports the source's dimension instead.
+pub struct ExternalFeatureGraph<G, F> {
+    graph: G,
+    features: F,
+}
+
+impl<G: GraphView, F: FeatureSource> ExternalFeatureGraph<G, F> {
+    pub fn new(graph: G, features: F) -> Self {
+        ExternalFeatureGraph { graph, features }
+    }
+
+    /// The wrapped topology graph.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// The external feature source.
+    pub fn features(&self) -> &F {
+        &self.features
+    }
+}
+
+impl<G, F> sealed::Sealed for ExternalFeatureGraph<G, F> {}
+
+impl<G, F> GraphView for ExternalFeatureGraph<G, F>
+where
+    G: GraphView + Clone + Send + Sync + 'static,
+    F: FeatureSource + Clone + Send + Sync + 'static,
+{
+    fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    fn n_directed_edges(&self) -> usize {
+        self.graph.n_directed_edges()
+    }
+
+    fn node_type(&self, v: NodeId) -> NodeType {
+        self.graph.node_type(v)
+    }
+
+    fn label(&self, v: NodeId) -> Option<bool> {
+        self.graph.label(v)
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.features.feature_dim()
+    }
+
+    fn copy_features_into(&self, v: NodeId, out: &mut [f32]) -> bool {
+        debug_assert_eq!(out.len(), self.feature_dim());
+        if self.graph.node_type(v) != NodeType::Txn {
+            out.fill(0.0);
+            return false;
+        }
+        self.features.fill_features(v, out);
+        true
+    }
+
+    fn edge(&self, id: usize) -> EdgeRef {
+        self.graph.edge(id)
+    }
+
+    fn out_edge_parts(&self, v: NodeId) -> (&[usize], &[usize]) {
+        self.graph.out_edge_parts(v)
+    }
+
+    fn neighbor_parts(&self, v: NodeId) -> (&[NodeId], &[NodeId]) {
+        self.graph.neighbor_parts(v)
+    }
+
+    fn snapshot(&self) -> GraphSnapshot {
+        let clone = ExternalFeatureGraph {
+            graph: self.graph.clone(),
+            features: self.features.clone(),
+        };
+        GraphSnapshot::new(Arc::new(clone), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::HetGraph;
+    use crate::view::GraphViewExt;
+
+    #[derive(Clone)]
+    struct ConstSource {
+        dim: usize,
+    }
+
+    impl FeatureSource for ConstSource {
+        fn feature_dim(&self) -> usize {
+            self.dim
+        }
+
+        fn fill_features(&self, v: NodeId, out: &mut [f32]) -> bool {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = (v * 10 + i) as f32;
+            }
+            true
+        }
+    }
+
+    fn topology_only() -> HetGraph {
+        // dim-0 builder: txns carry labels but no stored features.
+        let mut b = GraphBuilder::new(0);
+        let t0 = b.add_txn([0.0f32; 0], Some(true));
+        let t1 = b.add_txn([0.0f32; 0], None);
+        let p = b.add_entity(NodeType::Pmt);
+        b.link(t0, p).unwrap();
+        b.link(t1, p).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topology_delegates_and_features_come_from_source() {
+        let g = topology_only();
+        let ext = ExternalFeatureGraph::new(g.clone(), ConstSource { dim: 3 });
+        assert_eq!(ext.n_nodes(), g.n_nodes());
+        assert_eq!(ext.n_directed_edges(), g.n_directed_edges());
+        assert_eq!(ext.feature_dim(), 3);
+        for v in 0..g.n_nodes() {
+            assert_eq!(ext.label(v), g.label(v));
+            assert_eq!(
+                ext.neighbors(v).collect::<Vec<_>>(),
+                g.neighbors(v).collect::<Vec<_>>()
+            );
+        }
+        let mut row = [0.0f32; 3];
+        assert!(ext.copy_features_into(0, &mut row));
+        assert_eq!(row, [0.0, 1.0, 2.0]);
+        assert!(ext.copy_features_into(1, &mut row));
+        assert_eq!(row, [10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn entity_rows_are_zero_without_touching_the_source() {
+        let g = topology_only();
+        let ext = ExternalFeatureGraph::new(g, ConstSource { dim: 2 });
+        let mut row = [9.0f32; 2];
+        assert!(!ext.copy_features_into(2, &mut row), "pmt is an entity");
+        assert_eq!(row, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_is_a_shared_image_of_the_wrapper() {
+        let g = topology_only();
+        let ext = ExternalFeatureGraph::new(g.clone(), ConstSource { dim: 2 });
+        let snap = ext.snapshot();
+        assert_eq!(snap.n_nodes(), g.n_nodes());
+        assert_eq!(snap.feature_dim(), 2);
+        let mut row = [0.0f32; 2];
+        assert!(snap.copy_features_into(0, &mut row));
+        assert_eq!(row, [0.0, 1.0]);
+    }
+}

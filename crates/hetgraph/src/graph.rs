@@ -93,24 +93,6 @@ impl HetGraph {
         &self.edge_types
     }
 
-    /// Ids of edges pointing *into* `v`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use GraphView (`in_edge_slice` is internal; message passing reads the CSR via SubgraphBatch)"
-    )]
-    pub fn in_edges(&self, v: NodeId) -> &[usize] {
-        self.incoming.edge_ids(v)
-    }
-
-    /// Ids of edges pointing *out of* `v`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use GraphView: `out_edge_parts`/`GraphViewExt::edges_of`, or `neighbor_slice` for endpoints"
-    )]
-    pub fn out_edges(&self, v: NodeId) -> &[usize] {
-        self.outgoing.edge_ids(v)
-    }
-
     /// Incoming CSR (edge ids + source arena) — the message-passing index.
     #[inline]
     pub fn incoming(&self) -> &Csr {
@@ -365,16 +347,6 @@ mod tests {
         let pmt = 2;
         assert_eq!(g.node_type(pmt), NodeType::Pmt);
         assert_eq!(g.incoming().degree(pmt), 2);
-    }
-
-    #[test]
-    fn deprecated_slice_accessors_still_serve_the_old_contract() {
-        let g = toy();
-        #[allow(deprecated)]
-        for v in 0..g.n_nodes() {
-            assert_eq!(g.in_edges(v), g.incoming().edge_ids(v));
-            assert_eq!(g.out_edges(v), g.outgoing().edge_ids(v));
-        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod csr;
 mod delta;
 mod epoch;
 mod error;
+mod external;
 mod graph;
 mod line;
 mod stats;
@@ -36,6 +37,7 @@ pub use csr::{Csr, FeatureIndex};
 pub use delta::{DeltaGraph, GraphEvent};
 pub use epoch::{EpochCell, Pinned};
 pub use error::GraphError;
+pub use external::{ExternalFeatureGraph, FeatureSource};
 pub use graph::{EdgeRef, HetGraph};
 pub use line::{line_graph, LineGraph};
 pub use stats::GraphStats;

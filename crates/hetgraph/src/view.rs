@@ -118,18 +118,6 @@ pub trait GraphViewExt: GraphView {
             ids: base.iter().chain(overlay.iter()),
         }
     }
-
-    /// Former name of [`GraphViewExt::neighbors`].
-    #[deprecated(since = "0.1.0", note = "renamed to `neighbors`")]
-    fn view_neighbors(&self, v: NodeId) -> Neighbors<'_> {
-        self.neighbors(v)
-    }
-
-    /// Former name of [`GraphViewExt::degree`].
-    #[deprecated(since = "0.1.0", note = "renamed to `degree`")]
-    fn view_degree(&self, v: NodeId) -> usize {
-        self.degree(v)
-    }
 }
 
 impl<G: GraphView + ?Sized> GraphViewExt for G {}
@@ -341,20 +329,6 @@ mod tests {
             // edges_of resolves the same edges the id walk does.
             let via_ids: Vec<EdgeRef> = v.out_edge_ids(node).map(|e| g.edge(e)).collect();
             assert_eq!(v.edges_of(node).collect::<Vec<_>>(), via_ids);
-        }
-    }
-
-    #[test]
-    fn deprecated_view_aliases_still_answer() {
-        let g = toy();
-        let v: &dyn GraphView = &g;
-        #[allow(deprecated)]
-        {
-            assert_eq!(
-                v.view_neighbors(1).collect::<Vec<_>>(),
-                v.neighbors(1).collect::<Vec<_>>()
-            );
-            assert_eq!(v.view_degree(1), GraphViewExt::degree(v, 1));
         }
     }
 

@@ -58,17 +58,21 @@ impl FeatureStore {
 
     /// Overwrites `out` in place with one node's stored features (zeros if
     /// absent) — the serving path's per-row rehydration, avoiding the
-    /// per-call allocation of [`FeatureStore::get_features`].
-    pub fn fill_row(&self, node: usize, out: &mut [f32]) {
+    /// per-call allocation of [`FeatureStore::get_features`]. Goes through
+    /// [`KvStore::get_with`] so mmap-backed stores decode straight from the
+    /// mapped page with no intermediate copy. Returns whether the node had a
+    /// stored row.
+    pub fn fill_row(&self, node: usize, out: &mut [f32]) -> bool {
         assert_eq!(out.len(), self.dim, "feature length mismatch");
-        match self.store.get(&Self::key(node)) {
-            Some(bytes) => {
-                for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-                    *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-                }
+        let found = self.store.get_with(&Self::key(node), &mut |bytes| {
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                *o = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
             }
-            None => out.fill(0.0),
+        });
+        if !found {
+            out.fill(0.0);
         }
+        found
     }
 
     /// Gathers a dense `[ids.len(), dim]` batch matrix.
@@ -78,6 +82,13 @@ impl FeatureStore {
             self.fill_row(id, out.row_mut(r));
         }
         out
+    }
+
+    /// Wraps this store as a shared [`xfraud_hetgraph::FeatureSource`], the
+    /// form [`xfraud_hetgraph::ExternalFeatureGraph`] takes to serve
+    /// features out-of-core during training/scoring.
+    pub fn into_source(self) -> Arc<FeatureStore> {
+        Arc::new(self)
     }
 
     /// The multi-loader experiment of Fig. 12/13: `n_threads` loaders each
@@ -98,6 +109,19 @@ impl FeatureStore {
         .expect("loader thread panicked");
         let secs = start.elapsed().as_secs_f64();
         (ids.len(), secs, ids.len() as f64 / secs.max(1e-12))
+    }
+}
+
+/// A [`FeatureStore`] is a [`xfraud_hetgraph::FeatureSource`]: graphs built
+/// topology-only (`GraphBuilder::new(0)`) get their transaction rows served
+/// from the store via `ExternalFeatureGraph` — the out-of-core loader path.
+impl xfraud_hetgraph::FeatureSource for FeatureStore {
+    fn feature_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn fill_features(&self, v: xfraud_hetgraph::NodeId, out: &mut [f32]) -> bool {
+        self.fill_row(v, out)
     }
 }
 

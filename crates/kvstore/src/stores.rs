@@ -11,6 +11,20 @@ use parking_lot::{Mutex, RwLock};
 pub trait KvStore: Send + Sync {
     fn put(&self, key: &[u8], value: &[u8]);
     fn get(&self, key: &[u8]) -> Option<Bytes>;
+    /// Visits the value for `key` in place, returning whether it existed.
+    ///
+    /// The default copies via [`KvStore::get`]; stores that can expose the
+    /// stored bytes directly (e.g. a memory-mapped segment) override this to
+    /// skip the copy — the zero-copy read path of the paper's LMDB profile.
+    fn get_with(&self, key: &[u8], f: &mut dyn FnMut(&[u8])) -> bool {
+        match self.get(key) {
+            Some(bytes) => {
+                f(&bytes);
+                true
+            }
+            None => false,
+        }
+    }
     /// Number of live keys.
     fn len(&self) -> usize;
     fn is_empty(&self) -> bool {
