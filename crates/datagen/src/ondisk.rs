@@ -366,7 +366,8 @@ mod tests {
         let buf = std::fs::read(dir.join("events.log")).unwrap();
         let mut it = framing::CheckedFrameIter::new(&buf);
         let mut count = 0u64;
-        for (key, value) in it.by_ref() {
+        for rec in it.by_ref() {
+            let (key, value) = rec.expect("intact frame");
             assert_eq!(key, count.to_be_bytes(), "keys are the record indices");
             assert_eq!(value.len(), 43, "fixed-width event encoding");
             count += 1;

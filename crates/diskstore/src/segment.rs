@@ -263,23 +263,35 @@ impl Segment {
 
     /// Looks `key` up, returning the stored value as a slice borrowed
     /// straight from the (mapped) segment buffer — the zero-copy read. A
-    /// record whose per-frame CRC fails reads as absent.
-    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+    /// record whose per-frame CRC fails is a [`StoreError::Corrupt`], not
+    /// an absent key.
+    pub fn get(&self, key: &[u8]) -> Result<Option<&[u8]>, StoreError> {
         // Last block whose first key is <= key holds the only candidates.
-        let idx = self
+        let Some(idx) = self
             .blocks
             .partition_point(|b| self.first_key(b) <= key)
-            .checked_sub(1)?;
+            .checked_sub(1)
+        else {
+            return Ok(None);
+        };
         let block = &self.data.as_slice()[self.blocks[idx].bytes.clone()];
-        for (k, v) in framing::CheckedFrameIter::new(block) {
+        for rec in framing::CheckedFrameIter::new(block) {
+            let (k, v) = rec.map_err(|e| self.frame_error(idx, e))?;
             if k == key {
-                return Some(v);
+                return Ok(Some(v));
             }
             if k > key {
                 break;
             }
         }
-        None
+        Ok(None)
+    }
+
+    fn frame_error(&self, block_idx: usize, e: framing::FrameError) -> StoreError {
+        StoreError::Corrupt {
+            path: self.path.clone(),
+            detail: format!("block {block_idx}: {e}"),
+        }
     }
 
     /// Iterates every record in key order (blocks are sorted and so are the
@@ -299,19 +311,11 @@ impl Segment {
     /// number of records, or a corruption error.
     pub fn verify_all_blocks(&self) -> Result<u64, StoreError> {
         let mut count = 0u64;
-        for b in &self.blocks {
+        for (idx, b) in self.blocks.iter().enumerate() {
             let block = &self.data.as_slice()[b.bytes.clone()];
-            let mut frames = framing::CheckedFrameIter::new(block);
-            count += frames.by_ref().count() as u64;
-            if !frames.clean_end() {
-                return Err(StoreError::Corrupt {
-                    path: self.path.clone(),
-                    detail: if frames.corrupt() {
-                        "record checksum mismatch".to_string()
-                    } else {
-                        "torn record inside sealed block".to_string()
-                    },
-                });
+            for rec in framing::CheckedFrameIter::new(block) {
+                rec.map_err(|e| self.frame_error(idx, e))?;
+                count += 1;
             }
         }
         if count != self.n_records {
@@ -332,12 +336,13 @@ pub struct SegmentIter<'a> {
 }
 
 impl<'a> Iterator for SegmentIter<'a> {
-    type Item = (&'a [u8], &'a [u8]);
+    /// One record, or the typed corruption error that stopped the scan.
+    type Item = Result<(&'a [u8], &'a [u8]), StoreError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some(rec) = self.frames.next() {
-                return Some(rec);
+                return Some(rec.map_err(|e| self.segment.frame_error(self.block_idx, e)));
             }
             self.block_idx += 1;
             let b = self.segment.blocks.get(self.block_idx)?;
@@ -385,13 +390,20 @@ mod tests {
         let seg = Segment::open(&path, true).unwrap();
         assert_eq!(seg.n_records(), 300);
         assert!(seg.n_blocks() > 1, "256-byte target must split blocks");
-        let scanned: Vec<_> = seg.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        let scanned: Vec<_> = seg
+            .iter()
+            .map(|rec| rec.map(|(k, v)| (k.to_vec(), v.to_vec())).unwrap())
+            .collect();
         assert_eq!(scanned, records);
         for (k, v) in &records {
-            assert_eq!(seg.get(k), Some(v.as_slice()));
+            assert_eq!(seg.get(k).unwrap(), Some(v.as_slice()));
         }
-        assert_eq!(seg.get(b"nonexistent-key-way-past"), None);
-        assert_eq!(seg.get(&0u64.to_be_bytes()[..7]), None, "short key misses");
+        assert_eq!(seg.get(b"nonexistent-key-way-past").unwrap(), None);
+        assert_eq!(
+            seg.get(&0u64.to_be_bytes()[..7]).unwrap(),
+            None,
+            "short key misses"
+        );
         assert_eq!(seg.verify_all_blocks().unwrap(), 300);
         std::fs::remove_file(&path).unwrap();
     }
@@ -402,7 +414,7 @@ mod tests {
         let seg = Segment::open(&path, true).unwrap();
         assert_eq!(seg.n_records(), 0);
         assert_eq!(seg.n_blocks(), 0);
-        assert_eq!(seg.get(b"anything"), None);
+        assert_eq!(seg.get(b"anything").unwrap(), None);
         assert_eq!(seg.iter().count(), 0);
         std::fs::remove_file(&path).unwrap();
     }
@@ -454,14 +466,24 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_record_reads_as_absent_and_fails_verification() {
+    fn corrupt_record_is_a_typed_error_not_an_absent_key() {
         let records = sample_records(40);
         let mut image = build(&records, 256);
-        // Flip one byte early in the data region (inside some record).
+        // Flip one byte early in the data region (inside the first record).
         image[12] ^= 0x80;
         let path = write_temp("flipped-record", &image);
         let seg = Segment::open(&path, true).unwrap(); // structure still valid
         assert!(seg.verify_all_blocks().is_err());
+        // A point read through the corrupt block errors instead of
+        // pretending the key is absent.
+        assert!(matches!(
+            seg.get(&records[0].0),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // The full scan surfaces the same typed error mid-iteration.
+        assert!(seg
+            .iter()
+            .any(|rec| matches!(rec, Err(StoreError::Corrupt { .. }))));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -161,6 +161,10 @@ pub struct DiskStore {
     inner: RwLock<Inner>,
     next_seg_id: AtomicU64,
     contended: AtomicU64,
+    /// Reads that hit a CRC-failed record in a sealed segment. The lookup
+    /// falls through to older tiers (a corrupt newer record must not shadow
+    /// an intact older one), but the corruption is counted, never silent.
+    corrupt_reads: AtomicU64,
     recovery: RecoveryStats,
 }
 
@@ -262,6 +266,7 @@ impl DiskStore {
             }),
             next_seg_id: AtomicU64::new(max_seg_id + 1),
             contended: AtomicU64::new(0),
+            corrupt_reads: AtomicU64::new(0),
             recovery: stats,
             opts,
             dir,
@@ -359,13 +364,26 @@ impl DiskStore {
         }
         if let Some(segments) = segments {
             for seg in segments.iter().rev() {
-                if let Some(v) = seg.get(key) {
-                    f(v);
-                    return true;
+                match seg.get(key) {
+                    Ok(Some(v)) => {
+                        f(v);
+                        return true;
+                    }
+                    Ok(None) => {}
+                    // Count the corrupt record and keep searching older
+                    // segments — `verify` reports the damage with its path.
+                    Err(_) => {
+                        self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
         false
+    }
+
+    /// Number of reads that encountered a CRC-failed record so far.
+    pub fn corrupt_read_count(&self) -> u64 {
+        self.corrupt_reads.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the read tiers, newest-precedence first.
@@ -398,8 +416,25 @@ impl DiskStore {
         if segments.len() < 2 {
             return Ok(());
         }
-        // Newest-precedence-first source list for the merge.
-        let sources: Vec<_> = segments.iter().rev().map(|s| s.iter()).collect();
+        // Newest-precedence-first source list for the merge. A corrupt
+        // record aborts the compaction (the old segments would be deleted
+        // afterwards — rewriting them minus silently dropped records must
+        // never happen); the first frame error is carried out through the
+        // cell since the merge callback itself is infallible.
+        let frame_err: std::cell::RefCell<Option<StoreError>> = std::cell::RefCell::new(None);
+        let sources: Vec<_> = segments
+            .iter()
+            .rev()
+            .map(|s| {
+                s.iter().map_while(|rec| match rec {
+                    Ok(kv) => Some(kv),
+                    Err(e) => {
+                        frame_err.borrow_mut().get_or_insert(e);
+                        None
+                    }
+                })
+            })
+            .collect();
         let mut builder = SegmentBuilder::new(self.opts.block_bytes);
         let mut failed = None;
         merge_sorted(sources, &mut |k, v| {
@@ -409,6 +444,9 @@ impl DiskStore {
                 }
             }
         });
+        if let Some(e) = frame_err.into_inner() {
+            return Err(e);
+        }
         if let Some(e) = failed {
             return Err(e);
         }
@@ -523,7 +561,16 @@ impl BlockStore for DiskStore {
             sources.push(Box::new(fr.iter().map(|(k, v)| (k.as_slice(), v.as_ref()))));
         }
         for seg in segments.iter().rev() {
-            sources.push(Box::new(seg.iter()));
+            // `scan` is infallible by contract: a corrupt record ends that
+            // segment's contribution and is counted, like the point-read
+            // path; `verify` reports the damage with its path.
+            sources.push(Box::new(seg.iter().map_while(|rec| match rec {
+                Ok(kv) => Some(kv),
+                Err(_) => {
+                    self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            })));
         }
         merge_sorted(sources, f);
     }

@@ -122,7 +122,7 @@ impl GemLayer {
                 .iter()
                 .map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 })
                 .collect();
-            let recip = sess.constant(Tensor::from_vec(n, 1, recip).expect("n x 1"));
+            let recip = sess.constant(Tensor::column(recip));
 
             let mut msg = sess.tape.gather_rows(h, Rc::new(srcs));
             if let Some(mask) = edge_mask {

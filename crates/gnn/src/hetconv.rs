@@ -104,21 +104,29 @@ impl Projection {
             Projection::Shared(lin) => lin.forward(sess, store, h),
             Projection::PerType(lins) => {
                 let n = node_types.len();
-                let mut acc: Option<Var> = None;
-                for (ti, lin) in lins.iter().enumerate() {
-                    let mask: Vec<f32> = node_types
+                let mask_of = |ti: usize| -> Vec<f32> {
+                    node_types
                         .iter()
                         .map(|t| if t.index() == ti { 1.0 } else { 0.0 })
-                        .collect();
-                    let mask = sess.constant(Tensor::from_vec(n, 1, mask).expect("n x 1 mask"));
+                        .collect()
+                };
+                let Some((first, rest)) = lins.split_first() else {
+                    // Unreachable via the constructors (every schema has at
+                    // least one node type), but stay total: with no per-type
+                    // projections, every row is masked away.
+                    let zeros = sess.constant(Tensor::column(vec![0.0; n]));
+                    return sess.tape.mul_col(h, zeros);
+                };
+                let mask = sess.constant(Tensor::column(mask_of(0)));
+                let projected = first.forward(sess, store, h);
+                let mut acc = sess.tape.mul_col(projected, mask);
+                for (ti, lin) in rest.iter().enumerate() {
+                    let mask = sess.constant(Tensor::column(mask_of(ti + 1)));
                     let projected = lin.forward(sess, store, h);
                     let masked = sess.tape.mul_col(projected, mask);
-                    acc = Some(match acc {
-                        Some(a) => sess.tape.add(a, masked),
-                        None => masked,
-                    });
+                    acc = sess.tape.add(acc, masked);
                 }
-                acc.expect("at least one node type")
+                acc
             }
         }
     }

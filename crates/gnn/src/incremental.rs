@@ -131,7 +131,9 @@ pub fn incremental_study<M: Model + Sync, S: Sampler + Sync>(
             nodes.shuffle(&mut rng);
             for chunk in nodes.chunks(cfg.train.batch_size) {
                 let batch = sampler.sample(g, chunk, &mut rng);
-                let _ =
+                // Fine-tune for the side effect on the weights; the
+                // per-chunk loss is not reported.
+                let _loss =
                     crate::model::train_step(&mut incremental_model, &batch, &mut opt, &mut rng);
             }
         }

@@ -36,9 +36,13 @@ pub fn community_of(g: &HetGraph, seed: NodeId, max_nodes: usize) -> Result<Comm
     if seed >= g.n_nodes() {
         return Err(GraphError::UnknownNode(seed));
     }
-    let nodes = bfs_collect(g, seed, usize::MAX, max_nodes);
+    // `max_nodes.max(1)` keeps the seed itself even under a zero cap, so
+    // the BFS always includes it and the induced map always covers it.
+    let nodes = bfs_collect(g, seed, usize::MAX, max_nodes.max(1));
     let (sub, map) = g.induced_subgraph(&nodes);
-    let new_seed = map[seed].expect("seed is in its own community");
+    let Some(new_seed) = map[seed] else {
+        return Err(GraphError::UnknownNode(seed));
+    };
     Ok(Community {
         graph: sub,
         seed: new_seed,

@@ -108,10 +108,7 @@ impl DeltaGraph {
     /// Starts an overlay over an empty graph of the given feature width —
     /// event-sourced construction from nothing.
     pub fn empty(feature_dim: usize) -> Self {
-        let base = GraphBuilder::new(feature_dim)
-            .finish()
-            .expect("empty builder is consistent");
-        DeltaGraph::new(Arc::new(base))
+        DeltaGraph::new(Arc::new(HetGraph::empty(feature_dim)))
     }
 
     /// The frozen CSR base under the overlay.

@@ -46,6 +46,24 @@ pub struct HetGraph {
 }
 
 impl HetGraph {
+    /// The empty graph of the given feature width — infallible, unlike
+    /// freezing an empty [`crate::GraphBuilder`], so callers that need a
+    /// blank base (event-sourced overlays) have a total construction path.
+    pub fn empty(feature_dim: usize) -> HetGraph {
+        HetGraph {
+            node_types: Vec::new(),
+            edge_src: Vec::new(),
+            edge_dst: Vec::new(),
+            edge_types: Vec::new(),
+            incoming: Csr::build(0, &[], &[]),
+            outgoing: Csr::build(0, &[], &[]),
+            features: Tensor::zeros(0, feature_dim),
+            feature_row: FeatureIndex::with_capacity(0),
+            txn_nodes: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
     pub fn n_nodes(&self) -> usize {
         self.node_types.len()
     }

@@ -1,5 +1,9 @@
 //! Property tests on the heterogeneous graph structures.
 
+// Hundreds of proptest cases are days of work under the interpreter; the
+// Miri job covers the graph internals through the unit tests instead.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use xfraud_hetgraph::{
     community_of, khop_neighborhood, line_graph, GraphBuilder, GraphStats, NodeType,

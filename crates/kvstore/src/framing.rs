@@ -255,9 +255,38 @@ pub fn next_checked_frame(buf: &[u8], pos: usize) -> CheckedFrameStep {
     }
 }
 
-/// Iterator over the complete, checksum-valid records of a checked-framed
-/// buffer. Stops before a torn tail *or* the first corrupt record;
-/// [`CheckedFrameIter::corrupt`] tells the two apart.
+/// Why a checked-frame read stopped before the end of its buffer.
+///
+/// Unlike the unchecked [`FrameIter`] (whose torn tail is an *expected*
+/// outcome of WAL replay), a checked stream is sealed data: anything short
+/// of a clean end is a defect the reader must not confuse with EOF. `at` is
+/// the byte offset of the offending record — everything before it is intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends mid-record (torn append) at byte `at`.
+    Truncated { at: u64 },
+    /// The record starting at byte `at` parses but fails its CRC —
+    /// corruption at rest, or a torn write that still happens to parse.
+    Corrupt { at: u64 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { at } => write!(f, "torn record at byte {at}"),
+            FrameError::Corrupt { at } => write!(f, "record checksum mismatch at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Iterator over the records of a checked-framed buffer, yielding a typed
+/// [`FrameError`] for a torn tail or a corrupt record instead of silently
+/// ending — a CRC mismatch at the final frame must not read as EOF. After
+/// an error (reported once) the iterator is exhausted;
+/// [`CheckedFrameIter::clean_end`] / [`CheckedFrameIter::corrupt`] remain
+/// for callers that drain first and inspect afterwards.
 pub struct CheckedFrameIter<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -297,8 +326,8 @@ impl<'a> CheckedFrameIter<'a> {
 }
 
 impl<'a> Iterator for CheckedFrameIter<'a> {
-    /// `(key, value)` byte slices of one record.
-    type Item = (&'a [u8], &'a [u8]);
+    /// `(key, value)` byte slices of one record, or why reading stopped.
+    type Item = Result<(&'a [u8], &'a [u8]), FrameError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
@@ -307,7 +336,7 @@ impl<'a> Iterator for CheckedFrameIter<'a> {
         match next_checked_frame(self.buf, self.pos) {
             CheckedFrameStep::Record { key, value, next } => {
                 self.pos = next;
-                Some((&self.buf[key], &self.buf[value]))
+                Some(Ok((&self.buf[key], &self.buf[value])))
             }
             CheckedFrameStep::Clean => {
                 self.clean = true;
@@ -316,12 +345,16 @@ impl<'a> Iterator for CheckedFrameIter<'a> {
             }
             CheckedFrameStep::Truncated => {
                 self.done = true;
-                None
+                Some(Err(FrameError::Truncated {
+                    at: self.pos as u64,
+                }))
             }
             CheckedFrameStep::Corrupt => {
                 self.corrupt = true;
                 self.done = true;
-                None
+                Some(Err(FrameError::Corrupt {
+                    at: self.pos as u64,
+                }))
             }
         }
     }
@@ -394,9 +427,9 @@ mod tests {
             encoded_len_checked(5, 3) + encoded_len_checked(0, 9) + encoded_len_checked(4, 0)
         );
         let mut it = CheckedFrameIter::new(&buf);
-        assert_eq!(it.next(), Some((&b"alpha"[..], &b"one"[..])));
-        assert_eq!(it.next(), Some((&b""[..], &b"empty-key"[..])));
-        assert_eq!(it.next(), Some((&b"beta"[..], &b""[..])));
+        assert_eq!(it.next(), Some(Ok((&b"alpha"[..], &b"one"[..]))));
+        assert_eq!(it.next(), Some(Ok((&b""[..], &b"empty-key"[..]))));
+        assert_eq!(it.next(), Some(Ok((&b"beta"[..], &b""[..]))));
         assert_eq!(it.next(), None);
         assert!(it.clean_end());
         assert!(!it.corrupt());
@@ -412,8 +445,13 @@ mod tests {
         // Cuts inside the second record: mid-payload and mid-crc-trailer.
         for cut in [intact + 1, intact + 9, buf.len() - 2] {
             let mut it = CheckedFrameIter::new(&buf[..cut]);
-            assert_eq!(it.next(), Some((&b"k1"[..], &b"v1"[..])));
-            assert_eq!(it.next(), None);
+            assert_eq!(it.next(), Some(Ok((&b"k1"[..], &b"v1"[..]))));
+            assert_eq!(
+                it.next(),
+                Some(Err(FrameError::Truncated { at: intact as u64 })),
+                "cut at {cut}"
+            );
+            assert_eq!(it.next(), None, "the error is reported once");
             assert!(!it.clean_end(), "cut at {cut}");
             assert!(!it.corrupt(), "a torn tail is not corruption (cut {cut})");
             assert_eq!(it.scanned(), intact as u64);
@@ -429,7 +467,11 @@ mod tests {
         // Flip one payload bit in the second record's value bytes.
         buf[intact + 10] ^= 0x01;
         let mut it = CheckedFrameIter::new(&buf);
-        assert_eq!(it.next(), Some((&b"k1"[..], &b"v1"[..])));
+        assert_eq!(it.next(), Some(Ok((&b"k1"[..], &b"v1"[..]))));
+        assert_eq!(
+            it.next(),
+            Some(Err(FrameError::Corrupt { at: intact as u64 }))
+        );
         assert_eq!(it.next(), None);
         assert!(it.corrupt());
         assert!(!it.clean_end());
@@ -437,6 +479,28 @@ mod tests {
         // The structural (unchecked) parse still sees a complete record at
         // that offset — the crc is the only thing that flags it.
         assert!(matches!(next_frame(&buf, intact), FrameStep::Record { .. }));
+    }
+
+    /// The regression this iterator's typed error exists for: a CRC
+    /// mismatch in the *final* frame must surface as an error, not read as
+    /// a clean EOF one record early.
+    #[test]
+    fn corrupt_final_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        encode_checked_into(b"k1", b"v1", &mut buf);
+        let last = buf.len();
+        encode_checked_into(b"k2", b"v2", &mut buf);
+        let crc_byte = buf.len() - 1;
+        buf[crc_byte] ^= 0xff;
+        let mut it = CheckedFrameIter::new(&buf);
+        assert_eq!(it.next(), Some(Ok((&b"k1"[..], &b"v1"[..]))));
+        assert_eq!(
+            it.next(),
+            Some(Err(FrameError::Corrupt { at: last as u64 }))
+        );
+        assert_eq!(it.next(), None);
+        let err = FrameError::Corrupt { at: last as u64 };
+        assert!(err.to_string().contains("checksum mismatch"));
     }
 
     #[test]

@@ -114,6 +114,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "backed by a real file; Miri's isolation forbids host I/O"
+    )]
     fn log_store_roundtrip_and_overwrite() {
         let path = temp_path("roundtrip");
         let store = LogStore::create(&path, 4).unwrap();
@@ -129,6 +133,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "backed by a real file; Miri's isolation forbids host I/O"
+    )]
     fn log_store_concurrent_readers() {
         let path = temp_path("concurrent");
         let store = Arc::new(LogStore::create(&path, 8).unwrap());
@@ -154,6 +162,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "backed by a real file; Miri's isolation forbids host I/O"
+    )]
     fn missing_key_is_none() {
         let path = temp_path("missing");
         let store = LogStore::create(&path, 2).unwrap();

@@ -51,7 +51,7 @@ impl ScoreClient {
         let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        let _ = stream.set_nodelay(true);
+        stream.set_nodelay(true)?;
         Ok(stream)
     }
 

@@ -45,6 +45,10 @@ pub struct NetMetrics {
     pub(crate) responses_5xx: AtomicU64,
     /// Requests answered 408 after a read deadline.
     pub(crate) timeouts_408: AtomicU64,
+    /// Server threads (acceptor/worker/scorer) observed dead-by-panic at
+    /// join time during shutdown. Non-zero means a bug the request-level
+    /// counters cannot show.
+    pub(crate) thread_panics: AtomicU64,
     latencies: Mutex<Option<LatencyRing>>,
 }
 
@@ -109,6 +113,7 @@ impl NetMetrics {
             shed_overload: self.shed_overload.load(Ordering::Relaxed),
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
             timeouts_408: self.timeouts_408.load(Ordering::Relaxed),
+            thread_panics: self.thread_panics.load(Ordering::Relaxed),
             p50_ms,
             p99_ms,
             p999_ms,
@@ -131,6 +136,9 @@ pub struct NetMetricsSnapshot {
     pub shed_overload: u64,
     pub responses_5xx: u64,
     pub timeouts_408: u64,
+    /// Threads found panicked when joined at shutdown — zero in a healthy
+    /// server.
+    pub thread_panics: u64,
     /// Service latency (admission → response queued), recent window.
     pub p50_ms: f64,
     pub p99_ms: f64,
@@ -166,6 +174,7 @@ impl NetMetricsSnapshot {
             ("shed_overload".into(), Json::num_u64(self.shed_overload)),
             ("responses_5xx".into(), Json::num_u64(self.responses_5xx)),
             ("timeouts_408".into(), Json::num_u64(self.timeouts_408)),
+            ("thread_panics".into(), Json::num_u64(self.thread_panics)),
             ("p50_ms".into(), Json::num_f64(self.p50_ms)),
             ("p99_ms".into(), Json::num_f64(self.p99_ms)),
             ("p999_ms".into(), Json::num_f64(self.p999_ms)),
@@ -189,6 +198,8 @@ impl NetMetricsSnapshot {
             shed_overload: u("shed_overload")?,
             responses_5xx: u("responses_5xx")?,
             timeouts_408: u("timeouts_408")?,
+            // Absent in bodies from servers predating the counter.
+            thread_panics: u("thread_panics").unwrap_or(0),
             p50_ms: f("p50_ms")?,
             p99_ms: f("p99_ms")?,
             p999_ms: f("p999_ms")?,

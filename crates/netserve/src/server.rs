@@ -306,17 +306,26 @@ impl NetServer {
 
     fn shutdown_impl(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        // A `join` returning `Err` means the thread died by panic instead of
+        // seeing the stop flag — surface that through the `thread_panics`
+        // counter rather than swallowing it.
+        let shared = Arc::clone(&self.shared);
+        let note_panic = move |joined: std::thread::Result<()>| {
+            if joined.is_err() {
+                shared.metrics.thread_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        };
         if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+            note_panic(h.join());
         }
         for h in self.workers.drain(..) {
-            let _ = h.join();
+            note_panic(h.join());
         }
         // All worker-held job senders are gone; dropping ours lets the
         // scorer crew drain the queue and exit.
         drop(self.job_tx.take());
         for h in self.scorers.drain(..) {
-            let _ = h.join();
+            note_panic(h.join());
         }
     }
 }
@@ -349,7 +358,7 @@ fn acceptor_loop(
                     m.conns_closed.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nodelay(true); // xlint: allow(e1, reason = "Nagle stays on if the socket refuses; latency hint only, never a failure")
                 m.active_conns.fetch_add(1, Ordering::AcqRel);
                 let w = next_worker % conn_txs.len();
                 next_worker = next_worker.wrapping_add(1);
@@ -377,10 +386,10 @@ fn refuse(stream: TcpStream, shared: &ServerShared) {
     m.observe_response(503);
     let body = encode_error_body("server connection limit reached");
     let bytes = write_response(503, &body, false);
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nonblocking(false); // xlint: allow(e1, reason = "refusal is best-effort by contract; the connection drops either way")
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100))); // xlint: allow(e1, reason = "refusal is best-effort by contract; the connection drops either way")
     let mut stream = stream;
-    let _ = stream.write_all(&bytes);
+    let _ = stream.write_all(&bytes); // xlint: allow(e1, reason = "a peer that hung up before reading its 503 is already counted refused")
     m.conns_closed.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -403,6 +412,7 @@ fn scorer_loop(
         // is still connected — disconnects must not leak capacity.
         shared.metrics.in_flight.fetch_sub(1, Ordering::AcqRel);
         if let Some(tx) = result_txs.get(job.worker) {
+            // xlint: allow(e1, reason = "worker already exited at shutdown; the permit above is released either way")
             let _ = tx.send(ScoreDone {
                 conn_id: job.conn_id,
                 keep_alive: job.keep_alive,

@@ -55,7 +55,7 @@ impl RuleMiner {
         let mut literals: Vec<Literal> = Vec::new();
         for feature in 0..dim {
             let mut values: Vec<f32> = rows.iter().map(|r| r[feature]).collect();
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            values.sort_by(|a, b| a.total_cmp(b));
             values.dedup();
             if values.len() < 2 {
                 continue;
@@ -106,11 +106,7 @@ impl RuleMiner {
         // 2. Keep the best single literals, then grow depth-2 conjunctions
         //    from the beam.
         let mut singles: Vec<Rule> = literals.iter().filter_map(|&l| score(&[l])).collect();
-        singles.sort_by(|a, b| {
-            (b.precision * b.recall)
-                .partial_cmp(&(a.precision * a.recall))
-                .expect("finite scores")
-        });
+        singles.sort_by(|a, b| (b.precision * b.recall).total_cmp(&(a.precision * a.recall)));
         singles.truncate(self.cfg.beam);
 
         let mut candidates = singles.clone();

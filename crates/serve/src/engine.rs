@@ -259,7 +259,7 @@ impl Shared {
                     results[at].clone()
                 })
                 .collect();
-            // A caller that gave up (dropped its receiver) is not an error.
+            // xlint: allow(e1, reason = "a caller that gave up (dropped its receiver) is not an error")
             let _ = req.reply.send(scores);
         }
     }
@@ -684,7 +684,13 @@ impl Drop for ScoringEngine {
     fn drop(&mut self) {
         drop(self.tx.take()); // hang up: the batcher drains and exits
         if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+            if let Err(panic) = worker.join() {
+                // A panicked batcher means every cached score is suspect;
+                // re-raise unless we are already unwinding from one.
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
         }
     }
 }

@@ -40,6 +40,16 @@ impl Tensor {
         Tensor::full(1, 1, value)
     }
 
+    /// Builds a `len x 1` column vector — infallible, since the shape is
+    /// derived from the buffer instead of validated against it.
+    pub fn column(data: Vec<f32>) -> Self {
+        Tensor {
+            rows: data.len(),
+            cols: 1,
+            data,
+        }
+    }
+
     /// Builds a tensor from a row-major buffer, validating the length.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {

@@ -29,6 +29,7 @@ pub mod lockgraph;
 pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod unsafe_scan;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -38,8 +39,8 @@ use config::{BaselineEntry, Config, RuleScope};
 use lockgraph::LockGraph;
 use parser::parse_file;
 use rules::{
-    check_d1, check_d2, check_d3, check_l1, check_l2, check_p1, check_p2, BurndownEntry,
-    InterprocScope, P1Options, Violation,
+    check_a1, check_a2, check_d1, check_d2, check_d3, check_e1, check_f1, check_l1, check_l2,
+    check_p1, check_p2, check_u1, check_u2, BurndownEntry, InterprocScope, P1Options, Violation,
 };
 use source::SourceFile;
 
@@ -108,7 +109,18 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
     for rule_id in cfg.rules.keys() {
         if !matches!(
             rule_id.as_str(),
-            "d1" | "d2" | "p1" | "l1" | "l2" | "p2" | "d3"
+            "d1" | "d2"
+                | "p1"
+                | "l1"
+                | "l2"
+                | "p2"
+                | "d3"
+                | "u1"
+                | "u2"
+                | "a1"
+                | "a2"
+                | "f1"
+                | "e1"
         ) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -117,7 +129,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
         }
     }
     for (rule_id, scope) in &cfg.rules {
-        if matches!(rule_id.as_str(), "l2" | "p2" | "d3") {
+        if matches!(rule_id.as_str(), "l2" | "p2" | "d3" | "f1" | "u2") {
             continue; // interprocedural — dispatched over the workspace model below
         }
         for krate in &scope.crates {
@@ -156,7 +168,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
     let interproc: Vec<&String> = cfg
         .rules
         .keys()
-        .filter(|r| matches!(r.as_str(), "l2" | "p2" | "d3"))
+        .filter(|r| matches!(r.as_str(), "l2" | "p2" | "d3" | "f1" | "u2"))
         .collect();
     if !interproc.is_empty() {
         let model = build_model(root, &mut cache)?;
@@ -179,6 +191,8 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintReport> 
                     check_p2(&model.graph, &p1_live, &iscope)
                 }
                 "d3" => check_d3(&model.graph, &model.sources, &iscope),
+                "f1" => check_f1(&model.graph, &iscope),
+                "u2" => check_u2(root, &iscope)?,
                 _ => Vec::new(),
             };
             for v in raw {
@@ -333,6 +347,10 @@ fn run_rule(rule_id: &str, scope: &RuleScope, krate: &str, sf: &SourceFile) -> V
             },
         ),
         "l1" => check_l1(sf),
+        "u1" => check_u1(sf),
+        "a1" => check_a1(sf),
+        "a2" => check_a2(sf),
+        "e1" => check_e1(sf),
         // lint_workspace validated rule ids before dispatching.
         _ => Vec::new(),
     }
@@ -340,7 +358,7 @@ fn run_rule(rule_id: &str, scope: &RuleScope, krate: &str, sf: &SourceFile) -> V
 
 /// All `.rs` files under `dir`, workspace-relative, sorted for stable
 /// output.
-fn rust_files(root: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+pub(crate) fn rust_files(root: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {

@@ -22,8 +22,11 @@ OPTIONS:
                          suppressions with their reasons, and the P2
                          burn-down table (panic sites ranked by how many
                          pub APIs can reach them).
-    --graph <call|lock>  Print the whole-workspace call or lock graph as
-                         Graphviz DOT on stdout and exit.
+    --graph <call|lock|unsafe>
+                         Print the whole-workspace call or lock graph as
+                         Graphviz DOT — or, for `unsafe`, the unsafe-audit
+                         markdown (redirect to docs/unsafe_audit.md) — on
+                         stdout and exit.
     --format <fmt>       Output format for --check: `text` (default) or
                          `json` (machine-readable, one object on stdout).
     --root <PATH>        Workspace root (default: nearest ancestor with an
@@ -44,8 +47,8 @@ fn main() -> ExitCode {
             "--update-baseline" => update_baseline = true,
             "--audit" => audit_only = true,
             "--graph" => match args.next() {
-                Some(g) if g == "call" || g == "lock" => graph = Some(g),
-                _ => return usage_error("--graph needs `call` or `lock`"),
+                Some(g) if g == "call" || g == "lock" || g == "unsafe" => graph = Some(g),
+                _ => return usage_error("--graph needs `call`, `lock` or `unsafe`"),
             },
             "--format" => match args.next().as_deref() {
                 Some("text") => {}
@@ -70,6 +73,18 @@ fn main() -> ExitCode {
     };
 
     if let Some(which) = graph {
+        if which == "unsafe" {
+            return match xlint::unsafe_scan::workspace_sites(&root) {
+                Ok(sites) => {
+                    print!("{}", xlint::unsafe_scan::render_markdown(&sites));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xlint: {e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
         let (cg, lg) = match build_graphs(&root) {
             Ok(g) => g,
             Err(e) => {

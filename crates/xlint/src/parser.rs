@@ -49,6 +49,9 @@ pub struct FnItem {
     pub end_line: u32,
     pub calls: Vec<CallSite>,
     pub locks: Vec<LockSite>,
+    /// Durability-relevant file operations (fsync / rename) in body
+    /// order, on the same token-index timeline as `calls[].seq`.
+    pub fs_events: Vec<FsEvent>,
 }
 
 /// A call made inside a function body.
@@ -61,9 +64,33 @@ pub struct CallSite {
     /// `.name(…)` receiver call (resolved by name across impls).
     pub is_method: bool,
     pub line: u32,
+    /// Token index of the call head inside the file — orders the call
+    /// against [`FsEvent`]s in the same body (rule F1's domination check).
+    pub seq: u32,
     /// Indices into the owning item's `locks` — acquisitions whose guard
     /// is still live at this call.
     pub under_locks: Vec<usize>,
+}
+
+/// A durability-relevant filesystem operation inside a function body
+/// (rule F1's event stream). `seq` shares the token-index timeline with
+/// [`CallSite::seq`], so "a sync happens before this rename" is a plain
+/// integer comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsEvent {
+    pub kind: FsEventKind,
+    pub line: u32,
+    /// Token index of the operation inside the file.
+    pub seq: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsEventKind {
+    /// `.sync_all()` / `.sync_data()` — forces bytes to stable storage.
+    Sync,
+    /// `fs::rename(…)` (or a `.rename(…)` method) — publishes a file
+    /// under its durable name.
+    Rename,
 }
 
 /// One lock acquisition inside a function body.
@@ -114,6 +141,10 @@ const CALL_KEYWORDS: &[&str] = &[
 const FN_QUALIFIERS: &[&str] = &["pub", "const", "unsafe", "async", "extern", "default"];
 
 const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Method names that force bytes to stable storage (rule F1's "sync"
+/// events).
+const SYNC_METHODS: &[&str] = &["sync_all", "sync_data"];
 
 /// Method names too generic to resolve by name across the workspace —
 /// resolving `.get(…)` to every `fn get` in every impl would wire the
@@ -425,6 +456,7 @@ fn parse_fn(
         end_line,
         calls: Vec::new(),
         locks: Vec::new(),
+        fs_events: Vec::new(),
     };
     if let Some((open, close)) = body {
         scan_body(sf, crate_name, &mut item, open, close);
@@ -503,12 +535,29 @@ fn scan_body(sf: &SourceFile, crate_name: &str, item: &mut FnItem, open: usize, 
                 && toks.get(j + 3).is_some_and(|n| n.text == ")"))
         {
             let name = &toks[j + 1].text;
+            // Durability events: `.sync_all(` / `.sync_data(` and
+            // `.rename(` — recorded alongside the call site (a
+            // `.rename(…)` is both an event and a call).
+            if SYNC_METHODS.contains(&name.as_str()) {
+                item.fs_events.push(FsEvent {
+                    kind: FsEventKind::Sync,
+                    line: toks[j + 1].line,
+                    seq: (j + 1) as u32,
+                });
+            } else if name == "rename" {
+                item.fs_events.push(FsEvent {
+                    kind: FsEventKind::Rename,
+                    line: toks[j + 1].line,
+                    seq: (j + 1) as u32,
+                });
+            }
             if !METHOD_DENYLIST.contains(&name.as_str()) {
                 calls.push((
                     CallSite {
                         path: vec![name.clone()],
                         is_method: true,
                         line: toks[j + 1].line,
+                        seq: (j + 1) as u32,
                         under_locks: Vec::new(),
                     },
                     j + 1,
@@ -528,11 +577,21 @@ fn scan_body(sf: &SourceFile, crate_name: &str, item: &mut FnItem, open: usize, 
             && !(j >= 2 && prev == Some(":") && toks[j - 2].text == ":")
         {
             if let Some((path, after)) = collect_call_path(toks, j) {
+                // `fs::rename(…)` and friends: a path call whose final
+                // segment is `rename` is a durability event too.
+                if path.last().is_some_and(|s| s == "rename") {
+                    item.fs_events.push(FsEvent {
+                        kind: FsEventKind::Rename,
+                        line: t.line,
+                        seq: j as u32,
+                    });
+                }
                 calls.push((
                     CallSite {
                         path,
                         is_method: false,
                         line: t.line,
+                        seq: j as u32,
                         under_locks: Vec::new(),
                     },
                     j,
@@ -623,7 +682,7 @@ fn collect_call_path(toks: &[Token], j: usize) -> Option<(Vec<String>, usize)> {
 /// producing the ident chain (`["self", "shards"]`;
 /// `["self", "shard_of()"]` for a call-returning receiver). Bracket and
 /// paren groups are skipped; a call becomes `name()`.
-fn receiver_chain(toks: &[Token], dot: usize) -> Vec<String> {
+pub(crate) fn receiver_chain(toks: &[Token], dot: usize) -> Vec<String> {
     let mut chain: Vec<String> = Vec::new();
     let mut k = dot as isize - 1;
     while k >= 0 {
@@ -1020,6 +1079,41 @@ mod tests {
         assert!(re.is_reexport);
         assert_eq!(re.crate_name, "xfraud_entropy");
         assert!(!p.uses.iter().any(|u| u.crate_name == "std"));
+    }
+
+    #[test]
+    fn fs_events_share_the_call_timeline() {
+        let p = parse(
+            r#"
+            fn persist(&self) {
+                let mut f = File::create(&tmp)?;
+                f.write_all(image)?;
+                f.sync_all()?;
+                fs::rename(&tmp, &path)?;
+            }
+            fn publish_unsynced(&self) {
+                fs::rename(&tmp, &path)?;
+            }
+            "#,
+        );
+        let persist = &p.fns[0];
+        assert_eq!(persist.fs_events.len(), 2, "{:#?}", persist.fs_events);
+        assert_eq!(persist.fs_events[0].kind, FsEventKind::Sync);
+        assert_eq!(persist.fs_events[1].kind, FsEventKind::Rename);
+        assert!(
+            persist.fs_events[0].seq < persist.fs_events[1].seq,
+            "sync orders before the rename"
+        );
+        // The rename is also a call site, at the same token position.
+        let rename_call = persist
+            .calls
+            .iter()
+            .find(|c| c.path.last().is_some_and(|s| s == "rename"))
+            .expect("fs::rename appears as a call");
+        assert_eq!(rename_call.seq, persist.fs_events[1].seq);
+        let bare = &p.fns[1];
+        assert_eq!(bare.fs_events.len(), 1);
+        assert_eq!(bare.fs_events[0].kind, FsEventKind::Rename);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Rule E1 — discarded fallible results.
+//!
+//! `let _ = some_call(…);` throws away a value *and its error* without a
+//! trace: a failed shutdown send, an unflushed metrics write, a WAL
+//! truncation error all vanish. Library code must either handle the
+//! error, log it, or propagate a typed error — if the discard really is
+//! correct (e.g. "receiver gone means shutdown already happened"), say
+//! so in an audited allow.
+//!
+//! Approximation direction: the scan has no type information, so it
+//! flags any `let _ =` statement whose right-hand side *contains a
+//! call* — over-approximate (a discarded non-`Result` call return is
+//! flagged too, which is still a smell worth an allow). Macro
+//! invocations are skipped wholesale (`let _ = write!(…)` is matched via
+//! the macro name itself, not idents inside its arguments), and a plain
+//! `let _ = value;` (no call — a deliberate drop of a binding) passes.
+
+use super::Violation;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Keywords that precede `(` without being call heads.
+const NON_CALL_HEADS: &[&str] = &["if", "match", "while", "for", "return", "move", "in", "as"];
+
+pub fn check_e1(sf: &SourceFile) -> Vec<Violation> {
+    let toks = &sf.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if sf.test_mask[i]
+            || toks[i].text != "let"
+            || toks[i].kind != TokenKind::Ident
+            || toks[i + 1].text != "_"
+            || toks[i + 2].text != "="
+        {
+            i += 1;
+            continue;
+        }
+        let depth = toks[i].brace_depth;
+        // Statement body: from `=` to the first `;` back at the let's own
+        // depth (closure bodies inside sit deeper and are scanned too —
+        // an error swallowed inside the discarded expression is still
+        // swallowed).
+        let mut end = i + 3;
+        while end < toks.len() && !(toks[end].text == ";" && toks[end].brace_depth <= depth) {
+            end += 1;
+        }
+        if let Some(call) = first_call_in(toks, i + 3, end) {
+            out.push(Violation::new(
+                "E1",
+                sf,
+                toks[i].line,
+                format!(
+                    "`let _ =` discards the result of `{call}(…)` along with its error — \
+                     handle it, log it, or propagate a typed error"
+                ),
+            ));
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// First call head in `toks[from..to]`, skipping macro invocations (the
+/// macro name *and* its delimiter group).
+fn first_call_in(toks: &[crate::lexer::Token], from: usize, to: usize) -> Option<String> {
+    let mut k = from;
+    while k < to {
+        let t = &toks[k];
+        if t.kind == TokenKind::Ident && toks.get(k + 1).is_some_and(|n| n.text == "!") {
+            // Macro: skip past its delimiter group.
+            let open = toks.get(k + 2).map(|o| o.text.as_str());
+            let close = match open {
+                Some("(") => ")",
+                Some("[") => "]",
+                Some("{") => "}",
+                _ => {
+                    k += 2;
+                    continue;
+                }
+            };
+            let open = open.expect("matched above");
+            let mut depth = 0i32;
+            let mut m = k + 2;
+            while m < to {
+                if toks[m].text == open {
+                    depth += 1;
+                } else if toks[m].text == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && !NON_CALL_HEADS.contains(&t.text.as_str())
+            && toks.get(k + 1).is_some_and(|n| n.text == "(")
+        {
+            return Some(t.text.clone());
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_e1(&SourceFile::from_source(
+            Path::new("crates/d/src/lib.rs"),
+            src,
+        ))
+    }
+
+    #[test]
+    fn discarded_call_results_are_flagged() {
+        let v = check("fn f(&self) { let _ = self.tx.send(Shutdown); }");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`send(…)`"), "{}", v[0].message);
+        let v = check("fn f() { let _ = fs::remove_file(&path); }");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn plain_binding_drops_pass() {
+        assert!(check("fn f(g: Guard) { let _ = g; }").is_empty());
+        assert!(check("fn f() { let _ = self.field; }").is_empty());
+    }
+
+    #[test]
+    fn macro_invocations_are_skipped() {
+        assert!(check("fn f() { let _ = writeln!(out, \"{}\", x); }").is_empty());
+        let v = check("fn f() { let _ = writeln!(out, \"{}\", x).and(flush(out)); }");
+        assert_eq!(v.len(), 1, "call outside the macro group still flags");
+        assert!(v[0].message.contains("`and(…)`"));
+    }
+
+    #[test]
+    fn named_underscore_bindings_pass() {
+        assert!(check("fn f() { let _guard = m.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(check("#[test]\nfn t() { let _ = fs::remove_dir_all(&d); }").is_empty());
+    }
+}

@@ -17,22 +17,42 @@
 //! | L2 | the workspace lock graph is acyclic — no two code paths acquire the same locks in opposite order, even across crates |
 //! | P2 | `pub` APIs of scoped library crates do not transitively reach a live P1 panic site |
 //! | D3 | in-scope functions do not call out-of-scope functions tainted by ambient nondeterminism |
+//!
+//! The soundness family (PR 10) covers memory safety, memory ordering
+//! and durability — the static counterpart of the Miri/TSan CI matrix:
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | U1 | every `unsafe` block/fn/impl carries an adjacent `// SAFETY:` comment with a non-empty justification |
+//! | U2 | every `unsafe` site is recorded in the committed `docs/unsafe_audit.md` (regenerate with `--graph unsafe`) |
+//! | A1 | no `Relaxed` store-side atomic op on a field touched by more than one function — publishes need Release/AcqRel or an audited allow |
+//! | A2 | no asymmetric store/load ordering pair on one atomic field (Release store + Relaxed load, or Relaxed store + Acquire load) |
+//! | F1 | every `rename` reachable from library code is dominated by `sync_all`/`sync_data` on the same call path (write-temp→fsync→rename) |
+//! | E1 | no `let _ =`-discarded call results in library code — handle, log, or propagate the error |
 
+mod a1;
 mod d1;
 mod d2;
 mod d3;
+mod e1;
+mod f1;
 mod l1;
 mod l2;
 mod p1;
 mod p2;
+mod u1;
 
+pub use a1::{check_a1, check_a2};
 pub use d1::check_d1;
 pub use d2::check_d2;
 pub use d3::check_d3;
+pub use e1::check_e1;
+pub use f1::check_f1;
 pub use l1::check_l1;
 pub use l2::check_l2;
 pub use p1::{check_p1, P1Options};
 pub use p2::{burndown, check_p2, BurndownEntry};
+pub use u1::{check_u1, check_u2};
 
 use crate::lexer::{Token, TokenKind};
 use crate::source::SourceFile;

@@ -32,6 +32,9 @@ pub struct SourceFile {
     /// (`use xfraud_gnn::{predict_scores, Sampler}` → both names), plus the
     /// crate names themselves (`xfraud_gnn`).
     pub workspace_imports: Vec<String>,
+    /// Every comment with its line span — rule U1 reads `// SAFETY:`
+    /// justifications adjacent to `unsafe` sites out of these.
+    pub comments: Vec<Comment>,
 }
 
 impl SourceFile {
@@ -52,6 +55,7 @@ impl SourceFile {
             allows,
             test_mask,
             workspace_imports,
+            comments: lexed.comments,
         }
     }
 

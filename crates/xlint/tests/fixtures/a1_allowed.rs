@@ -1,0 +1,28 @@
+//! A1 negative fixture: release publishes are clean; a deliberate Relaxed
+//! publish carries an audited allow.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub struct Gate {
+    open: AtomicBool,
+    generation: AtomicUsize,
+}
+
+impl Gate {
+    pub fn open(&self) {
+        self.open.store(true, Ordering::Release);
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Acquire)
+    }
+
+    pub fn retire(&self) {
+        // xlint: allow(a1, reason = "generation only gates a best-effort cache probe; stale reads are re-validated under the lock")
+        self.generation.store(0, Ordering::Relaxed);
+    }
+
+    pub fn generation(&self) -> usize {
+        self.generation.load(Ordering::Relaxed)
+    }
+}

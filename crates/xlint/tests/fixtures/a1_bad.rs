@@ -1,0 +1,29 @@
+//! A1 positive fixture: a Relaxed publish on a cross-fn atomic field. The
+//! Relaxed counter is deliberately NOT flagged (single modification order).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Flag {
+    ready: AtomicBool,
+    hits: AtomicU64,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Pure statistics counter: Relaxed RMWs on one atomic share a single
+    /// modification order, so this must stay clean.
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

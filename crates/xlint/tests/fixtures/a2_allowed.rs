@@ -1,0 +1,23 @@
+//! A2 negative fixture: symmetric pairings are clean; a deliberate
+//! asymmetric read carries an audited allow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter {
+    epoch: AtomicU64,
+}
+
+impl Counter {
+    pub fn publish(&self, v: u64) {
+        self.epoch.store(v, Ordering::Release);
+    }
+
+    pub fn read(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn peek_hint(&self) -> u64 {
+        // xlint: allow(a2, reason = "monotonic hint for a progress bar; the synchronized read() is what correctness uses")
+        self.epoch.load(Ordering::Relaxed)
+    }
+}

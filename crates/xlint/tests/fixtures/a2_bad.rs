@@ -1,0 +1,29 @@
+//! A2 positive fixture: asymmetric store/load ordering pairs on one field —
+//! each half of a release/acquire pairing missing its counterpart.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Seqs {
+    /// Stored with Release, read with Relaxed: acquire half missing.
+    head: AtomicU64,
+    /// Stored with Relaxed, read with Acquire: release half missing.
+    tail: AtomicUsize,
+}
+
+impl Seqs {
+    pub fn advance_head(&self, v: u64) {
+        self.head.store(v, Ordering::Release);
+    }
+
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    pub fn advance_tail(&self, v: usize) {
+        self.tail.store(v, Ordering::Relaxed);
+    }
+
+    pub fn tail(&self) -> usize {
+        self.tail.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,16 @@
+//! E1 negative fixture: a genuinely best-effort discard with an audited
+//! allow; macros and named bindings need none.
+
+pub fn best_effort_reply(tx: &std::sync::mpsc::Sender<u32>) {
+    // xlint: allow(e1, reason = "a receiver that hung up is not an error on the reply path")
+    let _ = tx.send(7);
+}
+
+pub fn macro_rhs_is_fine() {
+    let _ = format!("macros are skipped");
+}
+
+pub fn named_binding_is_fine() -> u32 {
+    let _hint = "42".len();
+    7
+}

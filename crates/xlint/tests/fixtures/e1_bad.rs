@@ -1,0 +1,32 @@
+//! E1 positive fixture: `let _ =` swallowing call results (and their
+//! errors). Named discards and non-call RHS stay clean.
+
+pub fn swallow_send(tx: &std::sync::mpsc::Sender<u32>) {
+    let _ = tx.send(1);
+}
+
+pub fn swallow_helper() {
+    let _ = fallible();
+}
+
+fn fallible() -> Result<(), std::io::Error> {
+    Ok(())
+}
+
+pub fn named_discard_is_fine() {
+    // The binding is named, so the discard is visibly deliberate.
+    let _elapsed = fallible();
+}
+
+pub fn plain_value_is_fine(v: u32) {
+    let _ = v;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_in_tests_are_exempt() {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let _ = tx.send(1u32);
+    }
+}

@@ -1,0 +1,31 @@
+//! U1 negative fixture: every form of accepted justification, plus one
+//! audited allow.
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller contract guarantees `p` points to a live u32.
+    unsafe { *p }
+}
+
+pub fn trailing(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: same caller contract as `documented`.
+}
+
+pub fn multi_line(p: *const u32) -> u32 {
+    // The deref is sound here:
+    // SAFETY: `p` was derived from a reference two frames up and the
+    // borrow is still live for the duration of this call.
+    unsafe { *p }
+}
+
+/// Writes zero through `p`.
+///
+/// # Safety
+/// `p` must be valid for writes of one byte.
+pub unsafe fn doc_safety(p: *mut u8) {
+    *p = 0;
+}
+
+pub fn audited(p: *const u32) -> u32 {
+    // xlint: allow(u1, reason = "fixture exercises the allow path; real code should write SAFETY")
+    unsafe { *p }
+}

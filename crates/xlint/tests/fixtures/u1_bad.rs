@@ -1,0 +1,24 @@
+//! U1 positive fixture: `unsafe` without an adjacent SAFETY justification.
+
+pub fn no_comment(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn wrong_comment(p: *const u32) -> u32 {
+    // dereference the pointer (not a safety argument)
+    unsafe { *p }
+}
+
+/// An exported raw-pointer write documenting nothing about its contract.
+pub unsafe fn exported_raw(p: *mut u8) {
+    *p = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_exempt() {
+        let x = 7u32;
+        assert_eq!(unsafe { *(&x as *const u32) }, 7);
+    }
+}

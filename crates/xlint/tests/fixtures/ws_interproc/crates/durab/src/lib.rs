@@ -1,0 +1,23 @@
+//! F1 fixture: `persist` follows write-temp→fsync→rename and is clean;
+//! `hasty` publishes through the `publish` helper with no fsync anywhere
+//! on the path and must be flagged with itself as the unsynced entry.
+
+use std::fs;
+use std::fs::File;
+use std::path::Path;
+
+pub fn persist(tmp: &Path, fin: &Path) -> std::io::Result<()> {
+    let f = File::create(tmp)?;
+    f.sync_all()?;
+    fs::rename(tmp, fin)?;
+    Ok(())
+}
+
+pub fn hasty(tmp: &Path, fin: &Path) -> std::io::Result<()> {
+    publish(tmp, fin)
+}
+
+fn publish(tmp: &Path, fin: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, fin)?;
+    Ok(())
+}

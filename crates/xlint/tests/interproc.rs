@@ -1,4 +1,4 @@
-//! Integration tests for the interprocedural rules (L2/P2/D3) over the
+//! Integration tests for the interprocedural rules (L2/P2/D3/F1) over the
 //! fixture mini-workspace in `tests/fixtures/ws_interproc/`, plus the
 //! baseline-determinism properties and the (slow, `--ignored`) whole-
 //! workspace graph-construction test.
@@ -128,6 +128,31 @@ fn d3_flags_the_frontier_call_through_the_reexport() {
 }
 
 #[test]
+fn f1_flags_the_unsynced_rename_path_but_not_the_synced_one() {
+    let report = fixture_report();
+    let f1: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "F1")
+        .collect();
+    assert_eq!(f1.len(), 1, "one unsynced publish path: {f1:#?}");
+    let v = f1[0];
+    assert_eq!(v.file, "crates/durab/src/lib.rs");
+    assert!(
+        v.message.contains("unsynced entry: `xfraud_durab::hasty`"),
+        "blames the pub entry with no sync anywhere on the path: {}",
+        v.message
+    );
+    // `persist` syncs before renaming and must stay clean — the single
+    // finding above anchors on `publish`'s rename, not `persist`'s.
+    assert!(
+        !v.message.contains("persist"),
+        "the synced path is clean: {}",
+        v.message
+    );
+}
+
+#[test]
 fn p1_still_fires_inside_the_fixture_workspace() {
     // The P2 roots are live P1 violations; make sure the fixture really
     // produces one (guards the test setup itself).
@@ -177,6 +202,12 @@ fn entry_strategy() -> impl Strategy<Value = BaselineEntry> {
             Just("P2"),
             Just("L1"),
             Just("L2"),
+            Just("U1"),
+            Just("U2"),
+            Just("A1"),
+            Just("A2"),
+            Just("F1"),
+            Just("E1"),
         ],
         prop_oneof![
             Just("crates/serve/src/engine.rs"),

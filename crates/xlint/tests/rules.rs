@@ -4,7 +4,10 @@
 
 use std::path::Path;
 
-use xlint::rules::{check_d1, check_d2, check_l1, check_p1, P1Options, Violation};
+use xlint::rules::{
+    check_a1, check_a2, check_d1, check_d2, check_e1, check_l1, check_p1, check_u1, P1Options,
+    Violation,
+};
 use xlint::source::SourceFile;
 
 fn parse(name: &str, src: &str) -> SourceFile {
@@ -110,4 +113,83 @@ fn l1_recovery_and_justified_calls_are_clean() {
     let (live, suppressed) = split_allows(&sf, check_l1(&sf));
     assert!(live.is_empty(), "{live:#?}");
     assert_eq!(suppressed, 1, "the justified cross-crate call is audited");
+}
+
+#[test]
+fn u1_flags_unjustified_unsafe_outside_tests() {
+    let sf = parse("u1_bad.rs", include_str!("fixtures/u1_bad.rs"));
+    let v = check_u1(&sf);
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert!(v.iter().all(|v| v.rule == "U1"));
+    // A comment that is not a safety argument does not count as one.
+    assert!(v.iter().any(|v| v.line == 9), "{v:#?}");
+}
+
+#[test]
+fn u1_accepts_safety_comments_doc_sections_and_allows() {
+    let sf = parse("u1_allowed.rs", include_str!("fixtures/u1_allowed.rs"));
+    let (live, suppressed) = split_allows(&sf, check_u1(&sf));
+    assert!(live.is_empty(), "{live:#?}");
+    assert_eq!(suppressed, 1, "exactly one site leans on an audited allow");
+}
+
+#[test]
+fn a1_flags_relaxed_publish_but_exempts_pure_counters() {
+    let sf = parse("a1_bad.rs", include_str!("fixtures/a1_bad.rs"));
+    let v = check_a1(&sf);
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].rule, "A1");
+    assert!(v[0].message.contains("self.ready"), "{}", v[0].message);
+}
+
+#[test]
+fn a1_sync_orderings_and_audited_relaxed_are_clean() {
+    let sf = parse("a1_allowed.rs", include_str!("fixtures/a1_allowed.rs"));
+    let (live, suppressed) = split_allows(&sf, check_a1(&sf));
+    assert!(live.is_empty(), "{live:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn a2_flags_asymmetric_store_load_pairs_on_both_sides() {
+    let sf = parse("a2_bad.rs", include_str!("fixtures/a2_bad.rs"));
+    let v = check_a2(&sf);
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().all(|v| v.rule == "A2"));
+    let text = v
+        .iter()
+        .map(|v| v.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("acquire half"), "{text}");
+    assert!(text.contains("release half"), "{text}");
+}
+
+#[test]
+fn a2_symmetric_pairs_and_audited_hints_are_clean() {
+    let sf = parse("a2_allowed.rs", include_str!("fixtures/a2_allowed.rs"));
+    let (live, suppressed) = split_allows(&sf, check_a2(&sf));
+    assert!(live.is_empty(), "{live:#?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn e1_flags_underscore_discarded_call_results() {
+    let sf = parse("e1_bad.rs", include_str!("fixtures/e1_bad.rs"));
+    let v = check_e1(&sf);
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().all(|v| v.rule == "E1"));
+    assert!(v.iter().any(|v| v.message.contains("`send(…)`")), "{v:#?}");
+    assert!(
+        v.iter().any(|v| v.message.contains("`fallible(…)`")),
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn e1_named_bindings_macros_and_audited_discards_are_clean() {
+    let sf = parse("e1_allowed.rs", include_str!("fixtures/e1_allowed.rs"));
+    let (live, suppressed) = split_allows(&sf, check_e1(&sf));
+    assert!(live.is_empty(), "{live:#?}");
+    assert_eq!(suppressed, 1);
 }

@@ -32,8 +32,10 @@ fn xlint_check_is_clean_against_the_committed_baseline() {
 }
 
 /// The ratchet floor: PR 6 burned the grandfathered P1/L1 baseline down
-/// from 34 violations to 25. The committed baseline may only shrink from
-/// here — regrowing it (grandfathering *new* panic sites or lock-
+/// from 34 violations to 25, and the soundness-rules PR burned it to 17
+/// (total constructors for gnn masks/targets, an infallible empty graph,
+/// `total_cmp` in the rule miner). The committed baseline may only shrink
+/// from here — regrowing it (grandfathering *new* panic sites or lock-
 /// discipline violations instead of fixing them) fails CI.
 #[test]
 fn p1_l1_baseline_only_shrinks() {
@@ -46,8 +48,8 @@ fn p1_l1_baseline_only_shrinks() {
         .map(|e| e.count)
         .sum();
     assert!(
-        grandfathered <= 25,
-        "P1/L1 baseline grew to {grandfathered} violations (ceiling 25) — fix new \
+        grandfathered <= 17,
+        "P1/L1 baseline grew to {grandfathered} violations (ceiling 17) — fix new \
          findings instead of grandfathering them, or lower this ceiling after a burn-down"
     );
 }
